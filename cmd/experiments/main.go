@@ -1,0 +1,145 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables. Each figure of Trummer and Koch (SIGMOD 2015) has a
+// corresponding flag value:
+//
+//	experiments -figure 3          # avg time/invocation, αT=1.01, αS=0.05
+//	experiments -figure 4          # avg time/invocation, αT=1.005, αS=0.5
+//	experiments -figure 5          # max time/invocation, αT=1.005, αS=0.5
+//	experiments -figure 2a         # anytime quality over time (conceptual)
+//	experiments -figure 2b         # per-invocation time, incremental vs memoryless
+//	experiments -figure sizes      # plan-set growth across resolutions
+//	experiments -figure bounds     # incremental behaviour under bound changes
+//	experiments -figure all        # everything
+//
+// Use -quick to restrict the timing figures to blocks of at most five
+// tables and a single repetition (minutes instead of tens of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: 3, 4, 5, 2a, 2b, sizes, bounds, all")
+	quick := flag.Bool("quick", false, "restrict to <=5-table blocks, 1 repetition")
+	reps := flag.Int("reps", 1, "repetitions per measurement")
+	flag.Parse()
+
+	opts := harness.Options{Repetitions: *reps}
+	if *quick {
+		opts.MaxTables = 5
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "3":
+			o := opts
+			o.TargetPrecision = 1.01
+			o.PrecisionStep = 0.05
+			fig, err := harness.Figure3(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig.Render())
+		case "4":
+			o := opts
+			o.TargetPrecision = 1.005
+			o.PrecisionStep = 0.5
+			fig, err := harness.Figure4(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig.Render())
+		case "5":
+			o := opts
+			o.TargetPrecision = 1.005
+			o.PrecisionStep = 0.5
+			o.ResolutionLevels = []int{20}
+			fig, err := harness.Figure5(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig.Render())
+		case "2a":
+			o := opts
+			o.TargetPrecision = 1.01
+			o.PrecisionStep = 0.05
+			o.ResolutionLevels = []int{10}
+			anytime, oneShot, err := harness.AnytimeQuality("Q10", o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 2a: anytime result quality over time (block Q10, exhaustive ground truth)")
+			fmt.Printf("%-12s %-14s %-14s %s\n", "algorithm", "elapsed", "approx-factor", "plans")
+			for _, p := range anytime {
+				fmt.Printf("%-12s %-14v %-14.4f %d\n", "anytime", p.Elapsed.Round(time.Microsecond), p.ApproxFactor, p.Plans)
+			}
+			fmt.Printf("%-12s %-14v %-14.4f %d\n", "one-shot", oneShot.Elapsed.Round(time.Microsecond), oneShot.ApproxFactor, oneShot.Plans)
+			fmt.Println()
+		case "2b":
+			o := opts
+			o.TargetPrecision = 1.01
+			o.PrecisionStep = 0.05
+			o.ResolutionLevels = []int{10}
+			iama, ml, err := harness.InvocationTrace("Q5", o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 2b: per-invocation run time (block Q5, 10 resolution levels)")
+			fmt.Printf("%-12s %-16s %s\n", "invocation", "incremental", "memoryless")
+			for i := range iama {
+				fmt.Printf("%-12d %-16v %v\n", i+1, iama[i].Round(time.Microsecond), ml[i].Round(time.Microsecond))
+			}
+			fmt.Println()
+		case "sizes":
+			o := opts
+			o.TargetPrecision = 1.01
+			o.PrecisionStep = 0.05
+			o.ResolutionLevels = []int{10}
+			samples, err := harness.PlanSetSizes("Q5", o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Plan-set sizes across resolutions (block Q5)")
+			fmt.Printf("%-12s %-10s %-12s %s\n", "resolution", "results", "candidates", "frontier")
+			for _, s := range samples {
+				fmt.Printf("%-12d %-10d %-12d %d\n", s.Resolution, s.Results, s.Candidates, s.Frontier)
+			}
+			fmt.Println()
+		case "bounds":
+			o := opts
+			o.TargetPrecision = 1.01
+			o.PrecisionStep = 0.05
+			o.ResolutionLevels = []int{5}
+			labels, times, err := harness.BoundsSweep("Q5", o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Incremental behaviour under bound changes (block Q5)")
+			fmt.Printf("%-20s %s\n", "invocation", "time")
+			for i := range labels {
+				fmt.Printf("%-20s %v\n", labels[i], times[i].Round(time.Microsecond))
+			}
+			fmt.Println()
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*figure}
+	if *figure == "all" {
+		names = []string{"3", "4", "5", "2a", "2b", "sizes", "bounds"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

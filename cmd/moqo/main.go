@@ -1,0 +1,160 @@
+// Command moqo runs an interactive multi-objective optimization session
+// on a TPC-H join block or a synthetic query, showing the Pareto
+// frontier as an ASCII scatter plot that sharpens step by step — the
+// terminal rendition of the paper's Figure 1.
+//
+//	moqo -block Q5                       # optimize TPC-H block Q5
+//	moqo -tables 6 -topology star        # synthetic 6-table star query
+//	moqo -levels 10 -steps 6             # 6 refinement iterations
+//	moqo -bounds "2000,4,1"              # user cost bounds (time,cores,ploss)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/session"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	block := flag.String("block", "Q5", "TPC-H block name (ignored with -tables)")
+	tables := flag.Int("tables", 0, "optimize a synthetic query with this many tables instead")
+	topology := flag.String("topology", "chain", "synthetic join-graph shape: chain, star, cycle, clique")
+	levels := flag.Int("levels", 5, "number of resolution levels")
+	alphaT := flag.Float64("target", 1.01, "target precision αT")
+	alphaS := flag.Float64("step", 0.05, "precision step αS")
+	steps := flag.Int("steps", 0, "refinement iterations (default: one per level)")
+	boundsStr := flag.String("bounds", "", "comma-separated cost bounds (time,cores,precision-loss)")
+	seed := flag.Int64("seed", 1, "synthetic query seed")
+	flag.Parse()
+
+	q, err := pickQuery(*block, *tables, *topology, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: *levels,
+		TargetPrecision:  *alphaT,
+		PrecisionStep:    *alphaS,
+	}
+	var bounds cost.Vector
+	if *boundsStr != "" {
+		bounds, err = parseBounds(*boundsStr, cfg.Model.Space().Dim())
+		if err != nil {
+			fail(err)
+		}
+	}
+	sess, err := session.New(q, cfg, bounds)
+	if err != nil {
+		fail(err)
+	}
+
+	n := *steps
+	if n <= 0 {
+		n = *levels
+	}
+	fmt.Printf("Optimizing %s over metrics %v (%d resolution levels, αT=%g, αS=%g)\n\n",
+		q, cfg.Model.Space(), *levels, *alphaT, *alphaS)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		frontier := sess.Step()
+		fmt.Printf("--- iteration %d (resolution %d, %v) ---\n",
+			i+1, sess.Resolution(), time.Since(start).Round(time.Microsecond))
+		vectors := make([]cost.Vector, len(frontier))
+		for j, p := range frontier {
+			vectors[j] = p.Cost
+		}
+		fmt.Print(viz.Scatter(vectors, 0, 1, viz.Options{
+			Width: 64, Height: 16, XLabel: "time", YLabel: "cores", LogX: true,
+		}))
+		fmt.Println()
+	}
+
+	frontier := sess.Frontier()
+	if len(frontier) == 0 {
+		fmt.Println("no plans within the given bounds")
+		return
+	}
+	best := cheapestTime(frontier, cfg.Model.Space())
+	fmt.Printf("Frontier holds %d plans; fastest plan:\n%s", len(frontier), best.Indented())
+	fmt.Printf("\nOptimizer statistics: %v\n", sess.Optimizer().Stats())
+}
+
+func pickQuery(block string, tables int, topology string, seed int64) (*query.Query, error) {
+	if tables > 0 {
+		tp, err := parseTopology(topology)
+		if err != nil {
+			return nil, err
+		}
+		cat := catalog.TPCH(1)
+		if tables > cat.NumTables() {
+			cat = catalog.Random(rand.New(rand.NewSource(seed)), tables, 100, 1e7)
+		}
+		return query.Synthetic(cat, tables, tp, rand.New(rand.NewSource(seed)))
+	}
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), block)
+	if !ok {
+		return nil, fmt.Errorf("unknown TPC-H block %q", block)
+	}
+	return blk.Query, nil
+}
+
+func parseTopology(s string) (query.Topology, error) {
+	switch s {
+	case "chain":
+		return query.Chain, nil
+	case "star":
+		return query.Star, nil
+	case "cycle":
+		return query.Cycle, nil
+	case "clique":
+		return query.Clique, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+func parseBounds(s string, dim int) (cost.Vector, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != dim {
+		return nil, fmt.Errorf("bounds need %d comma-separated values, got %d", dim, len(parts))
+	}
+	v := cost.NewVector(dim)
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %v", p, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+func cheapestTime(frontier []*plan.Node, sp *cost.Space) *plan.Node {
+	best := frontier[0]
+	for _, p := range frontier[1:] {
+		if sp.Component(p.Cost, cost.Time) < sp.Component(best.Cost, cost.Time) {
+			best = p
+		}
+	}
+	return best
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "moqo: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Approxquery reproduces the paper's Example 2: in approximate query
+// processing, sampling trades execution time against result precision.
+// The example optimizes an analytics join over (time, precision-loss),
+// shows the full tradeoff spectrum, then picks plans for three user
+// profiles: exact-answer, balanced, and dashboard-speed.
+//
+// Run with: go run ./examples/approxquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func main() {
+	// A log-analytics schema: a large event log joined with two
+	// dimension tables. The log offers many sampling rates.
+	cat := catalog.MustNew([]catalog.Table{
+		{Name: "events", Rows: 20_000_000, RowWidth: 90, HasIndex: true,
+			SamplingRates: []float64{0.1, 0.2, 0.35, 0.5, 0.7, 0.85, 1}},
+		{Name: "users", Rows: 2_000_000, RowWidth: 140, HasIndex: true,
+			SamplingRates: []float64{0.5, 1}},
+		{Name: "pages", Rows: 50_000, RowWidth: 70, HasIndex: true,
+			SamplingRates: []float64{1}},
+	})
+	q, err := query.New(cat,
+		[]int{cat.MustID("events"), cat.MustID("users"), cat.MustID("pages")},
+		[]query.JoinEdge{
+			{A: cat.MustID("events"), B: cat.MustID("users"), Selectivity: 1.0 / 2_000_000},
+			{A: cat.MustID("events"), B: cat.MustID("pages"), Selectivity: 1.0 / 50_000},
+		},
+		query.WithName("clickstream"),
+		query.WithFilter(cat.MustID("events"), 0.3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two metrics: execution time and precision loss. Sampling shrinks
+	// scan time (and, with PropagateSampling, downstream join work) at
+	// the price of precision.
+	params := costmodel.DefaultParams()
+	params.PropagateSampling = true
+	model, err := costmodel.New(cost.NewSpace(cost.Time, cost.PrecisionLoss), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := core.NewOptimizer(q, core.Config{
+		Model:            model,
+		ResolutionLevels: 6,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		opt.Optimize(nil, r)
+	}
+
+	frontier := opt.Results(nil, 5)
+	sp := model.Space()
+	sort.Slice(frontier, func(i, j int) bool {
+		return sp.Component(frontier[i].Cost, cost.Time) < sp.Component(frontier[j].Cost, cost.Time)
+	})
+	fmt.Printf("Time / precision tradeoffs for %s (%d Pareto plans):\n\n", q.Name(), len(frontier))
+	fmt.Printf("%-14s %-16s %s\n", "time", "precision", "plan")
+	for _, p := range frontier {
+		fmt.Printf("%-14.4g %-16.3f %s\n",
+			sp.Component(p.Cost, cost.Time), precision(p, sp), p)
+	}
+
+	// Three user profiles select from the same frontier.
+	exact := frontier[len(frontier)-1]
+	for _, p := range frontier {
+		if sp.Component(p.Cost, cost.PrecisionLoss) == 0 {
+			exact = p
+			break
+		}
+	}
+	fastest := frontier[0]
+	balanced := frontier[0]
+	for _, p := range frontier {
+		if precision(p, sp) >= 0.6 {
+			balanced = p
+			break
+		}
+	}
+	fmt.Printf("\nexact analyst:    %s\n", describe(exact, sp))
+	fmt.Printf("balanced analyst: %s\n", describe(balanced, sp))
+	fmt.Printf("dashboard:        %s\n", describe(fastest, sp))
+}
+
+func describe(p *plan.Node, sp *cost.Space) string {
+	return fmt.Sprintf("time=%.4g precision=%.3f  %v",
+		sp.Component(p.Cost, cost.Time), precision(p, sp), p)
+}
+
+// precision converts accumulated precision loss back into a [0, 1]
+// precision display value (losses add up as costs and may exceed one).
+func precision(p *plan.Node, sp *cost.Space) float64 {
+	prec := 1 - sp.Component(p.Cost, cost.PrecisionLoss)
+	if prec < 0 {
+		return 0
+	}
+	return prec
+}

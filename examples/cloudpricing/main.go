@@ -1,0 +1,101 @@
+// Cloudpricing reproduces the paper's Example 1: in cloud computing,
+// buying more resources speeds up execution, so query plans trade
+// execution time against monetary fees. The example optimizes a TPC-H
+// block over the two-metric cloud space and renders the time/fee
+// frontier the way the paper's Figure 1 envisions, before and after the
+// user imposes a budget.
+//
+// Run with: go run ./examples/cloudpricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/session"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), "Q10")
+	if !ok {
+		log.Fatal("block Q10 missing")
+	}
+
+	model, err := costmodel.New(cost.CloudSpace(), costmodel.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := session.New(blk.Query, core.Config{
+		Model:            model,
+		ResolutionLevels: 6,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.2,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Refine twice without user input: the frontier sharpens.
+	sess.Step()
+	frontier := sess.Step()
+	fmt.Printf("Time/fee tradeoffs for %s after two refinements (%d plans):\n\n",
+		blk.Name, len(frontier))
+	plot(frontier, model)
+
+	// The user sets a budget: 50% above the cheapest known fee. Bounds
+	// restrict the search space, so refinement gets faster and the
+	// display focuses on affordable plans.
+	budget := minFees(frontier, model) * 1.5
+	b := model.Space().Unbounded()
+	b[model.Space().Index(cost.Fees)] = budget
+	if err := sess.SetBounds(b); err != nil {
+		log.Fatal(err)
+	}
+	frontier = sess.Step()
+	fmt.Printf("\nAfter imposing a fee budget of %.4g (%d plans):\n\n", budget, len(frontier))
+	plot(frontier, model)
+	if len(frontier) == 0 {
+		fmt.Println("no plan fits the budget — the user would relax it")
+		return
+	}
+
+	fastest, cheapest := frontier[0], frontier[0]
+	sp := model.Space()
+	for _, p := range frontier {
+		if sp.Component(p.Cost, cost.Time) < sp.Component(fastest.Cost, cost.Time) {
+			fastest = p
+		}
+		if sp.Component(p.Cost, cost.Fees) < sp.Component(cheapest.Cost, cost.Fees) {
+			cheapest = p
+		}
+	}
+	fmt.Printf("\nfastest within budget:  time=%.4g fees=%.4g  %s\n",
+		sp.Component(fastest.Cost, cost.Time), sp.Component(fastest.Cost, cost.Fees), fastest)
+	fmt.Printf("cheapest within budget: time=%.4g fees=%.4g  %s\n",
+		sp.Component(cheapest.Cost, cost.Time), sp.Component(cheapest.Cost, cost.Fees), cheapest)
+}
+
+func plot(frontier []*plan.Node, model *costmodel.Model) {
+	vs := make([]cost.Vector, len(frontier))
+	for i, p := range frontier {
+		vs[i] = p.Cost
+	}
+	fmt.Print(viz.Scatter(vs, model.Space().Index(cost.Time), model.Space().Index(cost.Fees),
+		viz.Options{Width: 64, Height: 14, XLabel: "time", YLabel: "fees", LogX: true, LogY: true}))
+}
+
+func minFees(frontier []*plan.Node, model *costmodel.Model) float64 {
+	best := model.Space().Component(frontier[0].Cost, cost.Fees)
+	for _, p := range frontier[1:] {
+		if f := model.Space().Component(p.Cost, cost.Fees); f < best {
+			best = f
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+// Interactive replays a full user session against the incremental
+// anytime optimizer, mirroring the paper's Figure 1: the optimizer
+// first shows a coarse approximation of the Pareto frontier, refines it
+// while the user watches, reacts to the user dragging the cost bounds
+// (which resets the resolution but reuses all stored plans), and ends
+// when the user clicks a plan.
+//
+// Run with: go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/session"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), "Q9")
+	if !ok {
+		log.Fatal("block Q9 missing")
+	}
+	model := costmodel.Default()
+	sess, err := session.New(blk.Query, core.Config{
+		Model:            model,
+		ResolutionLevels: 8,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.15,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.Visualize = func(frontier []*plan.Node) {
+		vs := make([]cost.Vector, len(frontier))
+		for i, p := range frontier {
+			vs[i] = p.Cost
+		}
+		fmt.Print(viz.Scatter(vs, 0, 2, viz.Options{
+			Width: 64, Height: 12, XLabel: "time", YLabel: "precision-loss", LogX: true,
+		}))
+		fmt.Println()
+	}
+
+	// The scripted user: watches two refinements, then bounds the time
+	// metric (dynamic bounds are expressed as a callback below), waits
+	// two more refinements and selects the first plan.
+	fmt.Printf("Interactive session on %s over %v\n\n", blk.Name, model.Space())
+
+	fmt.Println("== iteration 1: first coarse frontier ==")
+	sess.Step()
+	fmt.Println("== iteration 2: refined without user input ==")
+	frontier := sess.Step()
+
+	// The user drags the time bound to the frontier's midpoint.
+	mid := medianTime(frontier, model)
+	b := model.Space().Unbounded()
+	b[model.Space().Index(cost.Time)] = mid
+	fmt.Printf("== user drags time bound to %.4g; resolution resets ==\n", mid)
+	if err := sess.SetBounds(b); err != nil {
+		log.Fatal(err)
+	}
+	sess.Step()
+	fmt.Println("== refining inside the new bounds ==")
+	frontier = sess.Step()
+	if len(frontier) == 0 {
+		log.Fatal("no plans within bounds")
+	}
+
+	selected := frontier[0]
+	fmt.Printf("== user selects a plan ==\n%s\n", selected.Indented())
+
+	fmt.Println("Per-iteration records (note the cheap re-optimization after the bounds change):")
+	for _, rec := range sess.Records() {
+		marker := ""
+		if rec.BoundsChanged {
+			marker = "  <- new bounds regime"
+		}
+		fmt.Printf("  iter %d: r=%d %8v frontier=%d%s\n",
+			rec.Iteration, rec.Resolution, rec.Duration.Round(10e3), rec.FrontierSize, marker)
+	}
+	fmt.Printf("\noptimizer statistics: %v\n", sess.Optimizer().Stats())
+}
+
+func medianTime(frontier []*plan.Node, model *costmodel.Model) float64 {
+	if len(frontier) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range frontier {
+		total += model.Space().Component(p.Cost, cost.Time)
+	}
+	return total / float64(len(frontier))
+}

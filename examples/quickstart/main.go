@@ -1,0 +1,70 @@
+// Quickstart: optimize a three-table join over the paper's three cost
+// metrics (execution time, reserved cores, result precision) and print
+// the Pareto-optimal cost tradeoffs at increasing resolution.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/query"
+)
+
+func main() {
+	// A small star schema: one fact table and two dimensions. The fact
+	// table offers index and sampling scan variants, so plans trade
+	// execution time against reserved cores and result precision.
+	cat := catalog.MustNew([]catalog.Table{
+		{Name: "sales", Rows: 1_000_000, RowWidth: 120, HasIndex: true,
+			SamplingRates: []float64{0.5, 0.75, 1}},
+		{Name: "stores", Rows: 500, RowWidth: 60, HasIndex: true,
+			SamplingRates: []float64{1}},
+		{Name: "products", Rows: 20_000, RowWidth: 80, HasIndex: true,
+			SamplingRates: []float64{1}},
+	})
+	q, err := query.New(cat,
+		[]int{cat.MustID("sales"), cat.MustID("stores"), cat.MustID("products")},
+		[]query.JoinEdge{
+			{A: cat.MustID("sales"), B: cat.MustID("stores"), Selectivity: 1.0 / 500},
+			{A: cat.MustID("sales"), B: cat.MustID("products"), Selectivity: 1.0 / 20_000},
+		},
+		query.WithName("sales-star"),
+		query.WithFilter(cat.MustID("stores"), 0.1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An incremental anytime optimizer with five resolution levels: the
+	// first invocation returns a coarse frontier quickly, later ones
+	// refine it without regenerating plans.
+	opt, err := core.NewOptimizer(q, core.Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: 5,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for r := 0; r < 5; r++ {
+		opt.Optimize(nil, r)
+		frontier := opt.Results(nil, r)
+		fmt.Printf("resolution %d: %d Pareto-optimal tradeoffs\n", r, len(frontier))
+	}
+
+	fmt.Println("\nFinal frontier (time, cores, precision-loss):")
+	for i, p := range opt.Results(nil, 4) {
+		fmt.Printf("  #%-3d %-9v %s\n", i, p.Cost, p)
+		if i == 9 {
+			fmt.Printf("  ... and %d more\n", len(opt.Results(nil, 4))-10)
+			break
+		}
+	}
+	fmt.Printf("\nstatistics: %v\n", opt.Stats())
+}

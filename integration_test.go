@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/pareto"
+	"repro/internal/plan"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// TestEndToEndTPCHBlocks runs the full stack — workload construction,
+// interactive session, incremental optimizer, baselines — on the small
+// TPC-H blocks and cross-checks the results: every algorithm's final
+// frontier must cover the exhaustive ground truth within its guarantee,
+// and the session must deliver valid executable plans.
+func TestEndToEndTPCHBlocks(t *testing.T) {
+	model := costmodel.Default()
+	const (
+		levels = 4
+		alphaT = 1.02
+		alphaS = 0.2
+	)
+	for _, blk := range workload.MustTPCHBlocks(1) {
+		if blk.Query.NumTables() > 3 {
+			continue // keep the exhaustive ground truth affordable
+		}
+		blk := blk
+		t.Run(blk.Name, func(t *testing.T) {
+			truth := pareto.Vectors(baseline.Exhaustive(blk.Query, model, nil).Final(blk.Query))
+			if len(truth) == 0 {
+				t.Fatal("empty ground truth")
+			}
+			factor := math.Pow(alphaT, float64(blk.Query.NumTables()))
+
+			// Interactive session: refine to the maximum resolution.
+			sess := session.MustNew(blk.Query, core.Config{
+				Model:            model,
+				ResolutionLevels: levels,
+				TargetPrecision:  alphaT,
+				PrecisionStep:    alphaS,
+			}, nil)
+			var frontier = sess.Step()
+			for i := 1; i < levels; i++ {
+				frontier = sess.Step()
+			}
+			if len(frontier) == 0 {
+				t.Fatal("empty session frontier")
+			}
+			for _, p := range frontier {
+				if err := p.Validate(); err != nil {
+					t.Fatalf("invalid plan %v: %v", p, err)
+				}
+				if p.Tables != blk.Query.Tables() {
+					t.Fatalf("plan %v does not cover the query", p)
+				}
+			}
+			if !pareto.Covers(pareto.Vectors(frontier), truth, factor) {
+				t.Errorf("session frontier misses the α^n=%g guarantee (needs %g)",
+					factor, pareto.ApproxFactor(pareto.Vectors(frontier), truth))
+			}
+
+			// One-shot baseline under the same guarantee.
+			osRes, err := baseline.OneShot(blk.Query, model, alphaT, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pareto.Covers(pareto.Vectors(osRes.Final(blk.Query)), truth, factor) {
+				t.Error("one-shot misses its guarantee")
+			}
+
+			// A preference over the session frontier yields a plan
+			// within bounds.
+			pref := pareto.Preference{Weights: []float64{1, 0.1, 10}}
+			best, err := pref.Select(frontier)
+			if err != nil || best == nil {
+				t.Fatalf("preference selection failed: %v", err)
+			}
+			if knee := pareto.Knee(frontier); knee == nil {
+				t.Fatal("knee selection failed")
+			}
+		})
+	}
+}
+
+// TestEndToEndBoundedSession verifies the interactive bounded flow on a
+// TPC-H block: tightening to a box around a known plan keeps that
+// plan's cost region covered, at three orders of magnitude less work.
+func TestEndToEndBoundedSession(t *testing.T) {
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), "Q3")
+	if !ok {
+		t.Fatal("Q3 missing")
+	}
+	model := costmodel.Default()
+	sess := session.MustNew(blk.Query, core.Config{
+		Model:            model,
+		ResolutionLevels: 4,
+		TargetPrecision:  1.02,
+		PrecisionStep:    0.2,
+	}, nil)
+	var frontier []*plan.Node
+	for i := 0; i < 4; i++ {
+		frontier = sess.Step()
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	anchor := frontier[len(frontier)/2]
+	bound := anchor.Cost.Scale(1.05)
+	genBefore := sess.Optimizer().Stats().PlansGenerated
+	if err := sess.SetBounds(bound); err != nil {
+		t.Fatal(err)
+	}
+	bounded := sess.Step()
+	if len(bounded) == 0 {
+		t.Fatal("anchor plan region lost after tightening")
+	}
+	for _, p := range bounded {
+		if !p.Cost.WithinBounds(bound) {
+			t.Fatalf("plan %v exceeds bounds %v", p.Cost, bound)
+		}
+	}
+	if gen := sess.Optimizer().Stats().PlansGenerated; gen != genBefore {
+		t.Errorf("tightening generated %d plans", gen-genBefore)
+	}
+	// Relaxing restores at least the unbounded frontier's coverage.
+	if err := sess.SetBounds(cost.Unbounded(model.Space().Dim())); err != nil {
+		t.Fatal(err)
+	}
+	var relaxed []*plan.Node
+	for i := 0; i < 4; i++ {
+		relaxed = sess.Step()
+	}
+	if !pareto.Covers(pareto.Vectors(relaxed), pareto.Vectors(frontier),
+		core.Config{ResolutionLevels: 4, TargetPrecision: 1.02, PrecisionStep: 0.2, Model: model}.CrossRegimeAlpha()) {
+		t.Error("relaxed frontier lost coverage of the original frontier")
+	}
+}

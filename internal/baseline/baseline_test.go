@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/pareto"
+	"repro/internal/query"
+	"repro/internal/tableset"
+)
+
+func testQuery(t testing.TB) *query.Query {
+	t.Helper()
+	cat := catalog.MustNew([]catalog.Table{
+		{Name: "a", Rows: 4000, RowWidth: 100, HasIndex: true, SamplingRates: []float64{0.2, 1}},
+		{Name: "b", Rows: 15000, RowWidth: 80, HasIndex: true, SamplingRates: []float64{0.5, 1}},
+		{Name: "c", Rows: 200, RowWidth: 30, SamplingRates: []float64{1}},
+	})
+	return query.MustNew(cat, []int{0, 1, 2}, []query.JoinEdge{
+		{A: 0, B: 1, Selectivity: 1e-3},
+		{A: 1, B: 2, Selectivity: 5e-2},
+	})
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	q := testQuery(t)
+	m := costmodel.Default()
+	if _, err := Optimize(nil, m, 1, nil); err == nil {
+		t.Error("nil query should fail")
+	}
+	if _, err := Optimize(q, nil, 1, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := Optimize(q, m, 0.9, nil); err == nil {
+		t.Error("alpha < 1 should fail")
+	}
+	if _, err := Optimize(q, m, 1, cost.Vec(1)); err == nil {
+		t.Error("wrong bounds dim should fail")
+	}
+}
+
+func TestMustOptimizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOptimize did not panic")
+		}
+	}()
+	MustOptimize(nil, costmodel.Default(), 1, nil)
+}
+
+func TestExhaustiveIsParetoSet(t *testing.T) {
+	q := testQuery(t)
+	m := costmodel.Default()
+	res := Exhaustive(q, m, nil)
+	final := res.Final(q)
+	if len(final) == 0 {
+		t.Fatal("empty exhaustive frontier")
+	}
+	// No plan strictly dominated by another with covering order.
+	for i, a := range final {
+		for j, b := range final {
+			if i == j {
+				continue
+			}
+			if b.Order.Covers(a.Order) && b.Cost.StrictlyDominates(a.Cost) {
+				t.Errorf("plan %v strictly dominated by %v", a, b)
+			}
+		}
+	}
+	// Every plan covers the full query and validates.
+	for _, p := range final {
+		if p.Tables != q.Tables() {
+			t.Errorf("plan covers %v", p.Tables)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("invalid plan: %v", err)
+		}
+	}
+	// Per-subset sets exist for every connected subset.
+	q.Tables().Subsets(func(sub tableset.Set) bool {
+		if q.Connected(sub) && len(res.Plans[sub]) == 0 {
+			t.Errorf("connected subset %v has no plans", sub)
+		}
+		if !q.Connected(sub) && len(res.Plans[sub]) != 0 {
+			t.Errorf("disconnected subset %v has plans", sub)
+		}
+		return true
+	})
+}
+
+func TestOneShotCoverage(t *testing.T) {
+	q := testQuery(t)
+	m := costmodel.Default()
+	truth := pareto.Vectors(Exhaustive(q, m, nil).Final(q))
+	alpha := 1.05
+	res, err := OneShot(q, m, alpha, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := pareto.Vectors(res.Final(q))
+	factor := math.Pow(alpha, float64(q.NumTables()))
+	if !pareto.Covers(approx, truth, factor) {
+		t.Errorf("one-shot not α^n-approximate: needs %g, allowed %g",
+			pareto.ApproxFactor(approx, truth), factor)
+	}
+	// Coarser precision yields no larger plan sets.
+	resCoarse, err := OneShot(q, m, 1.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resCoarse.Final(q)) > len(res.Final(q)) {
+		t.Errorf("coarser precision produced more plans (%d > %d)",
+			len(resCoarse.Final(q)), len(res.Final(q)))
+	}
+}
+
+func TestOneShotRejectsAlphaOne(t *testing.T) {
+	q := testQuery(t)
+	if _, err := OneShot(q, costmodel.Default(), 1, nil); err == nil {
+		t.Error("one-shot at alpha=1 should be rejected (use Exhaustive)")
+	}
+}
+
+func TestBoundedOptimizeRespectsBounds(t *testing.T) {
+	q := testQuery(t)
+	m := costmodel.Default()
+	truth := Exhaustive(q, m, nil).Final(q)
+	if len(truth) == 0 {
+		t.Fatal("no ground truth")
+	}
+	// Bounds at twice the cost of some frontier plan.
+	b := truth[len(truth)/2].Cost.Scale(2)
+	res := MustOptimize(q, m, 1.05, b)
+	for _, p := range res.Final(q) {
+		if !p.Cost.WithinBounds(b) {
+			t.Errorf("plan %v exceeds bounds %v", p.Cost, b)
+		}
+	}
+	// Bounded coverage of in-bounds truth.
+	factor := math.Pow(1.05, float64(q.NumTables()))
+	if !pareto.CoversBounded(pareto.Vectors(res.Final(q)), pareto.Vectors(truth), factor, b) {
+		t.Error("bounded one-shot coverage violated")
+	}
+}
+
+func TestMemoryless(t *testing.T) {
+	q := testQuery(t)
+	m := costmodel.Default()
+	ml, err := NewMemoryless(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMemoryless(nil, m); err == nil {
+		t.Error("nil query should fail")
+	}
+	if _, err := NewMemoryless(q, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	// Three invocations at refining precision: same work each time.
+	var planCounts []int
+	prevGen := 0
+	for _, alpha := range []float64{1.2, 1.1, 1.05} {
+		plans, err := ml.Invoke(alpha, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planCounts = append(planCounts, len(plans))
+		gen := ml.PlansGenerated - prevGen
+		prevGen = ml.PlansGenerated
+		if gen == 0 {
+			t.Error("memoryless invocation generated no plans (must start from scratch)")
+		}
+	}
+	if ml.Invocations != 3 {
+		t.Errorf("invocations = %d", ml.Invocations)
+	}
+	// Finer precision never yields fewer plans.
+	for i := 1; i < len(planCounts); i++ {
+		if planCounts[i] < planCounts[i-1] {
+			t.Errorf("plan count shrank with finer precision: %v", planCounts)
+		}
+	}
+	if _, err := ml.Invoke(1, nil); err == nil {
+		t.Error("alpha=1 should be rejected")
+	}
+}
+
+// Property: for random small queries, the exhaustive frontier covers any
+// approximate run at factor 1 restricted to the plans the approximate run
+// found, and the approximate run covers the exhaustive frontier at α^n.
+func TestQuickExhaustiveVsApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		cat := catalog.Random(rng, 4, 50, 2e4)
+		q, err := query.Synthetic(cat, 3+rng.Intn(2), query.Chain, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := costmodel.Default()
+		truth := pareto.Vectors(Exhaustive(q, m, nil).Final(q))
+		alpha := 1.01 + rng.Float64()*0.3
+		approx := pareto.Vectors(MustOptimize(q, m, alpha, nil).Final(q))
+		factor := math.Pow(alpha, float64(q.NumTables()))
+		if !pareto.Covers(approx, truth, factor) {
+			t.Fatalf("trial %d: coverage violated (needs %g, allowed %g)",
+				trial, pareto.ApproxFactor(approx, truth), factor)
+		}
+		// The exhaustive set must dominate everything the approximate
+		// run kept.
+		if !pareto.Covers(truth, approx, 1) {
+			t.Fatalf("trial %d: exhaustive set does not dominate approximate plans", trial)
+		}
+	}
+}
+
+func TestPlansGeneratedCounted(t *testing.T) {
+	q := testQuery(t)
+	res := Exhaustive(q, costmodel.Default(), nil)
+	if res.PlansGenerated == 0 {
+		t.Error("PlansGenerated not counted")
+	}
+}

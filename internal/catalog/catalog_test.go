@@ -1,0 +1,187 @@
+package catalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewSortsAndIndexes(t *testing.T) {
+	c, err := New([]Table{
+		{Name: "zebra", Rows: 10, RowWidth: 8},
+		{Name: "apple", Rows: 20, RowWidth: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTables() != 2 {
+		t.Fatalf("NumTables = %d", c.NumTables())
+	}
+	if c.Table(0).Name != "apple" || c.Table(1).Name != "zebra" {
+		t.Fatalf("tables not sorted: %v", c.Names())
+	}
+	if id, ok := c.ID("zebra"); !ok || id != 1 {
+		t.Fatalf("ID(zebra) = %d, %v", id, ok)
+	}
+	if _, ok := c.ID("missing"); ok {
+		t.Fatal("ID(missing) should not exist")
+	}
+	if c.MustID("apple") != 0 {
+		t.Fatal("MustID wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		tables []Table
+		errSub string
+	}{
+		{"empty name", []Table{{Name: "", Rows: 1, RowWidth: 1}}, "empty name"},
+		{"duplicate", []Table{
+			{Name: "a", Rows: 1, RowWidth: 1},
+			{Name: "a", Rows: 2, RowWidth: 1},
+		}, "duplicate"},
+		{"zero rows", []Table{{Name: "a", Rows: 0, RowWidth: 1}}, "cardinality"},
+		{"negative rows", []Table{{Name: "a", Rows: -5, RowWidth: 1}}, "cardinality"},
+		{"zero width", []Table{{Name: "a", Rows: 1, RowWidth: 0}}, "row width"},
+		{"bad sampling 0", []Table{{Name: "a", Rows: 1, RowWidth: 1, SamplingRates: []float64{0}}}, "sampling"},
+		{"bad sampling >1", []Table{{Name: "a", Rows: 1, RowWidth: 1, SamplingRates: []float64{1.5}}}, "sampling"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.tables)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errSub)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on invalid catalog did not panic")
+		}
+	}()
+	MustNew([]Table{{Name: "", Rows: 1, RowWidth: 1}})
+}
+
+func TestTablePanicsOutOfRange(t *testing.T) {
+	c := MustNew([]Table{{Name: "a", Rows: 1, RowWidth: 1}})
+	for _, id := range []int{-1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Table(%d) did not panic", id)
+				}
+			}()
+			c.Table(id)
+		}()
+	}
+}
+
+func TestMustIDPanics(t *testing.T) {
+	c := MustNew([]Table{{Name: "a", Rows: 1, RowWidth: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustID(missing) did not panic")
+		}
+	}()
+	c.MustID("missing")
+}
+
+func TestTPCHSchema(t *testing.T) {
+	c := TPCH(1)
+	if c.NumTables() != 8 {
+		t.Fatalf("TPC-H has %d tables, want 8", c.NumTables())
+	}
+	li := c.Table(c.MustID("lineitem"))
+	if li.Rows != 6_000_000 {
+		t.Errorf("lineitem rows = %g, want 6e6", li.Rows)
+	}
+	if c.MaxRows() != 6_000_000 {
+		t.Errorf("MaxRows = %g", c.MaxRows())
+	}
+	region := c.Table(c.MustID("region"))
+	if region.Rows != 5 {
+		t.Errorf("region rows = %g, want 5", region.Rows)
+	}
+	// Small dimension tables expose only the exact scan (paper footnote:
+	// fewer sampling strategies for small tables).
+	if len(region.SamplingRates) != 1 || region.SamplingRates[0] != 1 {
+		t.Errorf("region sampling rates = %v, want [1]", region.SamplingRates)
+	}
+	if len(li.SamplingRates) < 4 {
+		t.Errorf("lineitem should be sampling-rich, got %v", li.SamplingRates)
+	}
+	// Scale factor scales the variable-size tables.
+	c10 := TPCH(10)
+	if got := c10.Table(c10.MustID("orders")).Rows; got != 15_000_000 {
+		t.Errorf("orders at SF-10 = %g, want 1.5e7", got)
+	}
+	if got := c10.Table(c10.MustID("nation")).Rows; got != 25 {
+		t.Errorf("nation must stay fixed, got %g", got)
+	}
+}
+
+func TestTPCHBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TPCH(0) did not panic")
+		}
+	}()
+	TPCH(0)
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(5)), 6, 10, 1e6)
+	b := Random(rand.New(rand.NewSource(5)), 6, 10, 1e6)
+	if a.NumTables() != 6 || b.NumTables() != 6 {
+		t.Fatal("wrong table count")
+	}
+	for i := 0; i < 6; i++ {
+		ta, tb := a.Table(i), b.Table(i)
+		if ta.Name != tb.Name || ta.Rows != tb.Rows || ta.HasIndex != tb.HasIndex {
+			t.Fatalf("catalogs differ at %d: %+v vs %+v", i, ta, tb)
+		}
+	}
+}
+
+func TestRandomRespectsRowRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := Random(rng, 5, 100, 10_000)
+		for i := 0; i < c.NumTables(); i++ {
+			rows := c.Table(i).Rows
+			if rows < 100 || rows > 10_000 {
+				t.Fatalf("rows %g outside [100, 10000]", rows)
+			}
+			for _, f := range c.Table(i).SamplingRates {
+				if f <= 0 || f > 1 {
+					t.Fatalf("bad sampling rate %g", f)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"n=0":       func() { Random(rng, 0, 1, 2) },
+		"minRows<0": func() { Random(rng, 3, -1, 2) },
+		"max<min":   func() { Random(rng, 3, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

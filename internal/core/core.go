@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/rangeindex"
+	"repro/internal/tableset"
+)
+
+// Optimizer is the incremental anytime multi-objective optimizer for one
+// fixed query. It maintains result and candidate plan sets across calls
+// to Optimize (the paper's Algorithm 2); each call refines the result
+// sets for the requested bounds and resolution without regenerating plans
+// from earlier calls. An Optimizer is not safe for concurrent use.
+type Optimizer struct {
+	cfg Config
+	q   *query.Query
+
+	// res and cand are the result and candidate plan sets, one range
+	// index per table subset (the paper's Res^q and Cand^q).
+	res  map[tableset.Set]*rangeindex.Index
+	cand map[tableset.Set]*rangeindex.Index
+
+	// subsetsBySize[k] lists the connected table subsets of cardinality
+	// k+1; the DP in phase two walks them in ascending size.
+	subsetsBySize [][]tableset.Set
+
+	// epoch is the current invocation number; result entries record the
+	// epoch at which they were inserted, which implements the Δ
+	// operator of function Fresh.
+	epoch uint64
+
+	// pairMemo implements predicate IsFresh: a sub-plan pair maps to
+	// true once its join alternatives have been generated.
+	pairMemo map[pairKey]struct{}
+
+	// prevBounds/prevRes record the previous invocation's focus to
+	// decide whether the Δ filter is sound (the bounds-tightening,
+	// resolution-refining series of Section 4.2).
+	prevBounds cost.Vector
+	prevRes    int
+
+	initialized bool
+	stats       Stats
+}
+
+type pairKey struct {
+	left, right *plan.Node
+}
+
+// NewOptimizer creates an optimizer for query q. The scan plans are
+// generated lazily on the first Optimize call (equivalent to the paper's
+// Algorithm 1, which prunes scan plans with the initial bounds before the
+// first optimizer invocation).
+func NewOptimizer(q *query.Query, cfg Config) (*Optimizer, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if q.Catalog().NumTables() > 0 && cfg.Model.Space().Dim() > rangeindex.MaxDims {
+		return nil, fmt.Errorf("core: %d cost metrics exceed the index limit %d",
+			cfg.Model.Space().Dim(), rangeindex.MaxDims)
+	}
+	o := &Optimizer{
+		cfg:      cfg,
+		q:        q,
+		res:      map[tableset.Set]*rangeindex.Index{},
+		cand:     map[tableset.Set]*rangeindex.Index{},
+		pairMemo: map[pairKey]struct{}{},
+	}
+	o.subsetsBySize = connectedSubsets(q)
+	return o, nil
+}
+
+// MustNewOptimizer is NewOptimizer but panics on error.
+func MustNewOptimizer(q *query.Query, cfg Config) *Optimizer {
+	o, err := NewOptimizer(q, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// connectedSubsets enumerates the connected subsets of the query's join
+// graph grouped by cardinality; subsetsBySize[k-1] holds the k-table
+// subsets. Only connected subsets can be joined without a cartesian
+// product, so the DP never visits the others.
+func connectedSubsets(q *query.Query) [][]tableset.Set {
+	n := q.NumTables()
+	out := make([][]tableset.Set, n)
+	q.Tables().Subsets(func(sub tableset.Set) bool {
+		if q.Connected(sub) {
+			out[sub.Len()-1] = append(out[sub.Len()-1], sub)
+		}
+		return true
+	})
+	return out
+}
+
+// Query returns the optimizer's query.
+func (o *Optimizer) Query() *query.Query { return o.q }
+
+// Config returns the optimizer's configuration.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// Stats returns the cumulative statistics counters.
+func (o *Optimizer) Stats() Stats { return o.stats }
+
+// resFor returns (creating on demand) the result index for table set s.
+func (o *Optimizer) resFor(s tableset.Set) *rangeindex.Index {
+	ix, ok := o.res[s]
+	if !ok {
+		ix = rangeindex.MustNew(o.cfg.Model.Space().Dim(), o.cfg.MaxResolution(), o.cfg.CellBase)
+		o.res[s] = ix
+	}
+	return ix
+}
+
+// candFor returns (creating on demand) the candidate index for s.
+func (o *Optimizer) candFor(s tableset.Set) *rangeindex.Index {
+	ix, ok := o.cand[s]
+	if !ok {
+		ix = rangeindex.MustNew(o.cfg.Model.Space().Dim(), o.cfg.MaxResolution(), o.cfg.CellBase)
+		o.cand[s] = ix
+	}
+	return ix
+}
+
+// Optimize runs one incremental optimizer invocation for cost bounds b
+// and resolution r (the paper's Algorithm 2). After it returns, the
+// result set for every k-table subset q restricted to [0..b, 0..r] is an
+// α_r^k-approximate b-bounded Pareto plan set. Bounds may be nil for
+// "no bounds".
+func (o *Optimizer) Optimize(b cost.Vector, r int) {
+	dim := o.cfg.Model.Space().Dim()
+	if b == nil {
+		b = cost.Unbounded(dim)
+	}
+	if b.Dim() != dim {
+		panic(fmt.Sprintf("core: bounds dim %d, space dim %d", b.Dim(), dim))
+	}
+	rM := o.cfg.MaxResolution()
+	if r < 0 || r > rM {
+		panic(fmt.Sprintf("core: resolution %d outside [0,%d]", r, rM))
+	}
+
+	// Decide whether the Δ filter is sound for this invocation: within
+	// a series that only tightens bounds and refines resolution, all
+	// result plans visible under the current focus have already been
+	// combined pairwise, so Fresh may restrict to pairs involving a
+	// plan inserted in the current invocation.
+	deltaOK := o.initialized && !o.cfg.DisableDeltaFilter &&
+		b.Dominates(o.prevBounds) && r >= o.prevRes
+
+	o.epoch++
+	o.stats.Invocations++
+
+	if !o.initialized {
+		o.initScans(b, r)
+		o.initialized = true
+	}
+
+	// Phase one: reconsider candidate plans registered for the current
+	// focus (lines 6–12 of Algorithm 2). Drained candidates are pruned
+	// again; pruning may promote them to result plans or re-register
+	// them for a higher resolution.
+	for size := 1; size <= len(o.subsetsBySize); size++ {
+		for _, sub := range o.subsetsBySize[size-1] {
+			cand, ok := o.cand[sub]
+			if !ok {
+				continue
+			}
+			for _, e := range cand.Drain(b, r) {
+				p := e.Payload.(*plan.Node)
+				o.stats.CandidateRetrievals++
+				if o.cfg.Hooks.CandidateRetrieved != nil {
+					o.cfg.Hooks.CandidateRetrieved(p)
+				}
+				o.prune(sub, b, r, p)
+			}
+		}
+	}
+
+	// Phase two: combine fresh sub-plan pairs bottom-up (lines 13–22).
+	// The visible-set cache is per invocation: subsets are processed in
+	// ascending size, so each split operand's result set is final when
+	// first collected.
+	cache := make(map[tableset.Set]*visibleSets)
+	for size := 2; size <= len(o.subsetsBySize); size++ {
+		for _, sub := range o.subsetsBySize[size-1] {
+			sub.AllSplits(func(q1, q2 tableset.Set) bool {
+				if !o.q.Connected(q1) || !o.q.Connected(q2) {
+					return true
+				}
+				if _, edges := o.q.CrossSelectivity(q1, q2); edges == 0 {
+					return true // cartesian product: never planned
+				}
+				o.combineFresh(sub, q1, q2, b, r, deltaOK, cache)
+				return true
+			})
+		}
+	}
+
+	o.prevBounds = b.Clone()
+	o.prevRes = r
+}
+
+// initScans generates and prunes all scan plans (the initialization
+// before the main loop in Algorithm 1).
+func (o *Optimizer) initScans(b cost.Vector, r int) {
+	o.q.Tables().ForEach(func(id int) {
+		sub := tableset.Singleton(id)
+		for _, p := range o.cfg.Model.ScanPlans(o.q, id) {
+			o.stats.PlansGenerated++
+			if o.cfg.Hooks.PlanGenerated != nil {
+				o.cfg.Hooks.PlanGenerated(p)
+			}
+			o.prune(sub, b, r, p)
+		}
+	})
+}
+
+// Results returns the completed plans of the current result set
+// restricted to bounds b and resolution r — the paper's visualization
+// input Res^Q[0..b, 0..r]. Bounds may be nil for "no bounds".
+func (o *Optimizer) Results(b cost.Vector, r int) []*plan.Node {
+	return o.ResultsFor(o.q.Tables(), b, r)
+}
+
+// ResultsFor returns the result plans for table subset sub restricted to
+// bounds b and resolution r.
+func (o *Optimizer) ResultsFor(sub tableset.Set, b cost.Vector, r int) []*plan.Node {
+	if b == nil {
+		b = cost.Unbounded(o.cfg.Model.Space().Dim())
+	}
+	ix, ok := o.res[sub]
+	if !ok {
+		return nil
+	}
+	var out []*plan.Node
+	ix.Query(b, r, 0, func(e rangeindex.Entry) bool {
+		out = append(out, e.Payload.(*plan.Node))
+		return true
+	})
+	return out
+}
+
+// CandidateCount returns the total number of stored candidate plans
+// across all table subsets (space instrumentation, Section 5.2).
+func (o *Optimizer) CandidateCount() int {
+	total := 0
+	for _, ix := range o.cand {
+		total += ix.Len()
+	}
+	return total
+}
+
+// ResultCount returns the total number of stored result plans across all
+// table subsets.
+func (o *Optimizer) ResultCount() int {
+	total := 0
+	for _, ix := range o.res {
+		total += ix.Len()
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/rangeindex"
+	"repro/internal/tableset"
+)
+
+// visibleSets caches, per table subset and invocation, the result plans
+// visible under the current focus split into fresh (inserted in this
+// invocation) and old, with the frontier filter of DESIGN.md D6 applied.
+type visibleSets struct {
+	fresh, old []*plan.Node
+}
+
+// visible collects and filters the result plans of subset q under the
+// focus [0..b, 0..r]. Because phase two walks subsets in ascending size,
+// the result set of every split operand is final when requested, so the
+// per-invocation cache is sound.
+func (o *Optimizer) visible(q tableset.Set, b cost.Vector, r int, cache map[tableset.Set]*visibleSets) *visibleSets {
+	if vs, ok := cache[q]; ok {
+		return vs
+	}
+	vs := &visibleSets{}
+	ix, ok := o.res[q]
+	if ok {
+		var all []*plan.Node
+		var epochs []uint64
+		ix.Query(b, r, 0, func(e rangeindex.Entry) bool {
+			all = append(all, e.Payload.(*plan.Node))
+			epochs = append(epochs, e.Epoch)
+			return true
+		})
+		keep := o.frontierFilter(all)
+		for i, p := range all {
+			if !keep[i] {
+				continue
+			}
+			if epochs[i] >= o.epoch {
+				vs.fresh = append(vs.fresh, p)
+			} else {
+				vs.old = append(vs.old, p)
+			}
+		}
+	}
+	cache[q] = vs
+	return vs
+}
+
+// frontierFilter marks which plans to keep for pair formation: a plan is
+// dropped when another kept plan covers its order, produces no more
+// rows, and dominates its cost (first occurrence wins ties). Joining a
+// dropped plan can never produce anything its dominator's join would not
+// dominate, so dropping is sound; it keeps pair formation quadratic in
+// the frontier size rather than in the accumulated result-set size.
+func (o *Optimizer) frontierFilter(all []*plan.Node) []bool {
+	keep := make([]bool, len(all))
+	if o.cfg.DisableVisibleFrontierFilter {
+		for i := range keep {
+			keep[i] = true
+		}
+		return keep
+	}
+	// A plan is dropped when another plan with covering order and no
+	// more rows strictly dominates it, or equals it with a smaller
+	// index (so exactly one representative of each tie group survives).
+	// Every dropped plan is transitively covered by a kept plan: the
+	// drop relation is a strict partial order whose maximal elements
+	// are kept.
+	for i, p := range all {
+		keep[i] = true
+		for j, q := range all {
+			if i == j {
+				continue
+			}
+			if !o.cfg.DisableOrderAwarePruning && !q.Order.Covers(p.Order) {
+				continue
+			}
+			if q.Rows > p.Rows {
+				continue
+			}
+			if q.Cost.StrictlyDominates(p.Cost) || (j < i && q.Cost.Equal(p.Cost)) {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	return keep
+}
+
+// combineFresh implements function Fresh of Algorithm 3 for one ordered
+// split (q1, q2) of table set sub, followed by pruning of the generated
+// plans: it filters both result sets to the current focus [0..b, 0..r],
+// enumerates sub-plan pairs that were not combined before, and prunes
+// every join alternative of every fresh pair.
+//
+// When deltaOK holds (the invocation series keeps tightening bounds while
+// refining resolution), the Δ operator restricts attention to pairs that
+// involve at least one plan inserted in the current invocation:
+//
+//	pairs = ΔP1×(P2\ΔP2) ∪ (P1\ΔP1)×ΔP2 ∪ ΔP1×ΔP2
+//
+// Otherwise Δ degenerates to the full sets and staleness is decided by
+// the IsFresh pair memo alone, so no plan is ever constructed twice
+// either way (Lemma 5) and no pair is combined twice (Lemma 6).
+func (o *Optimizer) combineFresh(sub, q1, q2 tableset.Set, b cost.Vector, r int, deltaOK bool, cache map[tableset.Set]*visibleSets) {
+	v1 := o.visible(q1, b, r, cache)
+	v2 := o.visible(q2, b, r, cache)
+	n1 := len(v1.fresh) + len(v1.old)
+	n2 := len(v2.fresh) + len(v2.old)
+	if n1 == 0 || n2 == 0 {
+		return
+	}
+
+	if !deltaOK {
+		// Δ = S: consider the full cross product, memo-guarded.
+		o.combinePairs(sub, b, r, v1.fresh, v2.fresh)
+		o.combinePairs(sub, b, r, v1.fresh, v2.old)
+		o.combinePairs(sub, b, r, v1.old, v2.fresh)
+		o.combinePairs(sub, b, r, v1.old, v2.old)
+		return
+	}
+
+	if len(v1.fresh) == 0 && len(v2.fresh) == 0 {
+		return
+	}
+	// ΔP1 × (P2 \ ΔP2)
+	o.combinePairs(sub, b, r, v1.fresh, v2.old)
+	// (P1 \ ΔP1) × ΔP2
+	o.combinePairs(sub, b, r, v1.old, v2.fresh)
+	// ΔP1 × ΔP2
+	o.combinePairs(sub, b, r, v1.fresh, v2.fresh)
+}
+
+// combinePairs joins every (left, right) pair that the IsFresh memo has
+// not seen and prunes the resulting plans.
+func (o *Optimizer) combinePairs(sub tableset.Set, b cost.Vector, r int, lefts, rights []*plan.Node) {
+	if len(lefts) == 0 || len(rights) == 0 {
+		return
+	}
+	for _, l := range lefts {
+		for _, rt := range rights {
+			key := pairKey{l, rt}
+			if _, stale := o.pairMemo[key]; stale {
+				o.stats.PairsSkippedStale++
+				continue
+			}
+			o.pairMemo[key] = struct{}{}
+			o.stats.PairsCombined++
+			if o.cfg.Hooks.PairCombined != nil {
+				o.cfg.Hooks.PairCombined(l, rt)
+			}
+			alts := o.cfg.Model.JoinAlternatives(o.q, l, rt)
+			keep := o.frontierFilter(alts)
+			for i, p := range alts {
+				o.stats.PlansGenerated++
+				if o.cfg.Hooks.PlanGenerated != nil {
+					o.cfg.Hooks.PlanGenerated(p)
+				}
+				if !keep[i] {
+					// Dominated within its own alternative batch:
+					// globally redundant (DESIGN.md D5).
+					o.stats.ExactDominated++
+					continue
+				}
+				o.prune(sub, b, r, p)
+			}
+		}
+	}
+}

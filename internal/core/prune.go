@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/rangeindex"
+	"repro/internal/tableset"
+)
+
+// prune implements procedure Prune of Algorithm 3: decide whether plan p
+// for table set sub enters the result set, is deferred as a candidate, or
+// is discarded.
+//
+//   - If an existing result plan dominates p at factor 1, covers its
+//     order and produces no more rows, p is globally redundant and is
+//     discarded outright (DESIGN.md D5; the paper's pseudo-code would
+//     park it as a candidate, which balloons the candidate pool with
+//     plans that can never become relevant under any bounds).
+//   - Else if a result plan within the current focus approximates p at
+//     factor α_r (covering p's interesting order), p is deferred to
+//     resolution r+1 — at a finer resolution the two plans may become
+//     distinguishable — or discarded when r is already maximal.
+//   - Else if p exceeds the bounds, p is kept as a candidate for the
+//     current resolution: it may become relevant when the user relaxes
+//     the bounds.
+//   - Else p joins the result set, registered for resolution r and the
+//     current epoch.
+//
+// Design notes mirrored from the paper (Section 4.2): p is compared only
+// against result plans registered for resolutions ≤ r, keeping the
+// comparison count proportional to the current resolution; and result
+// plans dominated by p are never removed, because other plans may already
+// reference them as sub-plans.
+func (o *Optimizer) prune(sub tableset.Set, b cost.Vector, r int, p *plan.Node) {
+	o.stats.PruneCalls++
+	alpha := o.cfg.AlphaFor(r)
+	scaled := p.Cost.Scale(alpha)
+
+	// One range query serves both checks. A result plan pA approximates
+	// p iff c(pA) ⪯ α_r·c(p); since pA must also respect the bounds,
+	// the query box is the component-wise minimum of both vectors.
+	// Exact dominators (c(pA) ⪯ c(p), order covered, rows ≤) lie inside
+	// the same box whenever p itself respects the bounds.
+	queryBound := scaled.Min(b)
+	maxRes := r
+	if o.cfg.PruneAgainstAll {
+		maxRes = o.cfg.MaxResolution()
+	}
+	exact, approximated := false, false
+	if ix, ok := o.res[sub]; ok {
+		checkExact := !o.cfg.RetainDominatedCandidates
+		ix.Query(queryBound, maxRes, 0, func(e rangeindex.Entry) bool {
+			o.stats.DominanceChecks++
+			pA := e.Payload.(*plan.Node)
+			if !o.cfg.DisableOrderAwarePruning && !pA.Order.Covers(p.Order) {
+				return true
+			}
+			// Cost ⪯ α_r·c(p) is guaranteed by the query box.
+			approximated = true
+			if !checkExact {
+				return false
+			}
+			if pA.Rows <= p.Rows && pA.Cost.Dominates(p.Cost) {
+				exact = true
+				return false
+			}
+			return true
+		})
+	}
+
+	switch {
+	case exact:
+		o.stats.ExactDominated++
+	case approximated:
+		if r < o.cfg.MaxResolution() {
+			o.candFor(sub).Insert(rangeindex.Entry{
+				Cost:       p.Cost,
+				Resolution: r + 1,
+				Epoch:      o.epoch,
+				Payload:    p,
+			})
+			o.stats.CandidateInserts++
+		} else {
+			o.stats.CandidateDiscards++
+		}
+	case !p.Cost.WithinBounds(b):
+		o.candFor(sub).Insert(rangeindex.Entry{
+			Cost:       p.Cost,
+			Resolution: r,
+			Epoch:      o.epoch,
+			Payload:    p,
+		})
+		o.stats.CandidateInserts++
+	default:
+		o.resFor(sub).Insert(rangeindex.Entry{
+			Cost:       p.Cost,
+			Resolution: r,
+			Epoch:      o.epoch,
+			Payload:    p,
+		})
+		o.stats.ResultInserts++
+	}
+}

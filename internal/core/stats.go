@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// Stats are cumulative counters over an Optimizer's lifetime. They back
+// the experimental instrumentation and the amortized-complexity tests
+// (Section 5.4): Lemma 5 bounds PlansGenerated, Lemma 6 bounds
+// PairsCombined, Lemma 7 bounds CandidateRetrievals per plan.
+type Stats struct {
+	// Invocations counts calls to Optimize.
+	Invocations int
+	// PlansGenerated counts constructed plan nodes (scans and joins).
+	PlansGenerated int
+	// PairsCombined counts sub-plan pairs passed to join enumeration.
+	PairsCombined int
+	// PairsSkippedStale counts pairs rejected by the IsFresh memo.
+	PairsSkippedStale int
+	// CandidateRetrievals counts candidates drained in phase one.
+	CandidateRetrievals int
+	// PruneCalls counts invocations of the pruning procedure.
+	PruneCalls int
+	// ResultInserts counts insertions into result plan sets.
+	ResultInserts int
+	// CandidateInserts counts insertions into candidate plan sets.
+	CandidateInserts int
+	// CandidateDiscards counts plans dropped because they were
+	// approximated at the maximal resolution (no level left to defer to).
+	CandidateDiscards int
+	// ExactDominated counts plans discarded as globally redundant: an
+	// existing result plan dominated them at factor 1 (DESIGN.md D5).
+	ExactDominated int
+	// DominanceChecks counts plan-against-plan cost comparisons in Prune.
+	DominanceChecks int
+}
+
+// String renders the counters compactly for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"invocations=%d plans=%d pairs=%d stale=%d candRetr=%d prune=%d resIns=%d candIns=%d discard=%d exactDom=%d domChecks=%d",
+		s.Invocations, s.PlansGenerated, s.PairsCombined, s.PairsSkippedStale,
+		s.CandidateRetrievals, s.PruneCalls, s.ResultInserts, s.CandidateInserts,
+		s.CandidateDiscards, s.ExactDominated, s.DominanceChecks)
+}
+
+// Minus returns the per-interval difference s − prev, for measuring a
+// single invocation out of cumulative counters.
+func (s Stats) Minus(prev Stats) Stats {
+	return Stats{
+		Invocations:         s.Invocations - prev.Invocations,
+		PlansGenerated:      s.PlansGenerated - prev.PlansGenerated,
+		PairsCombined:       s.PairsCombined - prev.PairsCombined,
+		PairsSkippedStale:   s.PairsSkippedStale - prev.PairsSkippedStale,
+		CandidateRetrievals: s.CandidateRetrievals - prev.CandidateRetrievals,
+		PruneCalls:          s.PruneCalls - prev.PruneCalls,
+		ResultInserts:       s.ResultInserts - prev.ResultInserts,
+		CandidateInserts:    s.CandidateInserts - prev.CandidateInserts,
+		CandidateDiscards:   s.CandidateDiscards - prev.CandidateDiscards,
+		ExactDominated:      s.ExactDominated - prev.ExactDominated,
+		DominanceChecks:     s.DominanceChecks - prev.DominanceChecks,
+	}
+}

@@ -1,0 +1,156 @@
+package cost
+
+import "fmt"
+
+// Agg is a binary cost aggregation expression over the costs of a join's
+// two sub-plans plus an operator-local overhead term. The paper's
+// Principle of Near-Optimality (PONO, Definition 1) holds for every metric
+// whose aggregation function is a composition of sums, maxima, minima and
+// multiplication by non-negative constants; Agg expresses exactly that
+// grammar, so any cost model assembled from Agg values is PONO-compliant
+// by construction.
+//
+// An Agg is evaluated against (left, right, local) scalar inputs where
+// left/right are the sub-plan costs for one metric and local is the
+// operator's own contribution (computed by the cost model from
+// cardinalities and is independent of the chosen sub-plans).
+type Agg interface {
+	// Eval computes the aggregated metric value.
+	Eval(left, right, local float64) float64
+	// String renders the expression for documentation and debugging.
+	String() string
+}
+
+// Leaf selectors and constants.
+
+type aggLeft struct{}
+type aggRight struct{}
+type aggLocal struct{}
+type aggConst struct{ c float64 }
+
+func (aggLeft) Eval(l, _, _ float64) float64  { return l }
+func (aggLeft) String() string                { return "left" }
+func (aggRight) Eval(_, r, _ float64) float64 { return r }
+func (aggRight) String() string               { return "right" }
+func (aggLocal) Eval(_, _, x float64) float64 { return x }
+func (aggLocal) String() string               { return "local" }
+func (a aggConst) Eval(_, _, _ float64) float64 {
+	return a.c
+}
+func (a aggConst) String() string { return fmt.Sprintf("%.4g", a.c) }
+
+// Left selects the left sub-plan's cost.
+func Left() Agg { return aggLeft{} }
+
+// Right selects the right sub-plan's cost.
+func Right() Agg { return aggRight{} }
+
+// Local selects the operator's local overhead term.
+func Local() Agg { return aggLocal{} }
+
+// Const is a non-negative constant. It panics on negative input because
+// negative constants would break both monotonicity and the PONO.
+func Const(c float64) Agg {
+	if c < 0 {
+		panic(fmt.Sprintf("cost: Const(%g): constants must be non-negative", c))
+	}
+	return aggConst{c}
+}
+
+// Composite nodes.
+
+type aggSum struct{ args []Agg }
+type aggMax struct{ args []Agg }
+type aggMin struct{ args []Agg }
+type aggScale struct {
+	c   float64
+	arg Agg
+}
+
+func (a aggSum) Eval(l, r, x float64) float64 {
+	s := 0.0
+	for _, e := range a.args {
+		s += e.Eval(l, r, x)
+	}
+	return s
+}
+
+func (a aggSum) String() string { return joinAgg("sum", a.args) }
+
+func (a aggMax) Eval(l, r, x float64) float64 {
+	m := a.args[0].Eval(l, r, x)
+	for _, e := range a.args[1:] {
+		if v := e.Eval(l, r, x); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (a aggMax) String() string { return joinAgg("max", a.args) }
+
+func (a aggMin) Eval(l, r, x float64) float64 {
+	m := a.args[0].Eval(l, r, x)
+	for _, e := range a.args[1:] {
+		if v := e.Eval(l, r, x); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (a aggMin) String() string { return joinAgg("min", a.args) }
+
+func (a aggScale) Eval(l, r, x float64) float64 {
+	return a.c * a.arg.Eval(l, r, x)
+}
+
+func (a aggScale) String() string {
+	return fmt.Sprintf("%.4g*%s", a.c, a.arg.String())
+}
+
+// Sum aggregates by addition: e.g. sequential execution time, energy,
+// monetary fees.
+func Sum(args ...Agg) Agg {
+	requireArgs("Sum", args)
+	return aggSum{args}
+}
+
+// MaxOf aggregates by maximum: e.g. execution time of parallel sub-plans,
+// peak resource reservation.
+func MaxOf(args ...Agg) Agg {
+	requireArgs("MaxOf", args)
+	return aggMax{args}
+}
+
+// MinOf aggregates by minimum: used for metrics such as result precision
+// modelled as "the weakest link" (lowest sampling coverage of any input).
+func MinOf(args ...Agg) Agg {
+	requireArgs("MinOf", args)
+	return aggMin{args}
+}
+
+// ScaleBy multiplies a sub-expression by a non-negative constant.
+func ScaleBy(c float64, arg Agg) Agg {
+	if c < 0 {
+		panic(fmt.Sprintf("cost: ScaleBy(%g): constants must be non-negative", c))
+	}
+	return aggScale{c, arg}
+}
+
+func requireArgs(op string, args []Agg) {
+	if len(args) == 0 {
+		panic("cost: " + op + " needs at least one argument")
+	}
+}
+
+func joinAgg(op string, args []Agg) string {
+	s := op + "("
+	for i, a := range args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,132 @@
+package cost
+
+import "fmt"
+
+// Metric identifies one plan cost metric. The paper's evaluation uses
+// three metrics (execution time, reserved cores, result precision); the
+// model section additionally names monetary fees and energy consumption,
+// both of which are supported here as well.
+type Metric int
+
+// The supported cost metrics. All are expressed as costs: lower values
+// are always better. "Result precision" is therefore represented as
+// PrecisionLoss — the fraction of accuracy given up by sampling — so that
+// dominance uniformly means "lower or equal in every component".
+const (
+	// Time is estimated execution time in abstract cost units (the
+	// classic Selinger-style blend of IO and CPU work).
+	Time Metric = iota
+	// Cores is the number of reserved processor cores, a measure of
+	// consumed system resources as in the paper's evaluation.
+	Cores
+	// PrecisionLoss is 1 − result precision: zero for exact plans,
+	// approaching one as sampling becomes more aggressive.
+	PrecisionLoss
+	// Fees is the monetary execution fee (e.g. cloud pricing),
+	// the second metric of the paper's running example.
+	Fees
+	// Energy is energy consumption, aggregated as a sum over operators.
+	Energy
+
+	numMetrics
+)
+
+var metricNames = [numMetrics]string{
+	Time:          "time",
+	Cores:         "cores",
+	PrecisionLoss: "precision-loss",
+	Fees:          "fees",
+	Energy:        "energy",
+}
+
+// String returns the metric's lowercase name.
+func (m Metric) String() string {
+	if m < 0 || m >= numMetrics {
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// Space fixes an ordered list of metrics; every cost vector produced under
+// a Space has one component per metric, in order. A Space is immutable
+// after construction and safe for concurrent use.
+type Space struct {
+	metrics []Metric
+	index   [numMetrics]int
+}
+
+// NewSpace builds a metric space from the given metrics. Duplicates are
+// rejected. The paper's evaluation space is NewSpace(Time, Cores,
+// PrecisionLoss).
+func NewSpace(metrics ...Metric) *Space {
+	if len(metrics) == 0 {
+		panic("cost: NewSpace needs at least one metric")
+	}
+	s := &Space{metrics: append([]Metric(nil), metrics...)}
+	for i := range s.index {
+		s.index[i] = -1
+	}
+	for i, m := range metrics {
+		if m < 0 || m >= numMetrics {
+			panic(fmt.Sprintf("cost: unknown metric %d", int(m)))
+		}
+		if s.index[m] >= 0 {
+			panic(fmt.Sprintf("cost: duplicate metric %v", m))
+		}
+		s.index[m] = i
+	}
+	return s
+}
+
+// EvaluationSpace returns the paper's three-metric evaluation space:
+// execution time, reserved cores, result precision (as loss).
+func EvaluationSpace() *Space { return NewSpace(Time, Cores, PrecisionLoss) }
+
+// CloudSpace returns the two-metric space of the paper's running cloud
+// example: execution time and monetary fees.
+func CloudSpace() *Space { return NewSpace(Time, Fees) }
+
+// Dim returns the number of metrics l.
+func (s *Space) Dim() int { return len(s.metrics) }
+
+// Metrics returns the ordered metric list (a copy).
+func (s *Space) Metrics() []Metric {
+	return append([]Metric(nil), s.metrics...)
+}
+
+// Has reports whether metric m participates in the space.
+func (s *Space) Has(m Metric) bool {
+	return m >= 0 && m < numMetrics && s.index[m] >= 0
+}
+
+// Index returns the vector component index of metric m, panicking if the
+// metric is not part of the space.
+func (s *Space) Index(m Metric) int {
+	if !s.Has(m) {
+		panic(fmt.Sprintf("cost: metric %v not in space", m))
+	}
+	return s.index[m]
+}
+
+// Component extracts metric m's value from v.
+func (s *Space) Component(v Vector, m Metric) float64 {
+	return v[s.Index(m)]
+}
+
+// Zero returns the all-zero vector of the space's dimension.
+func (s *Space) Zero() Vector { return NewVector(s.Dim()) }
+
+// Unbounded returns the +Inf bound vector of the space's dimension.
+func (s *Space) Unbounded() Vector { return Unbounded(s.Dim()) }
+
+// String lists the metric names, e.g. "[time cores precision-loss]".
+func (s *Space) String() string {
+	out := "["
+	for i, m := range s.metrics {
+		if i > 0 {
+			out += " "
+		}
+		out += m.String()
+	}
+	return out + "]"
+}

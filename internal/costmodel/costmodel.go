@@ -1,0 +1,361 @@
+// Package costmodel implements the multi-objective plan cost model and
+// the physical-alternative enumeration (scan variants, join operators,
+// parallelism degrees) the optimizer searches over.
+//
+// The paper reuses the cost models of a Postgres fork covering three plan
+// cost metrics — execution time, consumed system resources (reserved
+// cores), and result precision — and notes that the algorithm supports
+// any metric whose recursive aggregation function is built from sums,
+// maxima, minima and non-negative constant factors (the PONO class,
+// Section 5.1), under monotone cost aggregation. This package provides
+// such a model for five metrics (time, cores, precision loss, monetary
+// fees, energy):
+//
+//   - time(join)   = time(L) + time(R) + work/degree
+//   - cores(join)  = max(cores(L), cores(R), degree)
+//   - ploss(join)  = ploss(L) + ploss(R)
+//   - fees(join)   = fees(L) + fees(R) + feeRate·work·(1 + feeOvh·(degree−1))
+//   - energy(join) = energy(L) + energy(R) + energyRate·work·(1 + leak·(degree−1))
+//
+// where work is the operator's local effort computed from the children's
+// cardinality estimates. By default those estimates are the *logical*
+// cardinalities (sampling does not shrink downstream inputs), which makes
+// every local work term a pure function of the joined table sets, so the
+// PONO holds exactly and the approximation guarantees of Section 5.1 are
+// testable against exhaustive ground truth. Setting PropagateSampling
+// trades that exactness for realism (sampled scans shrink downstream
+// work), matching what a practical system would do.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/tableset"
+)
+
+// Params holds the cost model's tuning constants. The zero value is not
+// usable; start from DefaultParams.
+type Params struct {
+	// SeqIOCost is the time per (row·byte) of a sequential scan.
+	SeqIOCost float64
+	// IndexRandomPenalty multiplies per-row cost for index lookups.
+	IndexRandomPenalty float64
+	// IndexLookupCost is the fixed per-probe descent cost factor.
+	IndexLookupCost float64
+	// SampleOverhead is the fixed setup cost of a sampled scan.
+	SampleOverhead float64
+	// HashPerRow is the per-input-row cost of a hash join.
+	HashPerRow float64
+	// HashSetup is the fixed hash-table build overhead.
+	HashSetup float64
+	// SortPerRowLog is the per-row·log(row) cost of sorting a merge
+	// input that is not already ordered on the join key.
+	SortPerRowLog float64
+	// MergePerRow is the per-row cost of the merge phase.
+	MergePerRow float64
+	// NestLoopPerPair is the cost per considered row pair of a nested
+	// loop join.
+	NestLoopPerPair float64
+	// OutputPerRow is the per-output-row materialization cost shared by
+	// all joins.
+	OutputPerRow float64
+	// FeeRate converts local work into monetary fees.
+	FeeRate float64
+	// FeeParallelOverhead is the extra fee fraction per additional core
+	// (cloud parallelism is not free).
+	FeeParallelOverhead float64
+	// EnergyRate converts local work into energy.
+	EnergyRate float64
+	// EnergyLeak is the extra energy fraction per additional core.
+	EnergyLeak float64
+	// Degrees lists the parallelism degrees enumerated per join.
+	Degrees []int
+	// PropagateSampling, when set, lets sampled scans shrink the
+	// cardinality estimates that drive downstream join work. Off by
+	// default to keep the PONO exact (see package comment).
+	PropagateSampling bool
+}
+
+// DefaultParams returns the calibrated default constants. Time values are
+// abstract cost units; only ratios matter for the reproduction.
+func DefaultParams() Params {
+	return Params{
+		SeqIOCost:           1e-4,
+		IndexRandomPenalty:  4,
+		IndexLookupCost:     0.01,
+		SampleOverhead:      0.5,
+		HashPerRow:          2e-4,
+		HashSetup:           0.2,
+		SortPerRowLog:       5e-5,
+		MergePerRow:         1.2e-4,
+		NestLoopPerPair:     5e-7,
+		OutputPerRow:        5e-5,
+		FeeRate:             0.8,
+		FeeParallelOverhead: 0.10,
+		EnergyRate:          0.5,
+		EnergyLeak:          0.05,
+		// Adjacent degrees differ by 33–100% in local join time; the
+		// gaps resolve at coarse-to-middle precision factors (see the
+		// sampling-rate comment in catalog.TPCH).
+		Degrees: []int{1, 2, 3, 4},
+	}
+}
+
+// Model evaluates plan costs for a fixed metric space and enumerates
+// physical plan alternatives. A Model is immutable and safe for
+// concurrent use.
+type Model struct {
+	space  *cost.Space
+	params Params
+}
+
+// New builds a model over the given metric space.
+func New(space *cost.Space, params Params) (*Model, error) {
+	if space == nil {
+		return nil, fmt.Errorf("costmodel: nil space")
+	}
+	if len(params.Degrees) == 0 {
+		return nil, fmt.Errorf("costmodel: no parallelism degrees configured")
+	}
+	seen := map[int]bool{}
+	for _, d := range params.Degrees {
+		if d < 1 {
+			return nil, fmt.Errorf("costmodel: degree %d < 1", d)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("costmodel: duplicate degree %d", d)
+		}
+		seen[d] = true
+	}
+	for name, v := range map[string]float64{
+		"SeqIOCost":       params.SeqIOCost,
+		"HashPerRow":      params.HashPerRow,
+		"MergePerRow":     params.MergePerRow,
+		"NestLoopPerPair": params.NestLoopPerPair,
+	} {
+		if v <= 0 {
+			return nil, fmt.Errorf("costmodel: %s must be positive", name)
+		}
+	}
+	return &Model{space: space, params: params}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(space *cost.Space, params Params) *Model {
+	m, err := New(space, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Default returns a model over the paper's three-metric evaluation space
+// with default parameters.
+func Default() *Model {
+	return MustNew(cost.EvaluationSpace(), DefaultParams())
+}
+
+// Space returns the model's metric space.
+func (m *Model) Space() *cost.Space { return m.space }
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.params }
+
+// ScanPlans enumerates all physical scan alternatives for table id of
+// query q, fully costed. The alternatives are: a sequential scan, an
+// index scan when the catalog grants one, and one sample scan per
+// sampling rate below one.
+func (m *Model) ScanPlans(q *query.Query, id int) []*plan.Node {
+	tbl := q.Catalog().Table(id)
+	baseRows := q.BaseRows(id)
+	var out []*plan.Node
+
+	seqTime := tbl.Rows * tbl.RowWidth * m.params.SeqIOCost
+	out = append(out, m.finishScan(q, &plan.Node{
+		Tables:     tableset.Singleton(id),
+		TableID:    id,
+		Scan:       plan.SeqScan,
+		SampleRate: 1,
+		Rows:       baseRows,
+		Order:      plan.OrderNone,
+	}, seqTime, 1, 0))
+
+	if tbl.HasIndex {
+		idxTime := baseRows*tbl.RowWidth*m.params.SeqIOCost*m.params.IndexRandomPenalty +
+			math.Log2(tbl.Rows+1)*m.params.IndexLookupCost
+		out = append(out, m.finishScan(q, &plan.Node{
+			Tables:     tableset.Singleton(id),
+			TableID:    id,
+			Scan:       plan.IndexScan,
+			SampleRate: 1,
+			Rows:       baseRows,
+			Order:      plan.OrderOn(id),
+		}, idxTime, 2, 0))
+	}
+
+	for _, rate := range tbl.SamplingRates {
+		if rate >= 1 {
+			continue // the exact scan is the SeqScan above
+		}
+		rows := baseRows
+		if m.params.PropagateSampling {
+			rows = math.Max(baseRows*rate, 1)
+		}
+		smpTime := tbl.Rows*rate*tbl.RowWidth*m.params.SeqIOCost + m.params.SampleOverhead
+		out = append(out, m.finishScan(q, &plan.Node{
+			Tables:     tableset.Singleton(id),
+			TableID:    id,
+			Scan:       plan.SampleScan,
+			SampleRate: rate,
+			Rows:       rows,
+			Order:      plan.OrderNone,
+		}, smpTime, 1, 1-rate))
+	}
+	return out
+}
+
+// finishScan fills in the cost vector of a leaf from its scalar time,
+// cores and precision-loss values.
+func (m *Model) finishScan(q *query.Query, n *plan.Node, time float64, cores float64, ploss float64) *plan.Node {
+	v := m.space.Zero()
+	for _, metric := range m.space.Metrics() {
+		i := m.space.Index(metric)
+		switch metric {
+		case cost.Time:
+			v[i] = time
+		case cost.Cores:
+			v[i] = cores
+		case cost.PrecisionLoss:
+			v[i] = ploss
+		case cost.Fees:
+			v[i] = m.params.FeeRate * time * cores
+		case cost.Energy:
+			v[i] = m.params.EnergyRate * time * cores
+		}
+	}
+	n.Cost = v
+	return n
+}
+
+// JoinAlternatives enumerates every physical join of the two sub-plans:
+// each join operator crossed with each parallelism degree, fully costed.
+// Nested-loop joins are enumerated only when a join predicate connects
+// the inputs (no cartesian products reach this function in the DP, but
+// defensive callers may pass arbitrary pairs, so the check stays cheap).
+func (m *Model) JoinAlternatives(q *query.Query, left, right *plan.Node) []*plan.Node {
+	union := left.Tables.Union(right.Tables)
+	outRows := m.joinOutputRows(q, left, right)
+	sortKeyL, sortKeyR := m.mergeKeys(q, left, right)
+
+	out := make([]*plan.Node, 0, 3*len(m.params.Degrees))
+	for _, op := range []plan.JoinOp{plan.HashJoin, plan.MergeJoin, plan.NestLoopJoin} {
+		work, order := m.localWork(op, left, right, outRows, sortKeyL, sortKeyR)
+		for _, d := range m.params.Degrees {
+			n := &plan.Node{
+				Tables: union,
+				Join:   op,
+				Degree: d,
+				Left:   left,
+				Right:  right,
+				Rows:   outRows,
+				Order:  order,
+			}
+			n.Cost = m.joinCost(left, right, work, d)
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// joinOutputRows estimates the join's output cardinality from the
+// children's row estimates and the selectivity of the crossing edges.
+func (m *Model) joinOutputRows(q *query.Query, left, right *plan.Node) float64 {
+	if m.params.PropagateSampling {
+		sel, _ := q.CrossSelectivity(left.Tables, right.Tables)
+		return math.Max(left.Rows*right.Rows*sel, 1)
+	}
+	// Logical cardinality: a pure function of the joined table set, so
+	// all plans for the same set share downstream work (exact PONO).
+	return q.Cardinality(left.Tables.Union(right.Tables))
+}
+
+// mergeKeys picks the sort keys a merge join would use: the endpoints of
+// the lexicographically smallest crossing join edge. Returns OrderNone
+// keys when the inputs are not connected (cartesian product).
+func (m *Model) mergeKeys(q *query.Query, left, right *plan.Node) (plan.Order, plan.Order) {
+	bestA, bestB := -1, -1
+	for _, e := range q.Edges() {
+		var la, rb int
+		switch {
+		case left.Tables.Contains(e.A) && right.Tables.Contains(e.B):
+			la, rb = e.A, e.B
+		case left.Tables.Contains(e.B) && right.Tables.Contains(e.A):
+			la, rb = e.B, e.A
+		default:
+			continue
+		}
+		if bestA < 0 || la < bestA || (la == bestA && rb < bestB) {
+			bestA, bestB = la, rb
+		}
+	}
+	if bestA < 0 {
+		return plan.OrderNone, plan.OrderNone
+	}
+	return plan.OrderOn(bestA), plan.OrderOn(bestB)
+}
+
+// localWork computes an operator's local effort and output order.
+func (m *Model) localWork(op plan.JoinOp, left, right *plan.Node, outRows float64, keyL, keyR plan.Order) (float64, plan.Order) {
+	p := &m.params
+	nL, nR := math.Max(left.Rows, 1), math.Max(right.Rows, 1)
+	outCost := p.OutputPerRow * outRows
+	switch op {
+	case plan.HashJoin:
+		return p.HashSetup + p.HashPerRow*(nL+nR) + outCost, plan.OrderNone
+	case plan.MergeJoin:
+		w := p.MergePerRow*(nL+nR) + outCost
+		if keyL == plan.OrderNone || !left.Order.Covers(keyL) {
+			w += p.SortPerRowLog * nL * math.Log2(nL+2)
+		}
+		if keyR == plan.OrderNone || !right.Order.Covers(keyR) {
+			w += p.SortPerRowLog * nR * math.Log2(nR+2)
+		}
+		order := keyL
+		if keyL == plan.OrderNone {
+			order = plan.OrderNone
+		}
+		return w, order
+	case plan.NestLoopJoin:
+		return p.NestLoopPerPair*nL*nR + outCost, plan.OrderNone
+	default:
+		panic(fmt.Sprintf("costmodel: unknown join op %v", op))
+	}
+}
+
+// joinCost aggregates the children's cost vectors with the local work.
+func (m *Model) joinCost(left, right *plan.Node, work float64, degree int) cost.Vector {
+	p := &m.params
+	d := float64(degree)
+	v := m.space.Zero()
+	for _, metric := range m.space.Metrics() {
+		i := m.space.Index(metric)
+		l, r := left.Cost[i], right.Cost[i]
+		switch metric {
+		case cost.Time:
+			v[i] = l + r + work/d
+		case cost.Cores:
+			v[i] = math.Max(math.Max(l, r), d)
+		case cost.PrecisionLoss:
+			v[i] = l + r
+		case cost.Fees:
+			v[i] = l + r + p.FeeRate*work*(1+p.FeeParallelOverhead*(d-1))
+		case cost.Energy:
+			v[i] = l + r + p.EnergyRate*work*(1+p.EnergyLeak*(d-1))
+		}
+	}
+	return v
+}

@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+func TestDensitySweepValidation(t *testing.T) {
+	if _, err := DensitySweep(1, []int{2}, 3, 1.05, 0.2); err == nil {
+		t.Error("too few tables should fail")
+	}
+	if _, err := DensitySweep(3, []int{0}, 3, 1.05, 0.2); err == nil {
+		t.Error("zero rates should fail")
+	}
+}
+
+func TestDensitySweepShape(t *testing.T) {
+	points, err := DensitySweep(3, []int{1, 4}, 3, 1.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	// More sampling variants produce a denser final frontier.
+	if points[1].FinalFrontier <= points[0].FinalFrontier {
+		t.Errorf("frontier did not densify: %+v", points)
+	}
+	for _, p := range points {
+		if p.IAMAAvg <= 0 || p.MemorylessAvg <= 0 || p.OneShot <= 0 {
+			t.Errorf("non-positive timing: %+v", p)
+		}
+	}
+}

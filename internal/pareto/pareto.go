@@ -1,0 +1,193 @@
+// Package pareto provides utilities over sets of multi-objective cost
+// vectors and plans: exact Pareto filtering, α-approximate coverage
+// checks (the correctness criterion of the paper's Theorems 1 and 2),
+// and frontier quality metrics used to reproduce the conceptual
+// anytime-quality figure (Figure 2a).
+package pareto
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Filter returns a Pareto set of the given plans: for every input plan,
+// the output contains a plan that dominates it, and no output plan is
+// strictly dominated by another output plan. Ties (equal cost vectors)
+// keep the first occurrence. The input is not modified.
+func Filter(plans []*plan.Node) []*plan.Node {
+	var out []*plan.Node
+	for _, p := range plans {
+		dominated := false
+		for _, q := range out {
+			if q.Cost.Dominates(p.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Remove existing entries now dominated by p.
+		kept := out[:0]
+		for _, q := range out {
+			if !p.Cost.Dominates(q.Cost) {
+				kept = append(kept, q)
+			}
+		}
+		out = append(kept, p)
+	}
+	return out
+}
+
+// FilterVectors is Filter over bare cost vectors.
+func FilterVectors(vs []cost.Vector) []cost.Vector {
+	var out []cost.Vector
+	for _, v := range vs {
+		dominated := false
+		for _, w := range out {
+			if w.Dominates(v) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		kept := out[:0]
+		for _, w := range out {
+			if !v.Dominates(w) {
+				kept = append(kept, w)
+			}
+		}
+		out = append(kept, v)
+	}
+	return out
+}
+
+// Covers reports whether the approximate set covers every reference
+// vector within factor alpha: for each r in reference there is an a in
+// approx with a ⪯ alpha·r. With alpha = 1 this checks exact Pareto
+// coverage. An empty reference is trivially covered; an empty approx
+// covers only an empty reference.
+func Covers(approx, reference []cost.Vector, alpha float64) bool {
+	for _, r := range reference {
+		scaled := r.Scale(alpha)
+		found := false
+		for _, a := range approx {
+			if a.Dominates(scaled) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversBounded is Covers restricted to reference vectors relevant under
+// bounds b at factor alpha: following the paper's definition of an
+// α-approximate b-bounded Pareto plan set, only reference vectors r with
+// alpha·r ⪯ b need to be covered.
+func CoversBounded(approx, reference []cost.Vector, alpha float64, b cost.Vector) bool {
+	for _, r := range reference {
+		scaled := r.Scale(alpha)
+		if !scaled.WithinBounds(b) {
+			continue
+		}
+		found := false
+		for _, a := range approx {
+			if a.Dominates(scaled) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxFactor returns the smallest factor alpha such that approx covers
+// reference within alpha (the frontier's worst-case approximation error;
+// 1 means exact coverage). Returns +Inf when some reference vector has a
+// zero component that no approx vector matches with zero, or when approx
+// is empty and reference is not.
+func ApproxFactor(approx, reference []cost.Vector) float64 {
+	worst := 1.0
+	for _, r := range reference {
+		best := math.Inf(1)
+		for _, a := range approx {
+			// Smallest alpha with a ⪯ alpha·r.
+			need := 1.0
+			feasible := true
+			for d := range r {
+				switch {
+				case a[d] <= r[d]:
+					// covered at factor 1 in this dimension
+				case r[d] == 0:
+					feasible = false
+				default:
+					if f := a[d] / r[d]; f > need {
+						need = f
+					}
+				}
+				if !feasible {
+					break
+				}
+			}
+			if feasible && need < best {
+				best = need
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// Hypervolume2D computes the area dominated by the frontier within the
+// box [0, ref0] × [0, ref1] for two-dimensional cost vectors (lower is
+// better, so the dominated region lies above-right of each point, clipped
+// to the reference box). Vectors outside the box contribute only their
+// clipped part. Used as a scalar frontier-quality measure in reports.
+func Hypervolume2D(frontier []cost.Vector, ref cost.Vector) float64 {
+	if ref.Dim() != 2 {
+		panic("pareto: Hypervolume2D needs 2-dimensional vectors")
+	}
+	// Keep points inside the box, Pareto-filter, sort by x ascending.
+	var pts []cost.Vector
+	for _, v := range frontier {
+		if v.Dim() != 2 {
+			panic("pareto: Hypervolume2D needs 2-dimensional vectors")
+		}
+		if v[0] < ref[0] && v[1] < ref[1] {
+			pts = append(pts, v)
+		}
+	}
+	pts = FilterVectors(pts)
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	total := 0.0
+	prevY := ref[1]
+	for _, p := range pts {
+		// Pareto-filtered and x-sorted implies y strictly decreasing.
+		total += (ref[0] - p[0]) * (prevY - p[1])
+		prevY = p[1]
+	}
+	return total
+}
+
+// Vectors extracts the cost vectors of the given plans.
+func Vectors(plans []*plan.Node) []cost.Vector {
+	out := make([]cost.Vector, len(plans))
+	for i, p := range plans {
+		out[i] = p.Cost
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/tableset"
+)
+
+func mkPlan(vals ...float64) *plan.Node {
+	return &plan.Node{
+		Tables:     tableset.Singleton(0),
+		TableID:    0,
+		SampleRate: 1,
+		Cost:       cost.Vec(vals...),
+	}
+}
+
+func TestFilterBasic(t *testing.T) {
+	a := mkPlan(1, 5)
+	b := mkPlan(5, 1)
+	c := mkPlan(3, 3)
+	d := mkPlan(6, 6) // dominated by all
+	out := Filter([]*plan.Node{d, a, b, c})
+	if len(out) != 3 {
+		t.Fatalf("Filter kept %d, want 3", len(out))
+	}
+	for _, p := range out {
+		if p == d {
+			t.Fatal("dominated plan survived")
+		}
+	}
+}
+
+func TestFilterTiesKeepFirst(t *testing.T) {
+	a := mkPlan(2, 2)
+	b := mkPlan(2, 2)
+	out := Filter([]*plan.Node{a, b})
+	if len(out) != 1 || out[0] != a {
+		t.Fatalf("tie handling wrong: %v", out)
+	}
+}
+
+func TestFilterRemovesNewlyDominated(t *testing.T) {
+	// A later, better plan must evict earlier entries.
+	worse1 := mkPlan(4, 4)
+	worse2 := mkPlan(5, 3)
+	better := mkPlan(1, 1)
+	out := Filter([]*plan.Node{worse1, worse2, better})
+	if len(out) != 1 || out[0] != better {
+		t.Fatalf("eviction wrong: %v", out)
+	}
+}
+
+func TestFilterEmpty(t *testing.T) {
+	if out := Filter(nil); len(out) != 0 {
+		t.Fatal("Filter(nil) not empty")
+	}
+}
+
+func TestFilterVectors(t *testing.T) {
+	out := FilterVectors([]cost.Vector{
+		cost.Vec(1, 5), cost.Vec(5, 1), cost.Vec(2, 2), cost.Vec(3, 3),
+	})
+	if len(out) != 3 {
+		t.Fatalf("kept %d, want 3", len(out))
+	}
+}
+
+func TestCovers(t *testing.T) {
+	ref := []cost.Vector{cost.Vec(1, 4), cost.Vec(4, 1)}
+	exact := []cost.Vector{cost.Vec(1, 4), cost.Vec(4, 1)}
+	if !Covers(exact, ref, 1) {
+		t.Error("exact set must cover at alpha=1")
+	}
+	loose := []cost.Vector{cost.Vec(1.05, 4.2), cost.Vec(4.2, 1.05)}
+	if Covers(loose, ref, 1) {
+		t.Error("loose set must not cover at alpha=1")
+	}
+	if !Covers(loose, ref, 1.05) {
+		t.Error("loose set must cover at alpha=1.05")
+	}
+	if !Covers(nil, nil, 1) {
+		t.Error("empty reference trivially covered")
+	}
+	if Covers(nil, ref, 2) {
+		t.Error("empty approx cannot cover non-empty reference")
+	}
+}
+
+func TestCoversBounded(t *testing.T) {
+	// The (100, 0.5) reference is incomparable to the approx point and
+	// exceeds the bounds in its first component at any alpha >= 1, so
+	// only (1,1) must be covered under bounds.
+	ref := []cost.Vector{cost.Vec(1, 1), cost.Vec(100, 0.5)}
+	approx := []cost.Vector{cost.Vec(1, 1)}
+	b := cost.Vec(10, 10)
+	if !CoversBounded(approx, ref, 1, b) {
+		t.Error("bounded coverage should ignore out-of-bounds reference plans")
+	}
+	if Covers(approx, ref, 1) {
+		t.Error("unbounded coverage should fail (sanity)")
+	}
+	// With unbounded b it degenerates to Covers.
+	if CoversBounded(approx, ref, 1, cost.Unbounded(2)) {
+		t.Error("unbounded CoversBounded should equal Covers")
+	}
+	// Boundary: alpha scaling can push a reference out of bounds.
+	ref2 := []cost.Vector{cost.Vec(6, 6)}
+	if !CoversBounded(nil, ref2, 2, b) {
+		t.Error("alpha-scaled reference (12,12) exceeds bounds (10,10); must be ignored")
+	}
+}
+
+func TestApproxFactor(t *testing.T) {
+	ref := []cost.Vector{cost.Vec(2, 2)}
+	if got := ApproxFactor([]cost.Vector{cost.Vec(2, 2)}, ref); got != 1 {
+		t.Errorf("exact factor = %g", got)
+	}
+	if got := ApproxFactor([]cost.Vector{cost.Vec(3, 2)}, ref); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("factor = %g, want 1.5", got)
+	}
+	// Multiple approx points: the best one counts.
+	got := ApproxFactor([]cost.Vector{cost.Vec(10, 10), cost.Vec(2.2, 2.2)}, ref)
+	if math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("factor = %g, want 1.1", got)
+	}
+	// Empty approx.
+	if got := ApproxFactor(nil, ref); !math.IsInf(got, 1) {
+		t.Errorf("empty approx factor = %g, want +Inf", got)
+	}
+	// Zero reference component covered only by zero.
+	refZ := []cost.Vector{cost.Vec(0, 1)}
+	if got := ApproxFactor([]cost.Vector{cost.Vec(0.5, 1)}, refZ); !math.IsInf(got, 1) {
+		t.Errorf("zero-component factor = %g, want +Inf", got)
+	}
+	if got := ApproxFactor([]cost.Vector{cost.Vec(0, 2)}, refZ); got != 2 {
+		t.Errorf("zero-component matched factor = %g, want 2", got)
+	}
+	// Empty reference.
+	if got := ApproxFactor(nil, nil); got != 1 {
+		t.Errorf("empty reference factor = %g, want 1", got)
+	}
+}
+
+func TestApproxFactorConsistentWithCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		var approx, ref []cost.Vector
+		for i := 0; i < 5; i++ {
+			approx = append(approx, cost.Vec(1+rng.Float64()*9, 1+rng.Float64()*9))
+			ref = append(ref, cost.Vec(1+rng.Float64()*9, 1+rng.Float64()*9))
+		}
+		f := ApproxFactor(approx, ref)
+		if !Covers(approx, ref, f*(1+1e-12)) {
+			t.Fatalf("Covers at ApproxFactor %g failed", f)
+		}
+		if f > 1.0001 && Covers(approx, ref, f/1.01) {
+			t.Fatalf("Covers below ApproxFactor %g unexpectedly succeeded", f)
+		}
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	ref := cost.Vec(10, 10)
+	// Single point at origin dominates the whole box.
+	if got := Hypervolume2D([]cost.Vector{cost.Vec(0, 0)}, ref); got != 100 {
+		t.Errorf("full box = %g, want 100", got)
+	}
+	// Empty frontier dominates nothing.
+	if got := Hypervolume2D(nil, ref); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+	// Point outside the box contributes nothing.
+	if got := Hypervolume2D([]cost.Vector{cost.Vec(11, 1)}, ref); got != 0 {
+		t.Errorf("outside = %g, want 0", got)
+	}
+	// Two staircase points: (2,6) and (6,2).
+	got := Hypervolume2D([]cost.Vector{cost.Vec(2, 6), cost.Vec(6, 2)}, ref)
+	// Area = (10-2)*(10-6) + (10-6)*(6-2) = 32 + 16 = 48.
+	if math.Abs(got-48) > 1e-9 {
+		t.Errorf("staircase = %g, want 48", got)
+	}
+	// Dominated points must not add area.
+	got2 := Hypervolume2D([]cost.Vector{cost.Vec(2, 6), cost.Vec(6, 2), cost.Vec(7, 7)}, ref)
+	if math.Abs(got2-48) > 1e-9 {
+		t.Errorf("with dominated point = %g, want 48", got2)
+	}
+}
+
+func TestHypervolume2DPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad ref":   func() { Hypervolume2D(nil, cost.Vec(1)) },
+		"bad point": func() { Hypervolume2D([]cost.Vector{cost.Vec(1)}, cost.Vec(1, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVectors(t *testing.T) {
+	a, b := mkPlan(1, 2), mkPlan(3, 4)
+	vs := Vectors([]*plan.Node{a, b})
+	if len(vs) != 2 || !vs[0].Equal(cost.Vec(1, 2)) || !vs[1].Equal(cost.Vec(3, 4)) {
+		t.Fatalf("Vectors = %v", vs)
+	}
+}
+
+// Property: Filter output is mutually non-dominated and covers the input
+// at factor 1.
+func TestQuickFilterIsParetoSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		vs := make([]cost.Vector, n)
+		for i := range vs {
+			vs[i] = cost.Vec(float64(rng.Intn(10)), float64(rng.Intn(10)), float64(rng.Intn(10)))
+		}
+		out := FilterVectors(vs)
+		for i := range out {
+			for j := range out {
+				if i != j && out[i].StrictlyDominates(out[j]) {
+					t.Fatalf("filter output not Pareto: %v ≺ %v", out[i], out[j])
+				}
+			}
+		}
+		if !Covers(out, vs, 1) {
+			t.Fatal("filter output does not cover input")
+		}
+	}
+}

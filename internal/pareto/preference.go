@@ -1,0 +1,112 @@
+package pareto
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Preference is the prior-work user model the paper contrasts with
+// interactive selection (Section 2): a weight per cost metric plus
+// optional bounds. Prior MOQO schemes asked users to specify this
+// before optimization; with IAMA it is still useful after the fact, to
+// highlight or auto-select a plan from the computed frontier.
+type Preference struct {
+	// Weights holds one non-negative weight per metric; at least one
+	// must be positive.
+	Weights []float64
+	// Bounds restricts eligible plans (nil = unbounded).
+	Bounds cost.Vector
+}
+
+// Validate checks the preference's consistency against a cost-space
+// dimension.
+func (p Preference) Validate(dim int) error {
+	if len(p.Weights) != dim {
+		return fmt.Errorf("pareto: %d weights for %d metrics", len(p.Weights), dim)
+	}
+	positive := false
+	for i, w := range p.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("pareto: invalid weight %g at %d", w, i)
+		}
+		if w > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		return fmt.Errorf("pareto: all weights are zero")
+	}
+	if p.Bounds != nil && p.Bounds.Dim() != dim {
+		return fmt.Errorf("pareto: bounds dim %d for %d metrics", p.Bounds.Dim(), dim)
+	}
+	return nil
+}
+
+// Score computes the weighted cost of a vector (lower is better).
+func (p Preference) Score(v cost.Vector) float64 {
+	s := 0.0
+	for i, w := range p.Weights {
+		s += w * v[i]
+	}
+	return s
+}
+
+// Select returns the plan from the frontier minimizing the weighted
+// cost among plans respecting the bounds, or nil when no plan
+// qualifies. Deterministic: ties keep the earliest plan.
+func (p Preference) Select(frontier []*plan.Node) (*plan.Node, error) {
+	if len(frontier) == 0 {
+		return nil, nil
+	}
+	if err := p.Validate(frontier[0].Cost.Dim()); err != nil {
+		return nil, err
+	}
+	var best *plan.Node
+	bestScore := math.Inf(1)
+	for _, candidate := range frontier {
+		if !candidate.Cost.WithinBounds(p.Bounds) {
+			continue
+		}
+		if s := p.Score(candidate.Cost); s < bestScore {
+			best, bestScore = candidate, s
+		}
+	}
+	return best, nil
+}
+
+// Knee returns the frontier plan with the best balanced tradeoff: the
+// one minimizing the maximum normalized cost across metrics (each
+// metric scaled to [0, 1] over the frontier's range). A common
+// automatic suggestion for interactive interfaces. Returns nil for an
+// empty frontier.
+func Knee(frontier []*plan.Node) *plan.Node {
+	if len(frontier) == 0 {
+		return nil
+	}
+	dim := frontier[0].Cost.Dim()
+	lo := frontier[0].Cost.Clone()
+	hi := frontier[0].Cost.Clone()
+	for _, p := range frontier[1:] {
+		for d := 0; d < dim; d++ {
+			lo[d] = math.Min(lo[d], p.Cost[d])
+			hi[d] = math.Max(hi[d], p.Cost[d])
+		}
+	}
+	var best *plan.Node
+	bestScore := math.Inf(1)
+	for _, p := range frontier {
+		worst := 0.0
+		for d := 0; d < dim; d++ {
+			if hi[d] > lo[d] {
+				worst = math.Max(worst, (p.Cost[d]-lo[d])/(hi[d]-lo[d]))
+			}
+		}
+		if worst < bestScore {
+			best, bestScore = p, worst
+		}
+	}
+	return best
+}

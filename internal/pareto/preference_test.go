@@ -1,0 +1,107 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+func TestPreferenceValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Preference
+		dim  int
+		ok   bool
+	}{
+		{"valid", Preference{Weights: []float64{1, 0}}, 2, true},
+		{"wrong dim", Preference{Weights: []float64{1}}, 2, false},
+		{"negative", Preference{Weights: []float64{-1, 1}}, 2, false},
+		{"nan", Preference{Weights: []float64{math.NaN(), 1}}, 2, false},
+		{"all zero", Preference{Weights: []float64{0, 0}}, 2, false},
+		{"bad bounds", Preference{Weights: []float64{1, 1}, Bounds: cost.Vec(1)}, 2, false},
+		{"good bounds", Preference{Weights: []float64{1, 1}, Bounds: cost.Vec(1, 2)}, 2, true},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate(tc.dim)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestPreferenceScore(t *testing.T) {
+	p := Preference{Weights: []float64{2, 3}}
+	if got := p.Score(cost.Vec(1, 10)); got != 32 {
+		t.Errorf("Score = %g", got)
+	}
+}
+
+func TestPreferenceSelect(t *testing.T) {
+	a := mkPlan(1, 10) // cheap time, expensive fees
+	b := mkPlan(10, 1)
+	c := mkPlan(4, 4)
+	frontier := []*plan.Node{a, b, c}
+
+	timeLover := Preference{Weights: []float64{1, 0}}
+	got, err := timeLover.Select(frontier)
+	if err != nil || got != a {
+		t.Errorf("time lover picked %v (err %v)", got, err)
+	}
+
+	feeLover := Preference{Weights: []float64{0, 1}}
+	if got, _ := feeLover.Select(frontier); got != b {
+		t.Errorf("fee lover picked %v", got)
+	}
+
+	balanced := Preference{Weights: []float64{1, 1}}
+	if got, _ := balanced.Select(frontier); got != c {
+		t.Errorf("balanced picked %v", got)
+	}
+
+	// Bounds exclude the time lover's favourite.
+	bounded := Preference{Weights: []float64{1, 0}, Bounds: cost.Vec(100, 5)}
+	if got, _ := bounded.Select(frontier); got != c {
+		t.Errorf("bounded pick %v, want the (4,4) plan", got)
+	}
+
+	// Nothing qualifies.
+	impossible := Preference{Weights: []float64{1, 0}, Bounds: cost.Vec(0.5, 0.5)}
+	if got, _ := impossible.Select(frontier); got != nil {
+		t.Errorf("impossible bounds picked %v", got)
+	}
+
+	// Empty frontier.
+	if got, err := timeLover.Select(nil); got != nil || err != nil {
+		t.Errorf("empty frontier: %v, %v", got, err)
+	}
+
+	// Invalid preference surfaces an error.
+	bad := Preference{Weights: []float64{1}}
+	if _, err := bad.Select(frontier); err == nil {
+		t.Error("invalid preference should error")
+	}
+}
+
+func TestKnee(t *testing.T) {
+	if Knee(nil) != nil {
+		t.Error("empty frontier should yield nil")
+	}
+	a := mkPlan(0, 10)
+	b := mkPlan(10, 0)
+	c := mkPlan(3, 3) // balanced: max normalized cost 0.3
+	if got := Knee([]*plan.Node{a, b, c}); got != c {
+		t.Errorf("knee = %v, want the balanced plan", got)
+	}
+	// Single plan is its own knee.
+	if got := Knee([]*plan.Node{a}); got != a {
+		t.Errorf("single-plan knee = %v", got)
+	}
+	// Degenerate range in one dimension must not divide by zero.
+	d := mkPlan(1, 5)
+	e := mkPlan(1, 2)
+	if got := Knee([]*plan.Node{d, e}); got != e {
+		t.Errorf("degenerate-range knee = %v", got)
+	}
+}

@@ -1,0 +1,311 @@
+// Package rangeindex implements the multi-dimensional range index the
+// paper's plan sets rely on: plans are indexed by their cost vector and
+// by a resolution level, and the optimizer retrieves (or drains) all
+// plans whose cost is dominated by a bound vector and whose resolution
+// lies in [0, r].
+//
+// The implementation follows the cell-data-structure sketch of the paper
+// (Section 5.3, citing Bentley and Friedman): the cost space is
+// partitioned logarithmically into cells, each cell keeps a list of
+// entries, and cells are reached by direct map lookup. Range queries
+// enumerate the (sparse) cell directory and filter entries exactly, so
+// retrieval of F matching plans costs O(cells + F) and insertion O(1),
+// matching the paper's assumption that retrieval is linear in the number
+// of retrieved plans. The logarithmic partitioning mirrors the paper's
+// footnote 3: the region a plan approximately dominates is obtained by
+// multiplying its cost by a constant factor, so log-scaled cells spread
+// plans evenly.
+//
+// The cell directory is kept in a slice (with a map only for key→slot
+// lookup on insertion) because range queries dominate the optimizer's
+// profile and iterating a slice is several times faster than ranging
+// over a map.
+//
+// Entries additionally carry the insertion epoch (the optimizer
+// invocation number), which supports the Δ operator of function Fresh:
+// "plans inserted in the current invocation" is a range query with a
+// minimum epoch.
+package rangeindex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+)
+
+// maxCoord caps the per-dimension cell coordinate; together with 12 bits
+// per dimension it lets up to five dimensions pack into one uint64 key.
+const (
+	coordBits = 12
+	maxCoord  = (1 << coordBits) - 1
+	// MaxDims is the largest supported cost-space dimensionality.
+	MaxDims = 64 / coordBits
+)
+
+// Entry is one indexed plan reference. The Payload is opaque to the
+// index; the optimizer stores *plan.Node values.
+type Entry struct {
+	// Cost is the plan's cost vector (the index key).
+	Cost cost.Vector
+	// Resolution is the level the entry is registered for.
+	Resolution int
+	// Epoch is the optimizer invocation at which the entry was added.
+	Epoch uint64
+	// Payload is the indexed object.
+	Payload any
+}
+
+// cell is one directory slot: a cell key plus its entries.
+type cell struct {
+	key     uint64
+	entries []Entry
+}
+
+// level is the per-resolution cell directory.
+type level struct {
+	slot  map[uint64]int // key → index into cells
+	cells []cell
+}
+
+func newLevel() *level {
+	return &level{slot: map[uint64]int{}}
+}
+
+// Index is a cost×resolution range index. The zero value is not usable;
+// construct with New. Not safe for concurrent mutation.
+type Index struct {
+	dims       int
+	logBase    float64
+	maxLevel   int
+	levels     []*level
+	size       int
+	insertions uint64 // statistics: total inserts ever
+}
+
+// New creates an index for cost vectors with dims dimensions and
+// resolution levels 0..maxLevel. base is the logarithmic cell width
+// (must be > 1; 2 is a good default).
+func New(dims, maxLevel int, base float64) (*Index, error) {
+	if dims < 1 || dims > MaxDims {
+		return nil, fmt.Errorf("rangeindex: dims %d outside [1,%d]", dims, MaxDims)
+	}
+	if maxLevel < 0 {
+		return nil, fmt.Errorf("rangeindex: negative maxLevel %d", maxLevel)
+	}
+	if base <= 1 {
+		return nil, fmt.Errorf("rangeindex: base %g must exceed 1", base)
+	}
+	levels := make([]*level, maxLevel+1)
+	for i := range levels {
+		levels[i] = newLevel()
+	}
+	return &Index{dims: dims, logBase: math.Log(base), maxLevel: maxLevel, levels: levels}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(dims, maxLevel int, base float64) *Index {
+	ix, err := New(dims, maxLevel, base)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return ix.size }
+
+// Insertions returns the total number of Insert calls over the index's
+// lifetime (drained entries still count). Used by the amortized-cost
+// analysis tests.
+func (ix *Index) Insertions() uint64 { return ix.insertions }
+
+// coord maps one cost value to its cell coordinate.
+func (ix *Index) coord(c float64) uint64 {
+	if c <= 0 {
+		return 0
+	}
+	k := int(math.Log(1+c) / ix.logBase)
+	if k > maxCoord {
+		k = maxCoord
+	}
+	return uint64(k)
+}
+
+// cellKey packs the per-dimension coordinates of v into one uint64.
+func (ix *Index) cellKey(v cost.Vector) uint64 {
+	var key uint64
+	for d := 0; d < ix.dims; d++ {
+		key = key<<coordBits | ix.coord(v[d])
+	}
+	return key
+}
+
+// cellMayMatch reports whether the cell with the given key can contain a
+// vector dominated by b: every coordinate's lower corner must not exceed
+// b's coordinate.
+func (ix *Index) cellMayMatch(key uint64, bCoords []uint64) bool {
+	for d := ix.dims - 1; d >= 0; d-- {
+		if key&maxCoord > bCoords[d] {
+			return false
+		}
+		key >>= coordBits
+	}
+	return true
+}
+
+func (ix *Index) boundCoords(b cost.Vector) []uint64 {
+	out := make([]uint64, ix.dims)
+	for d := 0; d < ix.dims; d++ {
+		if math.IsInf(b[d], 1) {
+			out[d] = maxCoord
+		} else {
+			out[d] = ix.coord(b[d])
+		}
+	}
+	return out
+}
+
+// Insert adds an entry. The cost vector's dimension must match the
+// index's; the resolution must be within [0, maxLevel].
+func (ix *Index) Insert(e Entry) {
+	if e.Cost.Dim() != ix.dims {
+		panic(fmt.Sprintf("rangeindex: cost dim %d, index dim %d", e.Cost.Dim(), ix.dims))
+	}
+	if e.Resolution < 0 || e.Resolution > ix.maxLevel {
+		panic(fmt.Sprintf("rangeindex: resolution %d outside [0,%d]", e.Resolution, ix.maxLevel))
+	}
+	if !e.Cost.IsFinite() {
+		panic(fmt.Sprintf("rangeindex: non-finite cost %v", e.Cost))
+	}
+	key := ix.cellKey(e.Cost)
+	lv := ix.levels[e.Resolution]
+	if i, ok := lv.slot[key]; ok {
+		lv.cells[i].entries = append(lv.cells[i].entries, e)
+	} else {
+		lv.slot[key] = len(lv.cells)
+		lv.cells = append(lv.cells, cell{key: key, entries: []Entry{e}})
+	}
+	ix.size++
+	ix.insertions++
+}
+
+// Query calls fn for every entry whose cost is dominated by b, whose
+// resolution is at most maxRes, and whose epoch is at least minEpoch.
+// Pass minEpoch 0 to disable epoch filtering. Enumeration order is
+// unspecified. If fn returns false the query stops early.
+//
+// This realizes the paper's selection Res^q[0..b, 0..r].
+func (ix *Index) Query(b cost.Vector, maxRes int, minEpoch uint64, fn func(Entry) bool) {
+	if b.Dim() != ix.dims {
+		panic(fmt.Sprintf("rangeindex: bound dim %d, index dim %d", b.Dim(), ix.dims))
+	}
+	if maxRes > ix.maxLevel {
+		maxRes = ix.maxLevel
+	}
+	bc := ix.boundCoords(b)
+	for res := 0; res <= maxRes; res++ {
+		cells := ix.levels[res].cells
+		for i := range cells {
+			if !ix.cellMayMatch(cells[i].key, bc) {
+				continue
+			}
+			for _, e := range cells[i].entries {
+				if e.Epoch >= minEpoch && e.Cost.WithinBounds(b) {
+					if !fn(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Collect returns all entries matching the query as a slice.
+func (ix *Index) Collect(b cost.Vector, maxRes int, minEpoch uint64) []Entry {
+	var out []Entry
+	ix.Query(b, maxRes, minEpoch, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Drain removes and returns all entries whose cost is dominated by b and
+// whose resolution is at most maxRes. This is the candidate-set retrieval
+// of the paper's Optimize phase one, where every retrieved candidate is
+// deleted before being re-pruned.
+func (ix *Index) Drain(b cost.Vector, maxRes int) []Entry {
+	if b.Dim() != ix.dims {
+		panic(fmt.Sprintf("rangeindex: bound dim %d, index dim %d", b.Dim(), ix.dims))
+	}
+	if maxRes > ix.maxLevel {
+		maxRes = ix.maxLevel
+	}
+	bc := ix.boundCoords(b)
+	var out []Entry
+	for res := 0; res <= maxRes; res++ {
+		lv := ix.levels[res]
+		dirty := false
+		for ci := range lv.cells {
+			c := &lv.cells[ci]
+			if len(c.entries) == 0 || !ix.cellMayMatch(c.key, bc) {
+				continue
+			}
+			kept := c.entries[:0]
+			for _, e := range c.entries {
+				if e.Cost.WithinBounds(b) {
+					out = append(out, e)
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			c.entries = kept
+			if len(kept) == 0 {
+				dirty = true
+			}
+		}
+		if dirty {
+			ix.compact(lv)
+		}
+	}
+	ix.size -= len(out)
+	return out
+}
+
+// compact removes empty cells from a level's directory and rebuilds the
+// slot map.
+func (ix *Index) compact(lv *level) {
+	kept := lv.cells[:0]
+	for _, c := range lv.cells {
+		if len(c.entries) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	lv.cells = kept
+	lv.slot = make(map[uint64]int, len(kept))
+	for i, c := range kept {
+		lv.slot[c.key] = i
+	}
+}
+
+// All calls fn for every entry regardless of cost, resolution, or epoch.
+func (ix *Index) All(fn func(Entry) bool) {
+	for _, lv := range ix.levels {
+		for i := range lv.cells {
+			for _, e := range lv.cells[i].entries {
+				if !fn(e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clear removes all entries, keeping the configuration.
+func (ix *Index) Clear() {
+	for i := range ix.levels {
+		ix.levels[i] = newLevel()
+	}
+	ix.size = 0
+}

@@ -1,0 +1,338 @@
+package rangeindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		dims, maxLevel int
+		base           float64
+	}{
+		{0, 5, 2},
+		{MaxDims + 1, 5, 2},
+		{3, -1, 2},
+		{3, 5, 1},
+		{3, 5, 0.5},
+	}
+	for _, c := range cases {
+		if _, err := New(c.dims, c.maxLevel, c.base); err == nil {
+			t.Errorf("New(%d,%d,%g) should fail", c.dims, c.maxLevel, c.base)
+		}
+	}
+	if _, err := New(3, 20, 2); err != nil {
+		t.Fatalf("valid New failed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(0, 0, 2)
+}
+
+func TestInsertAndLen(t *testing.T) {
+	ix := MustNew(2, 3, 2)
+	if ix.Len() != 0 {
+		t.Fatal("fresh index not empty")
+	}
+	ix.Insert(Entry{Cost: cost.Vec(1, 2), Resolution: 0, Epoch: 1, Payload: "a"})
+	ix.Insert(Entry{Cost: cost.Vec(100, 200), Resolution: 3, Epoch: 2, Payload: "b"})
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.Insertions() != 2 {
+		t.Fatalf("Insertions = %d", ix.Insertions())
+	}
+}
+
+func TestInsertPanics(t *testing.T) {
+	ix := MustNew(2, 3, 2)
+	for name, e := range map[string]Entry{
+		"wrong dim":      {Cost: cost.Vec(1), Resolution: 0},
+		"bad resolution": {Cost: cost.Vec(1, 2), Resolution: 4},
+		"negative res":   {Cost: cost.Vec(1, 2), Resolution: -1},
+		"infinite cost":  {Cost: cost.Vec(math.Inf(1), 2), Resolution: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			ix.Insert(e)
+		}()
+	}
+}
+
+func TestQueryFiltersCostResolutionEpoch(t *testing.T) {
+	ix := MustNew(2, 5, 2)
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Epoch: 1, Payload: 1})
+	ix.Insert(Entry{Cost: cost.Vec(10, 10), Resolution: 2, Epoch: 2, Payload: 2})
+	ix.Insert(Entry{Cost: cost.Vec(100, 100), Resolution: 4, Epoch: 3, Payload: 3})
+	ix.Insert(Entry{Cost: cost.Vec(5, 500), Resolution: 0, Epoch: 4, Payload: 4})
+
+	collect := func(b cost.Vector, maxRes int, minEpoch uint64) map[int]bool {
+		got := map[int]bool{}
+		ix.Query(b, maxRes, minEpoch, func(e Entry) bool {
+			got[e.Payload.(int)] = true
+			return true
+		})
+		return got
+	}
+
+	// Cost filter.
+	got := collect(cost.Vec(50, 50), 5, 0)
+	if len(got) != 2 || !got[1] || !got[2] {
+		t.Errorf("cost filter: %v", got)
+	}
+	// Resolution filter.
+	got = collect(cost.Unbounded(2), 2, 0)
+	if len(got) != 3 || got[3] {
+		t.Errorf("resolution filter: %v", got)
+	}
+	// Epoch filter.
+	got = collect(cost.Unbounded(2), 5, 3)
+	if len(got) != 2 || !got[3] || !got[4] {
+		t.Errorf("epoch filter: %v", got)
+	}
+	// maxRes beyond maxLevel is clamped.
+	got = collect(cost.Unbounded(2), 99, 0)
+	if len(got) != 4 {
+		t.Errorf("clamped maxRes: %v", got)
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	ix := MustNew(1, 0, 2)
+	for i := 0; i < 10; i++ {
+		ix.Insert(Entry{Cost: cost.Vec(float64(i + 1)), Resolution: 0, Payload: i})
+	}
+	count := 0
+	ix.Query(cost.Unbounded(1), 0, 0, func(Entry) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestQueryPanicsOnDimMismatch(t *testing.T) {
+	ix := MustNew(2, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Query with wrong bound dim did not panic")
+		}
+	}()
+	ix.Query(cost.Vec(1), 0, 0, func(Entry) bool { return true })
+}
+
+func TestDrainRemovesMatching(t *testing.T) {
+	ix := MustNew(2, 2, 2)
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Payload: "keepRes"})
+	ix.Insert(Entry{Cost: cost.Vec(2, 2), Resolution: 2, Payload: "drainMe"})
+	ix.Insert(Entry{Cost: cost.Vec(999, 999), Resolution: 0, Payload: "tooBig"})
+
+	out := ix.Drain(cost.Vec(10, 10), 2)
+	if len(out) != 2 {
+		t.Fatalf("drained %d, want 2", len(out))
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len after drain = %d, want 1", ix.Len())
+	}
+	rest := ix.Collect(cost.Unbounded(2), 2, 0)
+	if len(rest) != 1 || rest[0].Payload != "tooBig" {
+		t.Fatalf("remaining = %v", rest)
+	}
+	// Drain with restricted resolution leaves higher levels alone:
+	// "tooBig" (res 0) is drained, "high" (res 2) survives.
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 2, Payload: "high"})
+	out = ix.Drain(cost.Unbounded(2), 1)
+	if len(out) != 1 || out[0].Payload != "tooBig" {
+		t.Fatalf("drain res<=1 removed %v, want tooBig only", out)
+	}
+	if rest := ix.Collect(cost.Unbounded(2), 2, 0); len(rest) != 1 || rest[0].Payload != "high" {
+		t.Fatalf("remaining after res-limited drain = %v", rest)
+	}
+}
+
+func TestAllAndClear(t *testing.T) {
+	ix := MustNew(2, 1, 2)
+	for i := 0; i < 5; i++ {
+		ix.Insert(Entry{Cost: cost.Vec(float64(i), 1), Resolution: i % 2, Payload: i})
+	}
+	count := 0
+	ix.All(func(Entry) bool { count++; return true })
+	if count != 5 {
+		t.Errorf("All visited %d", count)
+	}
+	count = 0
+	ix.All(func(Entry) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("All early stop visited %d", count)
+	}
+	ix.Clear()
+	if ix.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+	ix.All(func(Entry) bool {
+		t.Error("entry survived Clear")
+		return false
+	})
+}
+
+func TestZeroCostVectorsIndexable(t *testing.T) {
+	ix := MustNew(3, 0, 2)
+	ix.Insert(Entry{Cost: cost.Vec(0, 0, 0), Resolution: 0, Payload: "zero"})
+	got := ix.Collect(cost.Vec(0, 0, 0), 0, 0)
+	if len(got) != 1 {
+		t.Fatalf("zero-cost entry not found: %v", got)
+	}
+}
+
+// naive is a reference implementation: a flat slice with linear scans.
+type naive struct {
+	entries []Entry
+}
+
+func (n *naive) insert(e Entry) { n.entries = append(n.entries, e) }
+func (n *naive) query(b cost.Vector, maxRes int, minEpoch uint64) []Entry {
+	var out []Entry
+	for _, e := range n.entries {
+		if e.Resolution <= maxRes && e.Epoch >= minEpoch && e.Cost.WithinBounds(b) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+func (n *naive) drain(b cost.Vector, maxRes int) []Entry {
+	var out []Entry
+	kept := n.entries[:0]
+	for _, e := range n.entries {
+		if e.Resolution <= maxRes && e.Cost.WithinBounds(b) {
+			out = append(out, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	n.entries = kept
+	return out
+}
+
+// Property: the cell index agrees with the naive implementation under a
+// randomized workload of inserts, queries and drains.
+func TestQuickAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 50; trial++ {
+		dims := 1 + rng.Intn(3)
+		maxLevel := rng.Intn(6)
+		ix := MustNew(dims, maxLevel, 1.5+rng.Float64()*2)
+		ref := &naive{}
+		id := 0
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert
+				v := make(cost.Vector, dims)
+				for d := range v {
+					v[d] = math.Pow(10, rng.Float64()*6) - 1
+				}
+				e := Entry{Cost: v, Resolution: rng.Intn(maxLevel + 1), Epoch: uint64(rng.Intn(5)), Payload: id}
+				id++
+				ix.Insert(e)
+				ref.insert(e)
+			case 2: // query
+				b := randomBound(rng, dims)
+				maxRes := rng.Intn(maxLevel + 2)
+				minEpoch := uint64(rng.Intn(5))
+				got := payloadSet(ix.Collect(b, maxRes, minEpoch))
+				want := payloadSet(ref.query(b, maxRes, minEpoch))
+				if !sameSet(got, want) {
+					t.Fatalf("query mismatch: got %v want %v", got, want)
+				}
+			case 3: // drain
+				b := randomBound(rng, dims)
+				maxRes := rng.Intn(maxLevel + 2)
+				got := payloadSet(ix.Drain(b, maxRes))
+				want := payloadSet(ref.drain(b, maxRes))
+				if !sameSet(got, want) {
+					t.Fatalf("drain mismatch: got %v want %v", got, want)
+				}
+				if ix.Len() != len(ref.entries) {
+					t.Fatalf("size mismatch after drain: %d vs %d", ix.Len(), len(ref.entries))
+				}
+			}
+		}
+	}
+}
+
+func randomBound(rng *rand.Rand, dims int) cost.Vector {
+	b := make(cost.Vector, dims)
+	for d := range b {
+		if rng.Float64() < 0.2 {
+			b[d] = math.Inf(1)
+		} else {
+			b[d] = math.Pow(10, rng.Float64()*6)
+		}
+	}
+	return b
+}
+
+func payloadSet(entries []Entry) map[int]bool {
+	out := map[int]bool{}
+	for _, e := range entries {
+		out[e.Payload.(int)] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix := MustNew(3, 20, 2)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(Entry{
+			Cost:       cost.Vec(rng.Float64()*1e6, rng.Float64()*8, rng.Float64()),
+			Resolution: i % 21,
+			Payload:    i,
+		})
+	}
+}
+
+func BenchmarkQuery1000(b *testing.B) {
+	ix := MustNew(3, 20, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ix.Insert(Entry{
+			Cost:       cost.Vec(rng.Float64()*1e6, rng.Float64()*8, rng.Float64()),
+			Resolution: i % 21,
+			Payload:    i,
+		})
+	}
+	bound := cost.Vec(5e5, 4, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ix.Query(bound, 10, 0, func(Entry) bool { n++; return true })
+	}
+}

@@ -1,0 +1,242 @@
+// Package session implements the paper's Algorithm 1: the interactive
+// main control loop that repeatedly invokes the incremental optimizer,
+// visualizes the cost tradeoffs of the known plans, and reacts to user
+// input — refining the resolution when the user is idle, resetting it to
+// zero when the user moves the cost bounds, and terminating when the
+// user selects a plan.
+//
+// The Session enforces the invocation policy under which the paper's
+// approximation guarantee holds: every bounds change starts a new regime
+// at resolution 0, and resolution grows by one per idle iteration up to
+// the configured maximum.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Action is a user interaction delivered to the control loop.
+type Action int
+
+// The user actions of Figure 1: doing nothing (the optimizer refines),
+// dragging the cost bounds, and clicking a plan to execute.
+const (
+	// None lets the optimizer refine the resolution.
+	None Action = iota
+	// SetBounds replaces the cost bounds and resets the resolution.
+	SetBounds
+	// Select picks a plan from the current frontier and ends the session.
+	Select
+)
+
+// Event is one user interaction.
+type Event struct {
+	Action Action
+	// Bounds is the new bound vector for SetBounds (nil = unbounded).
+	Bounds cost.Vector
+	// PlanIndex selects a plan from the current frontier for Select.
+	PlanIndex int
+}
+
+// EventSource supplies user interactions; the control loop calls Next
+// once per iteration, after visualizing the current frontier.
+type EventSource interface {
+	Next(frontier []*plan.Node) Event
+}
+
+// Script is a pre-recorded EventSource that replays events in order and
+// then keeps answering None (letting the optimizer refine until the
+// caller's iteration budget ends).
+type Script []Event
+
+// scriptSource tracks replay progress.
+type scriptSource struct {
+	events []Event
+	pos    int
+}
+
+// Source returns a replaying EventSource for the script.
+func (s Script) Source() EventSource {
+	return &scriptSource{events: s}
+}
+
+func (s *scriptSource) Next([]*plan.Node) Event {
+	if s.pos >= len(s.events) {
+		return Event{Action: None}
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e
+}
+
+// Record captures one control-loop iteration for instrumentation.
+type Record struct {
+	// Iteration is the 1-based loop iteration number.
+	Iteration int
+	// Resolution is the resolution used by the iteration's invocation.
+	Resolution int
+	// Bounds is the bound vector used (never nil; unbounded = +Inf).
+	Bounds cost.Vector
+	// Duration is the optimizer invocation's wall-clock time.
+	Duration time.Duration
+	// FrontierSize is the number of visualized plans.
+	FrontierSize int
+	// BoundsChanged reports whether this iteration started a new regime.
+	BoundsChanged bool
+}
+
+// Session drives interactive optimization of one query.
+type Session struct {
+	opt     *core.Optimizer
+	bounds  cost.Vector
+	res     int
+	started bool
+	records []Record
+	// Visualize, when non-nil, receives the frontier after every
+	// iteration (the paper's Visualize procedure).
+	Visualize func(frontier []*plan.Node)
+}
+
+// New creates a session for query q with optimizer configuration cfg and
+// initial (default) bounds; nil means unbounded.
+func New(q *query.Query, cfg core.Config, defaultBounds cost.Vector) (*Session, error) {
+	opt, err := core.NewOptimizer(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dim := cfg.Model.Space().Dim()
+	if defaultBounds == nil {
+		defaultBounds = cost.Unbounded(dim)
+	}
+	if defaultBounds.Dim() != dim {
+		return nil, fmt.Errorf("session: bounds dim %d, space dim %d", defaultBounds.Dim(), dim)
+	}
+	return &Session{opt: opt, bounds: defaultBounds.Clone()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(q *query.Query, cfg core.Config, defaultBounds cost.Vector) *Session {
+	s, err := New(q, cfg, defaultBounds)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Optimizer exposes the underlying incremental optimizer (read-only use:
+// statistics, plan-set sizes).
+func (s *Session) Optimizer() *core.Optimizer { return s.opt }
+
+// Bounds returns the current bound vector.
+func (s *Session) Bounds() cost.Vector { return s.bounds.Clone() }
+
+// Resolution returns the resolution of the most recent invocation, or -1
+// before the first Step.
+func (s *Session) Resolution() int {
+	if !s.started {
+		return -1
+	}
+	return s.res
+}
+
+// Records returns the per-iteration instrumentation.
+func (s *Session) Records() []Record {
+	return append([]Record(nil), s.records...)
+}
+
+// Frontier returns the current visualization input: completed plans
+// within the current bounds and resolution.
+func (s *Session) Frontier() []*plan.Node {
+	if !s.started {
+		return nil
+	}
+	return s.opt.Results(s.bounds, s.res)
+}
+
+// SetBounds changes the cost bounds; the next Step starts a new regime at
+// resolution 0. A nil vector means unbounded.
+func (s *Session) SetBounds(b cost.Vector) error {
+	dim := s.opt.Config().Model.Space().Dim()
+	if b == nil {
+		b = cost.Unbounded(dim)
+	}
+	if b.Dim() != dim {
+		return fmt.Errorf("session: bounds dim %d, space dim %d", b.Dim(), dim)
+	}
+	s.bounds = b.Clone()
+	s.started = false // next Step restarts at resolution 0
+	return nil
+}
+
+// Step runs one control-loop iteration without user input: invoke the
+// optimizer at the current focus, visualize, and schedule the next
+// refinement. It returns the visualized frontier.
+func (s *Session) Step() []*plan.Node {
+	boundsChanged := !s.started
+	if s.started {
+		if s.res < s.opt.Config().MaxResolution() {
+			s.res++
+		}
+	} else {
+		s.res = 0
+		s.started = true
+	}
+	start := time.Now()
+	s.opt.Optimize(s.bounds, s.res)
+	dur := time.Since(start)
+	frontier := s.opt.Results(s.bounds, s.res)
+	s.records = append(s.records, Record{
+		Iteration:     len(s.records) + 1,
+		Resolution:    s.res,
+		Bounds:        s.bounds.Clone(),
+		Duration:      dur,
+		FrontierSize:  len(frontier),
+		BoundsChanged: boundsChanged,
+	})
+	if s.Visualize != nil {
+		s.Visualize(frontier)
+	}
+	return frontier
+}
+
+// Run executes the full interactive loop of Algorithm 1: it iterates
+// until the event source selects a plan or maxIterations is reached (a
+// safeguard; interactive users always select eventually). It returns the
+// selected plan, or nil if the iteration budget expired.
+func (s *Session) Run(events EventSource, maxIterations int) (*plan.Node, error) {
+	if events == nil {
+		return nil, fmt.Errorf("session: nil event source")
+	}
+	if maxIterations < 1 {
+		return nil, fmt.Errorf("session: maxIterations %d < 1", maxIterations)
+	}
+	for iter := 0; iter < maxIterations; iter++ {
+		frontier := s.Step()
+		switch ev := events.Next(frontier); ev.Action {
+		case None:
+			// Refinement continues on the next Step.
+		case SetBounds:
+			if err := s.SetBounds(ev.Bounds); err != nil {
+				return nil, err
+			}
+		case Select:
+			if len(frontier) == 0 {
+				return nil, fmt.Errorf("session: select on empty frontier")
+			}
+			if ev.PlanIndex < 0 || ev.PlanIndex >= len(frontier) {
+				return nil, fmt.Errorf("session: plan index %d outside frontier of %d",
+					ev.PlanIndex, len(frontier))
+			}
+			return frontier[ev.PlanIndex], nil
+		default:
+			return nil, fmt.Errorf("session: unknown action %d", ev.Action)
+		}
+	}
+	return nil, nil
+}

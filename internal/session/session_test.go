@@ -1,0 +1,229 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func testQuery(t testing.TB) *query.Query {
+	t.Helper()
+	cat := catalog.MustNew([]catalog.Table{
+		{Name: "a", Rows: 3000, RowWidth: 90, HasIndex: true, SamplingRates: []float64{0.2, 1}},
+		{Name: "b", Rows: 12000, RowWidth: 70, HasIndex: true, SamplingRates: []float64{0.5, 1}},
+		{Name: "c", Rows: 150, RowWidth: 30, SamplingRates: []float64{1}},
+	})
+	return query.MustNew(cat, []int{0, 1, 2}, []query.JoinEdge{
+		{A: 0, B: 1, Selectivity: 1e-3},
+		{A: 1, B: 2, Selectivity: 2e-2},
+	})
+}
+
+func testConfig() core.Config {
+	return core.Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: 4,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	q := testQuery(t)
+	if _, err := New(q, testConfig(), cost.Vec(1)); err == nil {
+		t.Error("wrong bounds dim should fail")
+	}
+	if _, err := New(q, core.Config{}, nil); err == nil {
+		t.Error("bad config should fail")
+	}
+	if s, err := New(q, testConfig(), nil); err != nil || s == nil {
+		t.Errorf("valid session failed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(testQuery(t), core.Config{}, nil)
+}
+
+func TestStepRefinesResolution(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	if s.Resolution() != -1 {
+		t.Errorf("pre-start resolution = %d, want -1", s.Resolution())
+	}
+	if got := s.Frontier(); got != nil {
+		t.Error("pre-start frontier must be nil")
+	}
+	for want := 0; want <= 3; want++ {
+		frontier := s.Step()
+		if s.Resolution() != want {
+			t.Errorf("resolution = %d, want %d", s.Resolution(), want)
+		}
+		if len(frontier) == 0 {
+			t.Errorf("empty frontier at r=%d", want)
+		}
+	}
+	// Resolution saturates at the maximum.
+	s.Step()
+	if s.Resolution() != 3 {
+		t.Errorf("resolution after saturation = %d, want 3", s.Resolution())
+	}
+}
+
+func TestSetBoundsResetsResolution(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	s.Step()
+	s.Step()
+	if s.Resolution() != 1 {
+		t.Fatalf("resolution = %d", s.Resolution())
+	}
+	if err := s.SetBounds(cost.Vec(1e6, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if s.Resolution() != 0 {
+		t.Errorf("resolution after bounds change = %d, want 0", s.Resolution())
+	}
+	recs := s.Records()
+	if !recs[0].BoundsChanged || recs[1].BoundsChanged || !recs[2].BoundsChanged {
+		t.Errorf("BoundsChanged flags wrong: %+v", recs)
+	}
+	if err := s.SetBounds(cost.Vec(1)); err == nil {
+		t.Error("wrong bounds dim should fail")
+	}
+}
+
+func TestRunWithScriptSelect(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	script := Script{
+		{Action: None},
+		{Action: None},
+		{Action: Select, PlanIndex: 0},
+	}
+	p, err := s.Run(script.Source(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("no plan selected")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("selected plan invalid: %v", err)
+	}
+	if len(s.Records()) != 3 {
+		t.Errorf("%d records, want 3", len(s.Records()))
+	}
+}
+
+func TestRunWithBoundsChange(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	script := Script{
+		{Action: None},
+		{Action: SetBounds, Bounds: cost.Vec(1e7, 8, 1)},
+		{Action: None},
+		{Action: Select, PlanIndex: 0},
+	}
+	p, err := s.Run(script.Source(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("no plan selected")
+	}
+	if !p.Cost.WithinBounds(cost.Vec(1e7, 8, 1)) {
+		t.Errorf("selected plan %v violates bounds", p.Cost)
+	}
+	recs := s.Records()
+	// Iteration 3 starts the new regime at resolution 0.
+	if recs[2].Resolution != 0 || !recs[2].BoundsChanged {
+		t.Errorf("record 3 = %+v, want new regime at r=0", recs[2])
+	}
+}
+
+func TestRunBudgetExpires(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	p, err := s.Run(Script{}.Source(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Error("plan selected without Select event")
+	}
+	if len(s.Records()) != 5 {
+		t.Errorf("%d iterations, want 5", len(s.Records()))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	if _, err := s.Run(nil, 10); err == nil {
+		t.Error("nil source should fail")
+	}
+	if _, err := s.Run(Script{}.Source(), 0); err == nil {
+		t.Error("zero budget should fail")
+	}
+	bad := Script{{Action: Select, PlanIndex: 999}}
+	if _, err := s.Run(bad.Source(), 10); err == nil {
+		t.Error("out-of-range selection should fail")
+	}
+	bad2 := Script{{Action: Action(42)}}
+	s2 := MustNew(testQuery(t), testConfig(), nil)
+	if _, err := s2.Run(bad2.Source(), 10); err == nil {
+		t.Error("unknown action should fail")
+	}
+}
+
+func TestVisualizeCallback(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	calls := 0
+	s.Visualize = func(frontier []*plan.Node) {
+		calls++
+		if len(frontier) == 0 {
+			t.Error("visualize called with empty frontier")
+		}
+	}
+	s.Step()
+	s.Step()
+	if calls != 2 {
+		t.Errorf("visualize called %d times, want 2", calls)
+	}
+}
+
+func TestRecordsAreCopies(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	s.Step()
+	r1 := s.Records()
+	r1[0].Iteration = 999
+	if s.Records()[0].Iteration == 999 {
+		t.Error("Records must return a copy")
+	}
+}
+
+// The incremental property surfaces in session records: refining after a
+// bounds tightening is cheap (no plan regeneration).
+func TestIncrementalAcrossBoundsTightening(t *testing.T) {
+	s := MustNew(testQuery(t), testConfig(), nil)
+	frontier := s.Step()
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	gen := s.Optimizer().Stats().PlansGenerated
+	// Tighten to a sub-box containing the cheapest-time plan.
+	b := frontier[0].Cost.Scale(1.1)
+	if err := s.SetBounds(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if got := s.Optimizer().Stats().PlansGenerated; got != gen {
+		t.Errorf("tightening regenerated plans: %d -> %d", gen, got)
+	}
+}

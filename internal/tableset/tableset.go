@@ -1,0 +1,264 @@
+// Package tableset represents sets of base tables as 64-bit bitsets.
+//
+// The dynamic-programming optimizer in this repository enumerates all
+// non-empty subsets of the query's table set and, for each subset, all
+// splits into two non-empty disjoint halves. This package provides the
+// Set value type together with the enumeration helpers the DP relies on.
+// Sets are immutable value types; all operations return new sets.
+package tableset
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxTables is the largest number of distinct base tables a query may
+// reference. A Set is a 64-bit word, so table indices range over [0, 64).
+const MaxTables = 64
+
+// Set is a set of base-table indices encoded as a bitmask. The zero value
+// is the empty set and is ready to use.
+type Set uint64
+
+// Empty returns the empty table set.
+func Empty() Set { return 0 }
+
+// Singleton returns the set containing only table i.
+// It panics if i is outside [0, MaxTables).
+func Singleton(i int) Set {
+	checkIndex(i)
+	return Set(1) << uint(i)
+}
+
+// Of returns the set containing exactly the given table indices.
+func Of(indices ...int) Set {
+	var s Set
+	for _, i := range indices {
+		checkIndex(i)
+		s |= Set(1) << uint(i)
+	}
+	return s
+}
+
+// Range returns the set {0, 1, ..., n-1}. It panics if n is outside
+// [0, MaxTables].
+func Range(n int) Set {
+	if n < 0 || n > MaxTables {
+		panic(fmt.Sprintf("tableset: Range(%d) out of range [0,%d]", n, MaxTables))
+	}
+	if n == MaxTables {
+		return ^Set(0)
+	}
+	return (Set(1) << uint(n)) - 1
+}
+
+func checkIndex(i int) {
+	if i < 0 || i >= MaxTables {
+		panic(fmt.Sprintf("tableset: index %d out of range [0,%d)", i, MaxTables))
+	}
+}
+
+// IsEmpty reports whether s contains no tables.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of tables in s.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Contains reports whether table i is a member of s.
+func (s Set) Contains(i int) bool {
+	checkIndex(i)
+	return s&(Set(1)<<uint(i)) != 0
+}
+
+// Add returns s ∪ {i}.
+func (s Set) Add(i int) Set {
+	checkIndex(i)
+	return s | Set(1)<<uint(i)
+}
+
+// Remove returns s \ {i}.
+func (s Set) Remove(i int) Set {
+	checkIndex(i)
+	return s &^ (Set(1) << uint(i))
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// SubsetOf reports whether every table in s is also in t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s ⊂ t (subset and not equal).
+func (s Set) ProperSubsetOf(t Set) bool { return s != t && s.SubsetOf(t) }
+
+// Disjoint reports whether s and t share no table.
+func (s Set) Disjoint(t Set) bool { return s&t == 0 }
+
+// Min returns the smallest table index in s. It panics on the empty set.
+func (s Set) Min() int {
+	if s == 0 {
+		panic("tableset: Min of empty set")
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Max returns the largest table index in s. It panics on the empty set.
+func (s Set) Max() int {
+	if s == 0 {
+		panic("tableset: Max of empty set")
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// Indices returns the members of s in increasing order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; {
+		i := bits.TrailingZeros64(uint64(t))
+		out = append(out, i)
+		t &^= Set(1) << uint(i)
+	}
+	return out
+}
+
+// ForEach calls fn for every member of s in increasing order.
+func (s Set) ForEach(fn func(i int)) {
+	for t := s; t != 0; {
+		i := bits.TrailingZeros64(uint64(t))
+		fn(i)
+		t &^= Set(1) << uint(i)
+	}
+}
+
+// String renders the set as "{0,3,5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Subsets calls fn for every non-empty subset of s, including s itself.
+// Subsets are visited in increasing bitmask order. If fn returns false the
+// enumeration stops early.
+func (s Set) Subsets(fn func(sub Set) bool) {
+	if s == 0 {
+		return
+	}
+	// Standard sub-mask enumeration: iterate sub = (sub-1) & s downwards,
+	// then reverse by starting from the low end. We enumerate ascending by
+	// the equivalent identity sub' = (sub - s) & s.
+	for sub := Set(0); ; {
+		sub = (sub - s) & s
+		if sub == 0 {
+			return
+		}
+		if !fn(sub) {
+			return
+		}
+		if sub == s {
+			return
+		}
+	}
+}
+
+// SubsetsOfSize calls fn for every subset of s with exactly k members.
+// If fn returns false the enumeration stops early.
+func (s Set) SubsetsOfSize(k int, fn func(sub Set) bool) {
+	if k < 0 || k > s.Len() {
+		return
+	}
+	if k == 0 {
+		return
+	}
+	idx := s.Indices()
+	n := len(idx)
+	// Gosper-style combination enumeration over positions in idx.
+	sel := make([]int, k)
+	for i := range sel {
+		sel[i] = i
+	}
+	for {
+		var sub Set
+		for _, p := range sel {
+			sub |= Set(1) << uint(idx[p])
+		}
+		if !fn(sub) {
+			return
+		}
+		// Advance combination.
+		i := k - 1
+		for i >= 0 && sel[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		sel[i]++
+		for j := i + 1; j < k; j++ {
+			sel[j] = sel[j-1] + 1
+		}
+	}
+}
+
+// Splits calls fn for every split of s into two non-empty disjoint subsets
+// (left, right) with left ∪ right == s. Each unordered split is visited
+// exactly once; by convention left always contains the smallest table of s.
+// If fn returns false the enumeration stops early.
+func (s Set) Splits(fn func(left, right Set) bool) {
+	if s.Len() < 2 {
+		return
+	}
+	anchor := Set(1) << uint(s.Min())
+	rest := s &^ anchor
+	// Enumerate all subsets r of rest (including empty, excluding full) as
+	// the complement; left = anchor ∪ (rest \ r), right = r.
+	for right := Set(0); ; {
+		right = (right - rest) & rest
+		if right == 0 {
+			return
+		}
+		left := s &^ right
+		if !fn(left, right) {
+			return
+		}
+		if right == rest {
+			return
+		}
+	}
+}
+
+// AllSplits calls fn for every ordered split (q1, q2) with q1 ∪ q2 == s,
+// q1, q2 non-empty and disjoint. This mirrors the paper's enumeration
+// "for q1 ⊂ q: q1 ≠ ∅; q2 ← q \ q1" where both (q1,q2) and (q2,q1) appear.
+// If fn returns false the enumeration stops early.
+func (s Set) AllSplits(fn func(q1, q2 Set) bool) {
+	if s.Len() < 2 {
+		return
+	}
+	for q1 := Set(0); ; {
+		q1 = (q1 - s) & s
+		if q1 == 0 || q1 == s {
+			return
+		}
+		if !fn(q1, s&^q1) {
+			return
+		}
+	}
+}

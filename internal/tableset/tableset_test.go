@@ -1,0 +1,397 @@
+package tableset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := Empty()
+	if !s.IsEmpty() {
+		t.Fatal("Empty() is not empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Empty().Len() = %d, want 0", s.Len())
+	}
+	if s.String() != "{}" {
+		t.Fatalf("Empty().String() = %q, want {}", s.String())
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	for _, i := range []int{0, 1, 31, 63} {
+		s := Singleton(i)
+		if s.Len() != 1 {
+			t.Errorf("Singleton(%d).Len() = %d, want 1", i, s.Len())
+		}
+		if !s.Contains(i) {
+			t.Errorf("Singleton(%d) does not contain %d", i, i)
+		}
+		if s.Min() != i || s.Max() != i {
+			t.Errorf("Singleton(%d): Min=%d Max=%d", i, s.Min(), s.Max())
+		}
+	}
+}
+
+func TestSingletonPanics(t *testing.T) {
+	for _, i := range []int{-1, 64, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Singleton(%d) did not panic", i)
+				}
+			}()
+			Singleton(i)
+		}()
+	}
+}
+
+func TestOf(t *testing.T) {
+	s := Of(3, 1, 4, 1, 5)
+	if s.Len() != 4 {
+		t.Fatalf("Of(3,1,4,1,5).Len() = %d, want 4 (duplicates collapse)", s.Len())
+	}
+	want := []int{1, 3, 4, 5}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	if Range(0) != Empty() {
+		t.Error("Range(0) != Empty()")
+	}
+	if Range(3) != Of(0, 1, 2) {
+		t.Errorf("Range(3) = %v", Range(3))
+	}
+	if Range(64).Len() != 64 {
+		t.Errorf("Range(64).Len() = %d", Range(64).Len())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Range(65) did not panic")
+			}
+		}()
+		Range(65)
+	}()
+}
+
+func TestAddRemove(t *testing.T) {
+	s := Empty().Add(2).Add(5).Add(2)
+	if s != Of(2, 5) {
+		t.Fatalf("Add chain = %v", s)
+	}
+	s = s.Remove(2)
+	if s != Singleton(5) {
+		t.Fatalf("Remove(2) = %v", s)
+	}
+	s = s.Remove(63) // removing absent member is a no-op
+	if s != Singleton(5) {
+		t.Fatalf("Remove absent = %v", s)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(0, 1, 2)
+	b := Of(2, 3)
+	if a.Union(b) != Of(0, 1, 2, 3) {
+		t.Errorf("Union = %v", a.Union(b))
+	}
+	if a.Intersect(b) != Singleton(2) {
+		t.Errorf("Intersect = %v", a.Intersect(b))
+	}
+	if a.Minus(b) != Of(0, 1) {
+		t.Errorf("Minus = %v", a.Minus(b))
+	}
+	if !Of(0, 1).SubsetOf(a) {
+		t.Error("SubsetOf failed")
+	}
+	if !Of(0, 1).ProperSubsetOf(a) {
+		t.Error("ProperSubsetOf failed")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Error("a ⊂ a should be false")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a ⊆ a should be true")
+	}
+	if !Of(0, 1).Disjoint(Of(2, 3)) {
+		t.Error("Disjoint failed")
+	}
+	if Of(0, 2).Disjoint(Of(2, 3)) {
+		t.Error("Disjoint false positive")
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Min": func() { Empty().Min() },
+		"Max": func() { Empty().Max() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty set did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(0, 3, 5).String(); got != "{0,3,5}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSubsetsCount(t *testing.T) {
+	// A set of n elements has 2^n - 1 non-empty subsets.
+	for n := 1; n <= 10; n++ {
+		s := Range(n)
+		count := 0
+		s.Subsets(func(sub Set) bool {
+			count++
+			if sub.IsEmpty() || !sub.SubsetOf(s) {
+				t.Fatalf("invalid subset %v of %v", sub, s)
+			}
+			return true
+		})
+		want := (1 << uint(n)) - 1
+		if count != want {
+			t.Errorf("n=%d: %d subsets, want %d", n, count, want)
+		}
+	}
+}
+
+func TestSubsetsDistinct(t *testing.T) {
+	s := Of(1, 4, 7, 9)
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) bool {
+		if seen[sub] {
+			t.Fatalf("subset %v visited twice", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 15 {
+		t.Errorf("%d distinct subsets, want 15", len(seen))
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	count := 0
+	Range(10).Subsets(func(Set) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	s := Range(6)
+	binom := []int{0, 6, 15, 20, 15, 6, 1}
+	for k := 1; k <= 6; k++ {
+		count := 0
+		s.SubsetsOfSize(k, func(sub Set) bool {
+			if sub.Len() != k {
+				t.Fatalf("subset %v has size %d, want %d", sub, sub.Len(), k)
+			}
+			count++
+			return true
+		})
+		if count != binom[k] {
+			t.Errorf("k=%d: %d subsets, want %d", k, count, binom[k])
+		}
+	}
+	// Out-of-range k values yield nothing.
+	for _, k := range []int{-1, 0, 7} {
+		s.SubsetsOfSize(k, func(Set) bool {
+			t.Fatalf("k=%d should yield no subsets", k)
+			return true
+		})
+	}
+}
+
+func TestSubsetsOfSizeEarlyStop(t *testing.T) {
+	count := 0
+	Range(8).SubsetsOfSize(3, func(Set) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("early stop visited %d, want 4", count)
+	}
+}
+
+func TestSplits(t *testing.T) {
+	s := Of(0, 2, 5)
+	type pair struct{ l, r Set }
+	var got []pair
+	s.Splits(func(l, r Set) bool {
+		if l.Union(r) != s || !l.Disjoint(r) || l.IsEmpty() || r.IsEmpty() {
+			t.Fatalf("invalid split %v | %v of %v", l, r, s)
+		}
+		if !l.Contains(s.Min()) {
+			t.Fatalf("left %v does not contain anchor %d", l, s.Min())
+		}
+		got = append(got, pair{l, r})
+		return true
+	})
+	// A set of n elements has 2^(n-1) - 1 unordered splits.
+	if len(got) != 3 {
+		t.Fatalf("%d splits, want 3: %v", len(got), got)
+	}
+	seen := map[pair]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("split %v repeated", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSplitsSmallSets(t *testing.T) {
+	Empty().Splits(func(l, r Set) bool {
+		t.Fatal("empty set should have no splits")
+		return true
+	})
+	Singleton(3).Splits(func(l, r Set) bool {
+		t.Fatal("singleton should have no splits")
+		return true
+	})
+}
+
+func TestAllSplits(t *testing.T) {
+	s := Range(4)
+	count := 0
+	seen := map[[2]Set]bool{}
+	s.AllSplits(func(q1, q2 Set) bool {
+		if q1.Union(q2) != s || !q1.Disjoint(q2) || q1.IsEmpty() || q2.IsEmpty() {
+			t.Fatalf("invalid ordered split %v | %v", q1, q2)
+		}
+		key := [2]Set{q1, q2}
+		if seen[key] {
+			t.Fatalf("ordered split %v repeated", key)
+		}
+		seen[key] = true
+		count++
+		return true
+	})
+	// Ordered splits: 2^n - 2.
+	if count != 14 {
+		t.Errorf("%d ordered splits, want 14", count)
+	}
+}
+
+func TestAllSplitsMirrorsSplits(t *testing.T) {
+	s := Of(1, 3, 4, 6, 7)
+	unordered := 0
+	s.Splits(func(l, r Set) bool { unordered++; return true })
+	ordered := 0
+	s.AllSplits(func(q1, q2 Set) bool { ordered++; return true })
+	if ordered != 2*unordered {
+		t.Errorf("ordered=%d, unordered=%d, want ordered = 2*unordered", ordered, unordered)
+	}
+}
+
+// Property: Union/Intersect/Minus behave like their set-theoretic
+// definitions on membership.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(a, b uint64, i uint8) bool {
+		x, y := Set(a), Set(b)
+		idx := int(i % 64)
+		inU := x.Union(y).Contains(idx) == (x.Contains(idx) || y.Contains(idx))
+		inI := x.Intersect(y).Contains(idx) == (x.Contains(idx) && y.Contains(idx))
+		inM := x.Minus(y).Contains(idx) == (x.Contains(idx) && !y.Contains(idx))
+		return inU && inI && inM
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len equals the number of indices returned by Indices, and
+// ForEach visits exactly those indices in order.
+func TestQuickIndicesLen(t *testing.T) {
+	f := func(a uint64) bool {
+		s := Set(a)
+		idx := s.Indices()
+		if len(idx) != s.Len() {
+			return false
+		}
+		j := 0
+		ok := true
+		s.ForEach(func(i int) {
+			if j >= len(idx) || idx[j] != i {
+				ok = false
+			}
+			j++
+		})
+		for k := 1; k < len(idx); k++ {
+			if idx[k-1] >= idx[k] {
+				return false
+			}
+		}
+		return ok && j == len(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every split's halves union to the original and are disjoint.
+func TestQuickSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		var s Set
+		for s.Len() < n {
+			s = s.Add(rng.Intn(16))
+		}
+		want := 1<<(uint(s.Len())-1) - 1
+		got := 0
+		s.Splits(func(l, r Set) bool {
+			if l.Union(r) != s || !l.Disjoint(r) {
+				t.Fatalf("bad split of %v: %v | %v", s, l, r)
+			}
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("set %v: %d splits, want %d", s, got, want)
+		}
+	}
+}
+
+func BenchmarkSubsets10(b *testing.B) {
+	s := Range(10)
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Subsets(func(Set) bool { n++; return true })
+		if n != 1023 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkSplits12(b *testing.B) {
+	s := Range(12)
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Splits(func(_, _ Set) bool { n++; return true })
+		if n != 2047 {
+			b.Fatal("bad count")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/tableset"
+)
+
+func TestCatalogHasAlias(t *testing.T) {
+	cat := Catalog(1)
+	if cat.NumTables() != 9 {
+		t.Fatalf("alias catalog has %d tables, want 9", cat.NumTables())
+	}
+	n1 := cat.Table(cat.MustID("nation"))
+	n2 := cat.Table(cat.MustID("nation2"))
+	if n1.Rows != n2.Rows || n1.RowWidth != n2.RowWidth {
+		t.Error("nation2 alias statistics differ from nation")
+	}
+}
+
+func TestBlocksBuild(t *testing.T) {
+	blocks := MustTPCHBlocks(1)
+	if len(blocks) < 20 {
+		t.Fatalf("only %d blocks", len(blocks))
+	}
+	names := map[string]bool{}
+	for _, b := range blocks {
+		if names[b.Name] {
+			t.Errorf("duplicate block name %s", b.Name)
+		}
+		names[b.Name] = true
+		if !b.Query.Connected(b.Query.Tables()) {
+			t.Errorf("block %s join graph not connected", b.Name)
+		}
+	}
+}
+
+// The paper's figures rely on the table-count distribution: counts
+// {2,3,4,5,6,8} occur, 7 never does, and Q8 is the only 8-table block.
+func TestTableCountDistribution(t *testing.T) {
+	blocks := MustTPCHBlocks(1)
+	counts := TableCounts(blocks)
+	want := []int{2, 3, 4, 5, 6, 8}
+	if len(counts) != len(want) {
+		t.Fatalf("table counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("table counts = %v, want %v", counts, want)
+		}
+	}
+	grouped := ByTableCount(blocks)
+	if len(grouped[7]) != 0 {
+		t.Error("a 7-table block exists; the paper has none")
+	}
+	if len(grouped[8]) != 1 || grouped[8][0].Name != "Q8" {
+		t.Errorf("8-table blocks = %v, want exactly Q8", grouped[8])
+	}
+	if len(grouped[6]) != 3 {
+		t.Errorf("%d 6-table blocks, want 3 (Q5, Q7, Q9)", len(grouped[6]))
+	}
+}
+
+// Q8's extra tables beyond the 6-table queries are small dimension
+// tables without sampling strategies (paper footnote 4).
+func TestQ8TouchesSamplingPoorTables(t *testing.T) {
+	blocks := MustTPCHBlocks(1)
+	q8, ok := Find(blocks, "Q8")
+	if !ok {
+		t.Fatal("Q8 missing")
+	}
+	cat := q8.Query.Catalog()
+	poor := 0
+	q8.Query.Tables().ForEach(func(id int) {
+		if len(cat.Table(id).SamplingRates) == 1 {
+			poor++
+		}
+	})
+	if poor < 3 {
+		t.Errorf("Q8 touches %d sampling-poor tables, want >= 3 (nation, nation2, region)", poor)
+	}
+}
+
+func TestBlocksHaveAtLeastOneJoin(t *testing.T) {
+	for _, b := range MustTPCHBlocks(1) {
+		if b.Query.NumTables() < 2 {
+			t.Errorf("block %s has fewer than 2 tables", b.Name)
+		}
+		if len(b.Query.Edges()) < b.Query.NumTables()-1 {
+			t.Errorf("block %s is under-connected", b.Name)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	blocks := MustTPCHBlocks(1)
+	if _, ok := Find(blocks, "Q3"); !ok {
+		t.Error("Q3 not found")
+	}
+	if _, ok := Find(blocks, "Q99"); ok {
+		t.Error("Q99 should not exist")
+	}
+}
+
+func TestScaleFactorAffectsSelectivities(t *testing.T) {
+	b1 := MustTPCHBlocks(1)
+	b10 := MustTPCHBlocks(10)
+	q1, _ := Find(b1, "Q3")
+	q10, _ := Find(b10, "Q3")
+	// FK selectivity scales inversely with PK cardinality.
+	e1, e10 := q1.Query.Edges(), q10.Query.Edges()
+	if e1[0].Selectivity <= e10[0].Selectivity {
+		t.Error("selectivity should shrink with scale factor")
+	}
+}
+
+func TestCardinalitiesSane(t *testing.T) {
+	for _, b := range MustTPCHBlocks(1) {
+		card := b.Query.Cardinality(b.Query.Tables())
+		if card < 1 {
+			t.Errorf("block %s final cardinality %g < 1", b.Name, card)
+		}
+		if card > 1e13 {
+			t.Errorf("block %s final cardinality %g implausibly large", b.Name, card)
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := MustTPCHBlocks(1)
+	b := MustTPCHBlocks(1)
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("block order differs at %d", i)
+		}
+		if a[i].Query.Tables() != b[i].Query.Tables() {
+			t.Fatalf("block %s tables differ", a[i].Name)
+		}
+		ea, eb := a[i].Query.Edges(), b[i].Query.Edges()
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("block %s edge %d differs", a[i].Name, j)
+			}
+		}
+	}
+	_ = tableset.Empty() // keep import for potential extension
+}
