@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/harness"
+	"repro/internal/service"
 	"repro/internal/workload"
 )
 
@@ -274,5 +276,125 @@ func BenchmarkDensitySweep(b *testing.B) {
 				b.ReportMetric(osNS/iamaNS, "os/iama")
 			}
 		})
+	}
+}
+
+// benchServiceSessions drives `sessions` concurrent anytime-optimization
+// sessions through the multi-tenant service to target precision and
+// reports throughput plus frontier-poll latency percentiles. With
+// warmCache, every query shape is pre-converged once before the timed
+// loop so all sessions hit the warm-start cache; without it the cache
+// is disabled entirely.
+func benchServiceSessions(b *testing.B, sessions int, warmCache bool) {
+	b.Helper()
+	blocks := workload.MustTPCHBlocks(1)
+	// Small interactive blocks: the session mix of an ad-hoc workload.
+	names := []string{"Q4", "Q12", "Q13", "Q14"}
+	cfg := service.Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 3,
+			TargetPrecision:  1.05,
+			PrecisionStep:    0.1,
+		},
+		IdleTimeout: -1,
+	}
+	if !warmCache {
+		cfg.CacheCapacity = -1
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	await := func(id string) (service.Status, error) {
+		for {
+			st, err := svc.Poll(id)
+			if err != nil || st.State == service.AtTarget {
+				return st, err
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	if warmCache {
+		for _, name := range names {
+			blk, _ := workload.Find(blocks, name)
+			id, err := svc.Create(blk.Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := await(id); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Close(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	var pollLats, firstLats []time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				blk, _ := workload.Find(blocks, names[s%len(names)])
+				id, err := svc.Create(blk.Query)
+				if err != nil {
+					errs <- err
+					return
+				}
+				pollStart := time.Now()
+				st, err := await(id)
+				pollLat := time.Since(pollStart)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				pollLats = append(pollLats, pollLat)
+				firstLats = append(firstLats, st.FirstFrontier)
+				mu.Unlock()
+				errs <- svc.Close(id)
+			}(s)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N * sessions)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "sessions/sec")
+	b.ReportMetric(float64(harness.Percentile(firstLats, 0.95).Nanoseconds()), "p95-first-frontier-ns")
+	b.ReportMetric(float64(harness.Percentile(pollLats, 0.95).Nanoseconds()), "p95-converge-ns")
+	if warmCache {
+		st := svc.Stats()
+		b.ReportMetric(float64(st.Cache.Hits), "cache-hits")
+	}
+}
+
+// BenchmarkServiceSessions measures multi-tenant service throughput and
+// p95 latency at 1, 8 and 64 concurrent sessions, with and without the
+// warm-start plan cache (the ROADMAP's serve-many-users direction).
+func BenchmarkServiceSessions(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		for _, warm := range []bool{false, true} {
+			label := "cold"
+			if warm {
+				label = "warm"
+			}
+			b.Run(fmt.Sprintf("sessions=%d/%s", n, label), func(b *testing.B) {
+				benchServiceSessions(b, n, warm)
+			})
+		}
 	}
 }

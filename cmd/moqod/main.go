@@ -1,0 +1,417 @@
+// Command moqod serves concurrent anytime multi-objective optimization
+// sessions over HTTP/JSON — the multi-tenant daemon counterpart of the
+// interactive moqo CLI. Each client session owns an incremental
+// optimizer whose refinement steps a fair-share worker pool time-slices
+// across all tenants; repeated query shapes warm-start from a plan-set
+// cache.
+//
+//	moqod -addr :8080                 # serve the JSON API
+//	moqod -loadgen -sessions 64       # drive 64 concurrent sessions in-process
+//
+// API sketch (all JSON):
+//
+//	POST   /sessions                {"block":"Q5"} or {"tables":6,"topology":"star"}
+//	GET    /sessions/{id}           → state, resolution, frontier
+//	POST   /sessions/{id}/bounds    {"bounds":[2000,4,1]} (null/empty = unbounded)
+//	POST   /sessions/{id}/select    {"index":0,"steps":12} → chosen plan
+//	                                ("steps" from the poll guards against
+//	                                 a concurrently refined frontier)
+//	DELETE /sessions/{id}
+//	GET    /statz                   → service counters
+//
+// All randomness is seeded by -seed (default 1) so runs reproduce.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/harness"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "refinement worker-pool size (0 = GOMAXPROCS)")
+	levels := flag.Int("levels", 5, "resolution levels per session")
+	alphaT := flag.Float64("target", 1.01, "target precision αT")
+	alphaS := flag.Float64("step", 0.05, "precision step αS")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "expire sessions idle this long")
+	cacheCap := flag.Int("cache", 256, "warm-start cache capacity (-1 disables)")
+	seed := flag.Int64("seed", 1, "seed for synthetic queries and the load-generator mix")
+	sf := flag.Float64("sf", 1, "TPC-H scale factor for -block queries")
+	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
+	sessions := flag.Int("sessions", 64, "loadgen: concurrent sessions to drive")
+	total := flag.Int("requests", 0, "loadgen: total sessions to run (0 = 3× -sessions)")
+	flag.Parse()
+
+	cfg := service.Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: *levels,
+			TargetPrecision:  *alphaT,
+			PrecisionStep:    *alphaS,
+		},
+		Workers:       *workers,
+		IdleTimeout:   *idle,
+		CacheCapacity: *cacheCap,
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer svc.Shutdown()
+
+	if *loadgen {
+		n := *total
+		if n <= 0 {
+			n = 3 * *sessions
+		}
+		if err := runLoadgen(svc, *sessions, n, *sf, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(*sf), seed: *seed, dim: cfg.Opt.Model.Space().Dim()}
+	log.Printf("moqod: serving on %s (workers=%d levels=%d αT=%g αS=%g cache=%d)",
+		*addr, cfg.Workers, *levels, *alphaT, *alphaS, cfg.CacheCapacity)
+	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "moqod: %v\n", err)
+	os.Exit(1)
+}
+
+// server is the HTTP/JSON front end over the service.
+type server struct {
+	svc    *service.Service
+	blocks []workload.Block
+	dim    int
+
+	mu   sync.Mutex
+	seed int64 // per-request synthetic-query seeds derive from this
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions/{id}", s.handlePoll)
+	mux.HandleFunc("POST /sessions/{id}/bounds", s.handleBounds)
+	mux.HandleFunc("POST /sessions/{id}/select", s.handleSelect)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleClose)
+	mux.HandleFunc("GET /statz", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type createRequest struct {
+	Block    string `json:"block,omitempty"`
+	Tables   int    `json:"tables,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	Seed     *int64 `json:"seed,omitempty"`
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := s.resolveQuery(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.Create(q)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *server) resolveQuery(req createRequest) (*query.Query, error) {
+	if req.Tables > 0 {
+		tp, err := parseTopology(req.Topology)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		seed := s.seed
+		if req.Seed != nil {
+			seed = *req.Seed
+		} else {
+			s.seed++ // distinct synthetic queries per request, still reproducible
+		}
+		s.mu.Unlock()
+		cat := catalog.TPCH(1)
+		if req.Tables > cat.NumTables() {
+			cat = catalog.Random(rand.New(rand.NewSource(seed)), req.Tables, 100, 1e7)
+		}
+		return query.Synthetic(cat, req.Tables, tp, rand.New(rand.NewSource(seed)))
+	}
+	name := req.Block
+	if name == "" {
+		name = "Q5"
+	}
+	blk, ok := workload.Find(s.blocks, name)
+	if !ok {
+		return nil, fmt.Errorf("unknown TPC-H block %q", name)
+	}
+	return blk.Query, nil
+}
+
+func parseTopology(s string) (query.Topology, error) {
+	switch s {
+	case "", "chain":
+		return query.Chain, nil
+	case "star":
+		return query.Star, nil
+	case "cycle":
+		return query.Cycle, nil
+	case "clique":
+		return query.Clique, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+type planJSON struct {
+	Plan string    `json:"plan"`
+	Cost []float64 `json:"cost"`
+	Rows float64   `json:"rows"`
+}
+
+func (s *server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Poll(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	frontier := make([]planJSON, len(st.Frontier))
+	for i, p := range st.Frontier {
+		frontier[i] = planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":              st.ID,
+		"query":           st.Query,
+		"state":           st.State.String(),
+		"warm":            st.WarmStarted,
+		"resolution":      st.Resolution,
+		"steps":           st.Steps,
+		"frontier":        frontier,
+		"firstFrontierUs": st.FirstFrontier.Microseconds(),
+	})
+}
+
+func (s *server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Bounds []float64 `json:"bounds"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var b cost.Vector
+	if len(req.Bounds) > 0 {
+		if len(req.Bounds) != s.dim {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bounds need %d values, got %d", s.dim, len(req.Bounds)))
+			return
+		}
+		b = cost.Vector(req.Bounds)
+	}
+	if err := s.svc.SetBounds(r.PathValue("id"), b); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Index int `json:"index"`
+		// Steps is the "steps" value from the poll the index refers to;
+		// the select fails with 409 if refinement moved the frontier
+		// since. Omit to select from the live frontier unchecked.
+		Steps *int `json:"steps"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	expect := -1
+	if req.Steps != nil {
+		expect = *req.Steps
+	}
+	p, err := s.svc.Select(r.PathValue("id"), req.Index, expect)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows})
+}
+
+func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.Close(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// runLoadgen drives the service with concurrent simulated users and
+// reports throughput and latency percentiles — the paper's interactive
+// regime at service scale.
+func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed int64) error {
+	blocks := workload.MustTPCHBlocks(sf)
+	profiles, err := workload.Mix(blocks, total, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d sessions, %d concurrent, seed %d\n", total, concurrency, seed)
+
+	work := make(chan workload.SessionProfile)
+	var (
+		mu        sync.Mutex
+		firstLats []time.Duration
+		totalLats []time.Duration
+		failures  int
+		sampleErr []error
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				first, dur, err := driveSession(svc, p)
+				mu.Lock()
+				if err != nil {
+					failures++
+					if len(sampleErr) < 3 {
+						sampleErr = append(sampleErr, err)
+					}
+				} else {
+					firstLats = append(firstLats, first)
+					totalLats = append(totalLats, dur)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range profiles {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if failures > 0 {
+		return fmt.Errorf("loadgen: %d/%d sessions failed (e.g. %v)", failures, total, sampleErr)
+	}
+	st := svc.Stats()
+	fmt.Printf("completed %d sessions in %v (%.1f sessions/sec, %d refinement steps)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), st.Steps)
+	fmt.Printf("first-frontier latency: p50=%v p95=%v max=%v\n",
+		harness.Percentile(firstLats, 0.50), harness.Percentile(firstLats, 0.95), harness.Percentile(firstLats, 1))
+	fmt.Printf("session duration:       p50=%v p95=%v max=%v\n",
+		harness.Percentile(totalLats, 0.50), harness.Percentile(totalLats, 0.95), harness.Percentile(totalLats, 1))
+	fmt.Printf("warm starts: %d, cache: %d entries, %d hits, %d misses\n",
+		st.WarmStarts, st.Cache.Entries, st.Cache.Hits, st.Cache.Misses)
+	return nil
+}
+
+// driveSession plays one profile: create, poll to the first frontier,
+// drag bounds BoundsResets times (each re-converging to target), then
+// select or abandon. Returns first-frontier and total latency.
+func driveSession(svc *service.Service, p workload.SessionProfile) (first, total time.Duration, err error) {
+	start := time.Now()
+	id, err := svc.Create(p.Block.Query)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := awaitTarget(svc, id)
+	if err != nil {
+		return 0, 0, err
+	}
+	first = st.FirstFrontier
+	for i := 0; i < p.BoundsResets && len(st.Frontier) > 0; i++ {
+		b := st.Frontier[0].Cost.Scale(p.BoundsScale)
+		if err := svc.SetBounds(id, b); err != nil {
+			return 0, 0, err
+		}
+		if st, err = awaitTarget(svc, id); err != nil {
+			return 0, 0, err
+		}
+	}
+	if p.Selects && len(st.Frontier) > 0 {
+		_, err = svc.Select(id, 0, st.Steps)
+	} else {
+		err = svc.Close(id)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return first, time.Since(start), nil
+}
+
+// awaitTarget polls until the session's current regime reaches target
+// precision. The poll interval backs off exponentially so that many
+// waiting clients do not starve the refinement workers of CPU; the
+// deadline only guards against hangs (under heavy fan-out on few cores
+// a fair-shared session legitimately takes minutes).
+func awaitTarget(svc *service.Service, id string) (service.Status, error) {
+	deadline := time.Now().Add(15 * time.Minute)
+	sleep := 200 * time.Microsecond
+	for {
+		st, err := svc.Poll(id)
+		if err != nil {
+			return service.Status{}, err
+		}
+		if st.State == service.AtTarget {
+			return st, nil
+		}
+		if !st.State.Live() {
+			return st, fmt.Errorf("session %s ended in state %v", id, st.State)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("session %s did not reach target in time (state %v, resolution %d)",
+				id, st.State, st.Resolution)
+		}
+		time.Sleep(sleep)
+		if sleep < 10*time.Millisecond {
+			sleep *= 2
+		}
+	}
+}

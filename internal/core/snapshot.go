@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/rangeindex"
+	"repro/internal/tableset"
+)
+
+// Snapshot is an exported copy of an Optimizer's incremental state: the
+// result and candidate plan sets per table subset, the IsFresh pair
+// memo, and the previous invocation's focus. It lets a new Optimizer
+// for an identical query (equal query.Fingerprint, same configuration
+// and cost model) resume where the snapshotted one left off instead of
+// regenerating every plan from scratch — the service's warm-start path.
+//
+// A Snapshot shares *plan.Node payloads and cost vectors with the
+// source optimizer; both are immutable after construction, so a
+// snapshot may be restored into many optimizers running on different
+// goroutines. The Snapshot itself is immutable once created. Taking a
+// snapshot must not race with Optimize on the source (the caller
+// serializes, e.g. the service holds the session lock).
+type Snapshot struct {
+	res, cand  map[tableset.Set][]rangeindex.Entry
+	pairs      []pairKey
+	epoch      uint64
+	prevBounds []float64
+	prevRes    int
+
+	// Configuration echo, validated on restore: restoring under a
+	// different focus geometry or precision schedule would silently
+	// break the pruning invariants baked into the copied state.
+	cfgEcho string
+}
+
+// cfgFingerprint captures every Config field that shapes optimizer
+// state, including the cost-model parameters (which determine every
+// plan's cost vector). Hooks are observational and excluded.
+func cfgFingerprint(c Config) string {
+	return fmt.Sprintf("%dx%d|%g|%g|%g|%v%v%v%v%v|%+v|%v",
+		c.Model.Space().Dim(), c.ResolutionLevels, c.TargetPrecision,
+		c.PrecisionStep, c.CellBase,
+		c.PruneAgainstAll, c.DisableDeltaFilter, c.DisableOrderAwarePruning,
+		c.RetainDominatedCandidates, c.DisableVisibleFrontierFilter,
+		c.Model.Params(), c.Model.Space())
+}
+
+// Snapshot exports the optimizer's current plan-set state. Returns nil
+// before the first Optimize call (there is nothing to warm-start from).
+func (o *Optimizer) Snapshot() *Snapshot {
+	if !o.initialized {
+		return nil
+	}
+	s := &Snapshot{
+		res:        make(map[tableset.Set][]rangeindex.Entry, len(o.res)),
+		cand:       make(map[tableset.Set][]rangeindex.Entry, len(o.cand)),
+		pairs:      make([]pairKey, 0, len(o.pairMemo)),
+		epoch:      o.epoch,
+		prevBounds: append([]float64(nil), o.prevBounds...),
+		prevRes:    o.prevRes,
+		cfgEcho:    cfgFingerprint(o.cfg),
+	}
+	collect := func(src map[tableset.Set]*rangeindex.Index, dst map[tableset.Set][]rangeindex.Entry) {
+		for sub, ix := range src {
+			if ix.Len() == 0 {
+				continue
+			}
+			entries := make([]rangeindex.Entry, 0, ix.Len())
+			ix.All(func(e rangeindex.Entry) bool {
+				entries = append(entries, e)
+				return true
+			})
+			dst[sub] = entries
+		}
+	}
+	collect(o.res, s.res)
+	collect(o.cand, s.cand)
+	for k := range o.pairMemo {
+		s.pairs = append(s.pairs, k)
+	}
+	return s
+}
+
+// PlanCount returns the number of stored result plus candidate entries,
+// a cheap size proxy for cache accounting.
+func (s *Snapshot) PlanCount() int {
+	n := 0
+	for _, entries := range s.res {
+		n += len(entries)
+	}
+	for _, entries := range s.cand {
+		n += len(entries)
+	}
+	return n
+}
+
+// NewOptimizerFromSnapshot creates an optimizer for query q that resumes
+// from the snapshotted plan-set state instead of starting empty. The
+// caller is responsible for q being plan-compatible with the snapshot's
+// source query — equal query.Fingerprint guarantees this — and cfg must
+// match the snapshot's configuration and cost-model parameters exactly
+// (validated; mismatches return an error rather than corrupt state).
+func NewOptimizerFromSnapshot(q *query.Query, cfg Config, s *Snapshot) (*Optimizer, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	o, err := NewOptimizer(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if got := cfgFingerprint(o.cfg); got != s.cfgEcho {
+		return nil, fmt.Errorf("core: snapshot config mismatch: snapshot %q, restore %q", s.cfgEcho, got)
+	}
+	restore := func(src map[tableset.Set][]rangeindex.Entry, dst func(tableset.Set) *rangeindex.Index) error {
+		for sub, entries := range src {
+			if !sub.SubsetOf(q.Tables()) {
+				return fmt.Errorf("core: snapshot subset %v outside query tables %v", sub, q.Tables())
+			}
+			ix := dst(sub)
+			for _, e := range entries {
+				ix.Insert(e)
+			}
+		}
+		return nil
+	}
+	if err := restore(s.res, o.resFor); err != nil {
+		return nil, err
+	}
+	if err := restore(s.cand, o.candFor); err != nil {
+		return nil, err
+	}
+	for _, k := range s.pairs {
+		o.pairMemo[k] = struct{}{}
+	}
+	o.epoch = s.epoch
+	o.prevBounds = append([]float64(nil), s.prevBounds...)
+	o.prevRes = s.prevRes
+	o.initialized = true
+	return o, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func snapshotTestQuery(t *testing.T) (*query.Query, Config) {
+	t.Helper()
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), "Q3")
+	if !ok {
+		t.Fatal("missing block Q3")
+	}
+	return blk.Query, Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: 4,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.05,
+	}
+}
+
+// resultSignatures renders an optimizer's final result set order-
+// independently for equality checks.
+func resultSignatures(o *Optimizer, b cost.Vector, r int) []string {
+	var out []string
+	for _, p := range o.Results(b, r) {
+		out = append(out, p.Signature())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameSignatures(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotBeforeFirstOptimizeIsNil(t *testing.T) {
+	q, cfg := snapshotTestQuery(t)
+	if s := MustNewOptimizer(q, cfg).Snapshot(); s != nil {
+		t.Fatal("snapshot of an uninitialized optimizer is not nil")
+	}
+}
+
+// TestSnapshotRoundTrip verifies that a restored optimizer exposes the
+// same result set and continues an invocation series exactly like the
+// source would have.
+func TestSnapshotRoundTrip(t *testing.T) {
+	q, cfg := snapshotTestQuery(t)
+	src := MustNewOptimizer(q, cfg)
+	for r := 0; r <= 2; r++ {
+		src.Optimize(nil, r)
+	}
+	snap := src.Snapshot()
+	if snap == nil {
+		t.Fatal("nil snapshot after optimization")
+	}
+	if snap.PlanCount() == 0 {
+		t.Fatal("snapshot holds no plans")
+	}
+
+	restored, err := NewOptimizerFromSnapshot(q, cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSignatures(resultSignatures(src, nil, 2), resultSignatures(restored, nil, 2)) {
+		t.Error("restored result set differs from source")
+	}
+
+	// Continue both with the same focus series: tighten bounds, then
+	// refine to the maximum. The restored optimizer must stay in
+	// lockstep with the source.
+	frontier := src.Results(nil, 2)
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	tight := frontier[0].Cost.Scale(2)
+	for _, o := range []*Optimizer{src, restored} {
+		for r := 0; r <= cfg.MaxResolution(); r++ {
+			o.Optimize(tight, r)
+		}
+	}
+	if !sameSignatures(resultSignatures(src, tight, cfg.MaxResolution()),
+		resultSignatures(restored, tight, cfg.MaxResolution())) {
+		t.Error("restored optimizer diverged from source after continued optimization")
+	}
+}
+
+// TestSnapshotSkipsRegeneration verifies the warm start actually avoids
+// rebuilding plans: finishing a restored series generates zero new plan
+// nodes when nothing changed.
+func TestSnapshotSkipsRegeneration(t *testing.T) {
+	q, cfg := snapshotTestQuery(t)
+	src := MustNewOptimizer(q, cfg)
+	for r := 0; r <= cfg.MaxResolution(); r++ {
+		src.Optimize(nil, r)
+	}
+	restored, err := NewOptimizerFromSnapshot(q, cfg, src.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= cfg.MaxResolution(); r++ {
+		restored.Optimize(nil, r)
+	}
+	if n := restored.Stats().PlansGenerated; n != 0 {
+		t.Errorf("restored optimizer regenerated %d plans, want 0", n)
+	}
+	if !sameSignatures(resultSignatures(src, nil, cfg.MaxResolution()),
+		resultSignatures(restored, nil, cfg.MaxResolution())) {
+		t.Error("restored result set differs from source")
+	}
+}
+
+// TestSnapshotSharesImmutableNodes documents the sharing contract: the
+// snapshot references the source's plan nodes rather than copying them.
+func TestSnapshotSharesImmutableNodes(t *testing.T) {
+	q, cfg := snapshotTestQuery(t)
+	src := MustNewOptimizer(q, cfg)
+	src.Optimize(nil, 0)
+	restored, err := NewOptimizerFromSnapshot(q, cfg, src.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcPlans := map[*plan.Node]bool{}
+	for _, p := range src.Results(nil, 0) {
+		srcPlans[p] = true
+	}
+	for _, p := range restored.Results(nil, 0) {
+		if !srcPlans[p] {
+			t.Fatalf("restored plan %v is a copy, want shared pointer", p)
+		}
+	}
+}
+
+func TestSnapshotConfigMismatch(t *testing.T) {
+	q, cfg := snapshotTestQuery(t)
+	src := MustNewOptimizer(q, cfg)
+	src.Optimize(nil, 0)
+	snap := src.Snapshot()
+
+	for name, mutate := range map[string]func(*Config){
+		"levels":   func(c *Config) { c.ResolutionLevels++ },
+		"target":   func(c *Config) { c.TargetPrecision = 1.2 },
+		"step":     func(c *Config) { c.PrecisionStep = 0.9 },
+		"cellbase": func(c *Config) { c.CellBase = 4 },
+		"ablation": func(c *Config) { c.PruneAgainstAll = true },
+		"model":    func(c *Config) { c.Model = costmodel.MustNew(c.Model.Space(), altParams()) },
+	} {
+		bad := cfg
+		mutate(&bad)
+		if _, err := NewOptimizerFromSnapshot(q, bad, snap); err == nil {
+			t.Errorf("%s mismatch accepted", name)
+		}
+	}
+}
+
+func altParams() costmodel.Params {
+	p := costmodel.DefaultParams()
+	p.HashPerRow *= 2
+	return p
+}

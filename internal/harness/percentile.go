@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-quantile (p in [0,1]) of the given
+// durations using the nearest-rank method; 0 for an empty slice. The
+// input is not modified. Shared by the moqod load generator and the
+// service benchmarks.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,56 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a canonical digest of everything that determines
+// the optimizer's search space for the query: the member table IDs with
+// their catalog statistics (cardinality, row width, index availability,
+// sampling rates), the per-table filter selectivities, and the join
+// edges with their selectivities in canonical order. Two queries with
+// equal fingerprints present byte-identical inputs to the optimizer, so
+// plan-set state computed for one (core.Snapshot) is valid verbatim for
+// the other; the service's warm-start cache keys on this.
+//
+// The digest deliberately ignores the query name and the declaration
+// order of edges, filters, and tables (none affect planning) but not
+// the table IDs themselves: cached plans carry concrete table IDs, so
+// isomorphic queries over permuted IDs must hash differently.
+func (q *Query) Fingerprint() string {
+	var b strings.Builder
+	q.tables.ForEach(func(id int) {
+		t := q.catalog.Table(id)
+		fmt.Fprintf(&b, "t%d:%g:%g:%v:%g:[", id, t.Rows, t.RowWidth, t.HasIndex, q.FilterSelectivity(id))
+		rates := append([]float64(nil), t.SamplingRates...)
+		sort.Float64s(rates)
+		for _, r := range rates {
+			fmt.Fprintf(&b, "%g,", r)
+		}
+		b.WriteString("];")
+	})
+	edges := append([]JoinEdge(nil), q.edges...)
+	for i, e := range edges {
+		if e.A > e.B {
+			edges[i].A, edges[i].B = e.B, e.A
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		if edges[i].B != edges[j].B {
+			return edges[i].B < edges[j].B
+		}
+		return edges[i].Selectivity < edges[j].Selectivity
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "e%d-%d:%g;", e.A, e.B, e.Selectivity)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

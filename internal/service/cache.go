@@ -1,0 +1,102 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// PlanCache is the warm-start cache: an LRU map from canonical query
+// fingerprints (query.Fingerprint) to optimizer snapshots. A session
+// created for an already-seen query shape restores the cached scan and
+// join plan sets instead of regenerating them, which collapses its
+// first-frontier latency. Safe for concurrent use.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // fingerprint → element
+	hits     uint64
+	misses   uint64
+	plans    int // running sum of PlanCount over cached snapshots
+}
+
+type cacheItem struct {
+	fp   string
+	snap *core.Snapshot
+}
+
+// NewPlanCache creates a cache holding at most capacity snapshots;
+// capacity < 1 defaults to 256.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the snapshot cached for the fingerprint, recording a hit
+// or miss.
+func (c *PlanCache) Get(fp string) (*core.Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).snap, true
+}
+
+// Put stores (or refreshes) the snapshot for the fingerprint, evicting
+// the least recently used entry beyond capacity. Nil snapshots are
+// ignored.
+func (c *PlanCache) Put(fp string, snap *core.Snapshot) {
+	if snap == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		item := el.Value.(*cacheItem)
+		c.plans += snap.PlanCount() - item.snap.PlanCount()
+		item.snap = snap
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[fp] = c.ll.PushFront(&cacheItem{fp: fp, snap: snap})
+	c.plans += snap.PlanCount()
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		evicted := oldest.Value.(*cacheItem)
+		delete(c.items, evicted.fp)
+		c.plans -= evicted.snap.PlanCount()
+	}
+}
+
+// CacheStats summarizes cache effectiveness.
+type CacheStats struct {
+	// Entries is the number of cached snapshots.
+	Entries int
+	// Hits and Misses count Get outcomes since creation.
+	Hits, Misses uint64
+	// Plans is the total number of plan entries across cached snapshots.
+	Plans int
+}
+
+// Stats returns a consistent snapshot of the cache counters. O(1): the
+// plan total is maintained on Put/evict so monitoring polls never hold
+// the mutex against the warm-start path for a full cache walk.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses, Plans: c.plans}
+}

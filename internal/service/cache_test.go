@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	snaps := make([]*core.Snapshot, 3)
+	for i := range snaps {
+		snaps[i] = &core.Snapshot{}
+		c.Put(fmt.Sprintf("fp%d", i), snaps[i])
+	}
+	// fp0 is the LRU entry and must have been evicted by fp2.
+	if _, ok := c.Get("fp0"); ok {
+		t.Error("fp0 survived beyond capacity 2")
+	}
+	if s, ok := c.Get("fp1"); !ok || s != snaps[1] {
+		t.Error("fp1 missing or wrong snapshot")
+	}
+	if s, ok := c.Get("fp2"); !ok || s != snaps[2] {
+		t.Error("fp2 missing or wrong snapshot")
+	}
+	// Touch fp1, insert fp3: fp2 is now LRU and must go.
+	c.Get("fp1")
+	c.Put("fp3", &core.Snapshot{})
+	if _, ok := c.Get("fp2"); ok {
+		t.Error("fp2 survived though it was LRU")
+	}
+	if _, ok := c.Get("fp1"); !ok {
+		t.Error("recently used fp1 evicted")
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits != 4 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 4/2", st.Hits, st.Misses)
+	}
+}
+
+func TestPlanCacheIgnoresNil(t *testing.T) {
+	c := NewPlanCache(4)
+	c.Put("fp", nil)
+	if _, ok := c.Get("fp"); ok {
+		t.Error("nil snapshot was cached")
+	}
+}
+
+func TestSchedulerHotPriority(t *testing.T) {
+	// No workers: the test drains the queues itself.
+	sc := newScheduler(0, func(*managed) {})
+	defer sc.stop()
+
+	a, b, hot := &managed{id: "a"}, &managed{id: "b"}, &managed{id: "hot"}
+	sc.enqueue(a, false)
+	sc.enqueue(b, false)
+	sc.enqueue(hot, true)
+	if got := sc.pop(); got != hot {
+		t.Fatalf("pop = %s, want hot session first", got.id)
+	}
+	if got := sc.pop(); got != a {
+		t.Fatalf("pop = %s, want a (FIFO cold order)", got.id)
+	}
+
+	// Re-enqueueing a queued session is a no-op; a hot request promotes
+	// a cold entry.
+	sc.enqueue(b, false)
+	if n := sc.queueLen(); n != 1 {
+		t.Fatalf("queue length %d after duplicate enqueue, want 1", n)
+	}
+	sc.enqueue(b, true)
+	if !b.hot {
+		t.Error("cold entry was not promoted to hot")
+	}
+	if got := sc.pop(); got != b {
+		t.Fatalf("pop = %s, want b", got.id)
+	}
+}

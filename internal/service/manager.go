@@ -1,0 +1,148 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/session"
+)
+
+// State is a managed session's lifecycle state.
+type State int
+
+// Session lifecycle: Refining sessions receive scheduler steps until
+// they reach the target precision (AtTarget); both count as live.
+// Selected, Closed and Expired are terminal.
+const (
+	// Refining means the scheduler is still sharpening the frontier of
+	// the current bounds regime.
+	Refining State = iota
+	// AtTarget means the current regime reached maximal resolution; the
+	// session idles (cost-free) until a bounds change or termination.
+	AtTarget
+	// Selected means the user picked a plan; the session is finished.
+	Selected
+	// Closed means the client closed the session without selecting.
+	Closed
+	// Expired means the idle janitor reclaimed the session.
+	Expired
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Refining:
+		return "refining"
+	case AtTarget:
+		return "at-target"
+	case Selected:
+		return "selected"
+	case Closed:
+		return "closed"
+	case Expired:
+		return "expired"
+	default:
+		return "unknown"
+	}
+}
+
+// Live reports whether the session still serves polls and steps.
+func (s State) Live() bool { return s == Refining || s == AtTarget }
+
+// managed is one tenant session: the session-package control state plus
+// the bookkeeping the scheduler, janitor and cache need. mu serializes
+// all access to sess and the fields below it — optimizer state is not
+// concurrency-safe, so scheduler steps, polls, bounds changes and
+// snapshots all take the lock. queued/hot are owned by the scheduler's
+// own mutex instead (lock order: scheduler.mu is never held while
+// taking m.mu and vice versa).
+type managed struct {
+	id string
+	fp string // canonical query fingerprint (cache key)
+
+	mu          sync.Mutex
+	sess        *session.Session
+	state       State
+	lastTouch   time.Time // last client interaction (create/poll/bounds/select)
+	created     time.Time
+	warm        bool // started from a cached snapshot
+	steps       int  // scheduler steps executed
+	snapshotted bool // plan state already exported to the cache
+
+	// firstFrontier is the latency from session creation to the first
+	// step that produced a non-empty frontier (0 until then) — the
+	// interactive metric the warm-start cache exists to improve.
+	firstFrontier time.Duration
+
+	// Scheduler-owned flags, guarded by scheduler.mu.
+	queued, hot bool
+}
+
+// touch records a client interaction for idle-expiry accounting.
+// Callers hold m.mu.
+func (m *managed) touch() { m.lastTouch = time.Now() }
+
+// manager is the session registry: id → managed session, plus idle
+// expiry. Safe for concurrent use.
+type manager struct {
+	mu       sync.RWMutex
+	sessions map[string]*managed
+}
+
+func newManager() *manager {
+	return &manager{sessions: map[string]*managed{}}
+}
+
+func (mg *manager) add(m *managed) {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	mg.sessions[m.id] = m
+}
+
+func (mg *manager) get(id string) (*managed, bool) {
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	m, ok := mg.sessions[id]
+	return m, ok
+}
+
+func (mg *manager) remove(id string) {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	delete(mg.sessions, id)
+}
+
+func (mg *manager) count() int {
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	return len(mg.sessions)
+}
+
+// expireIdle transitions every live session untouched for at least ttl
+// to Expired, removes it from the registry, and returns the number
+// reclaimed. Sessions mid-step simply expire once the worker releases
+// the lock.
+func (mg *manager) expireIdle(ttl time.Duration) int {
+	mg.mu.Lock()
+	var stale []*managed
+	now := time.Now()
+	for _, m := range mg.sessions {
+		stale = append(stale, m)
+	}
+	mg.mu.Unlock()
+
+	expired := 0
+	for _, m := range stale {
+		m.mu.Lock()
+		kill := m.state.Live() && now.Sub(m.lastTouch) >= ttl
+		if kill {
+			m.state = Expired
+		}
+		m.mu.Unlock()
+		if kill {
+			mg.remove(m.id)
+			expired++
+		}
+	}
+	return expired
+}

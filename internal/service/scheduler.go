@@ -1,0 +1,119 @@
+package service
+
+import "sync"
+
+// scheduler is the fair-share refinement scheduler: a worker pool that
+// time-slices single Optimize refinement steps (session.Step) across
+// the active sessions. Two FIFO run queues implement the policy:
+//
+//   - hot holds sessions whose bounds just changed — the paper's regime
+//     rule resets their resolution to 0, so their frontier is coarsest
+//     and a step buys the most user-visible precision. Newly created
+//     sessions start hot for the same reason. Workers always drain hot
+//     before cold.
+//   - cold holds idle-refining sessions cycling toward the target
+//     precision. A session re-enters the cold queue after each step, so
+//     every active session receives one step per queue cycle (round-
+//     robin fair share) regardless of how expensive its query is.
+//
+// Sessions at maximal resolution leave the queues entirely until a
+// bounds change reactivates them, so converged sessions cost nothing.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	hot     []*managed
+	cold    []*managed
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newScheduler(workers int, step func(*managed)) *scheduler {
+	sc := &scheduler{}
+	sc.cond = sync.NewCond(&sc.mu)
+	for i := 0; i < workers; i++ {
+		sc.wg.Add(1)
+		go func() {
+			defer sc.wg.Done()
+			for {
+				m := sc.pop()
+				if m == nil {
+					return
+				}
+				step(m)
+			}
+		}()
+	}
+	return sc
+}
+
+// enqueue makes the session runnable. hot promotes it to the priority
+// queue; enqueueing an already-queued session is a no-op except that a
+// hot request promotes a cold entry in place.
+func (sc *scheduler) enqueue(m *managed, hot bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.stopped {
+		return
+	}
+	if m.queued {
+		if hot && !m.hot {
+			for i, q := range sc.cold {
+				if q == m {
+					sc.cold = append(sc.cold[:i], sc.cold[i+1:]...)
+					break
+				}
+			}
+			m.hot = true
+			sc.hot = append(sc.hot, m)
+			sc.cond.Signal()
+		}
+		return
+	}
+	m.queued, m.hot = true, hot
+	if hot {
+		sc.hot = append(sc.hot, m)
+	} else {
+		sc.cold = append(sc.cold, m)
+	}
+	sc.cond.Signal()
+}
+
+// pop blocks for the next runnable session, preferring the hot queue;
+// it returns nil once the scheduler stops.
+func (sc *scheduler) pop() *managed {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for {
+		if sc.stopped {
+			return nil
+		}
+		var m *managed
+		if len(sc.hot) > 0 {
+			m, sc.hot = sc.hot[0], sc.hot[1:]
+		} else if len(sc.cold) > 0 {
+			m, sc.cold = sc.cold[0], sc.cold[1:]
+		}
+		if m != nil {
+			m.queued, m.hot = false, false
+			return m
+		}
+		sc.cond.Wait()
+	}
+}
+
+// queueLen returns the combined queue length (instrumentation).
+func (sc *scheduler) queueLen() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.hot) + len(sc.cold)
+}
+
+// stop shuts the worker pool down and waits for in-flight steps.
+func (sc *scheduler) stop() {
+	sc.mu.Lock()
+	sc.stopped = true
+	sc.hot, sc.cold = nil, nil
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	sc.wg.Wait()
+}

@@ -1,0 +1,388 @@
+// Package service runs many concurrent anytime-optimization sessions in
+// one process: the multi-tenant subsystem behind the moqod server. It
+// combines
+//
+//   - a session manager with a full lifecycle (create, poll frontier,
+//     set bounds, select plan, close, idle expiry),
+//   - a fair-share scheduler whose worker pool time-slices single
+//     Optimize refinement steps across sessions, prioritizing sessions
+//     whose bounds just changed (their resolution resets to 0 per the
+//     paper's regime rule) over idle-refining ones, and
+//   - a warm-start plan cache keyed by canonical query fingerprints, so
+//     a session on an already-seen query shape restores cached scan and
+//     join plan sets instead of rebuilding them from scratch.
+//
+// The paper's interactive-speed guarantee is per optimizer invocation;
+// this package extends it to many users by making one invocation
+// (session.Step) the schedulable unit, so no tenant can monopolize a
+// worker for longer than one bounded refinement step.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/session"
+)
+
+// Config configures a Service. Opt is required; zero values elsewhere
+// get defaults.
+type Config struct {
+	// Opt is the per-session optimizer configuration. Hooks must be
+	// unset: they would be invoked concurrently from many workers.
+	Opt core.Config
+
+	// Workers is the refinement worker-pool size; defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	// IdleTimeout expires sessions with no client interaction for this
+	// long; defaults to 5 minutes. Negative disables expiry.
+	IdleTimeout time.Duration
+
+	// JanitorInterval is the expiry sweep period; defaults to
+	// IdleTimeout/4.
+	JanitorInterval time.Duration
+
+	// CacheCapacity bounds the warm-start cache (snapshots); 0 defaults
+	// to 256, negative disables the cache.
+	CacheCapacity int
+
+	// DefaultBounds are the initial cost bounds of new sessions; nil
+	// means unbounded.
+	DefaultBounds cost.Vector
+}
+
+// Stats are cumulative service counters plus current gauges.
+type Stats struct {
+	// Created, Selected, Closed and Expired count session lifecycle
+	// transitions since service start.
+	Created, Selected, Closed, Expired uint64
+	// Steps counts scheduler-executed refinement steps.
+	Steps uint64
+	// WarmStarts counts sessions created from a cached snapshot.
+	WarmStarts uint64
+	// Active is the current number of live sessions.
+	Active int
+	// Queued is the current scheduler run-queue length.
+	Queued int
+	// Cache summarizes the warm-start cache (zero value if disabled).
+	Cache CacheStats
+}
+
+// ErrFrontierMoved reports that refinement steps changed the frontier
+// between the poll a Select index refers to and the Select itself; the
+// client should re-poll and re-decide.
+var ErrFrontierMoved = errors.New("service: frontier moved since poll")
+
+// Status is a poll result: the session's state and current frontier.
+type Status struct {
+	// ID is the session ID.
+	ID string
+	// Query is the session's query display name.
+	Query string
+	// State is the lifecycle state.
+	State State
+	// WarmStarted reports whether the session began from the cache.
+	WarmStarted bool
+	// Resolution is the last step's resolution (-1 before any step).
+	Resolution int
+	// Steps is the number of refinement steps executed so far.
+	Steps int
+	// Bounds is the session's current bound vector.
+	Bounds cost.Vector
+	// Frontier is the current visualization input (shared immutable
+	// plan nodes; callers must not mutate).
+	Frontier []*plan.Node
+	// FirstFrontier is the creation→first-non-empty-frontier latency
+	// (0 until one exists).
+	FirstFrontier time.Duration
+}
+
+// Service is the concurrent anytime-optimization subsystem. Create one
+// with New and release it with Shutdown.
+type Service struct {
+	cfg   Config
+	mgr   *manager
+	sched *scheduler
+	cache *PlanCache // nil when disabled
+
+	nextID      atomic.Uint64
+	created     atomic.Uint64
+	selected    atomic.Uint64
+	closed      atomic.Uint64
+	expired     atomic.Uint64
+	steps       atomic.Uint64
+	warmStarts  atomic.Uint64
+	janitorStop chan struct{}
+}
+
+// New validates the configuration, starts the worker pool and the idle
+// janitor, and returns the running service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Opt.Hooks.PlanGenerated != nil || cfg.Opt.Hooks.PairCombined != nil ||
+		cfg.Opt.Hooks.CandidateRetrieved != nil {
+		return nil, fmt.Errorf("service: Opt.Hooks must be unset (hooks are not concurrency-safe)")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("service: Workers %d < 1", cfg.Workers)
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.JanitorInterval <= 0 {
+		cfg.JanitorInterval = cfg.IdleTimeout / 4
+	}
+	s := &Service{cfg: cfg, mgr: newManager(), janitorStop: make(chan struct{})}
+	if cfg.CacheCapacity >= 0 {
+		s.cache = NewPlanCache(cfg.CacheCapacity)
+	}
+	s.sched = newScheduler(cfg.Workers, s.runStep)
+	if cfg.IdleTimeout > 0 {
+		go s.janitor()
+	} else {
+		close(s.janitorStop)
+	}
+	return s, nil
+}
+
+// Shutdown stops the workers and the janitor; in-flight steps finish
+// first. Sessions are not drained — callers wanting final state poll
+// before shutting down.
+func (s *Service) Shutdown() {
+	select {
+	case <-s.janitorStop:
+	default:
+		close(s.janitorStop)
+	}
+	s.sched.stop()
+}
+
+func (s *Service) janitor() {
+	t := time.NewTicker(s.cfg.JanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.expired.Add(uint64(s.mgr.expireIdle(s.cfg.IdleTimeout)))
+		}
+	}
+}
+
+// Create registers a new session for q and schedules its first
+// refinement step at hot priority. If the warm-start cache holds a
+// snapshot for q's fingerprint, the session resumes from it.
+func (s *Service) Create(q *query.Query) (string, error) {
+	if q == nil {
+		return "", fmt.Errorf("service: nil query")
+	}
+	fp := q.Fingerprint()
+	var sess *session.Session
+	warm := false
+	if s.cache != nil {
+		if snap, ok := s.cache.Get(fp); ok {
+			opt, err := core.NewOptimizerFromSnapshot(q, s.cfg.Opt, snap)
+			if err != nil {
+				return "", fmt.Errorf("service: warm start: %w", err)
+			}
+			sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
+			if err != nil {
+				return "", err
+			}
+			warm = true
+			s.warmStarts.Add(1)
+		}
+	}
+	if sess == nil {
+		var err error
+		sess, err = session.New(q, s.cfg.Opt, s.cfg.DefaultBounds)
+		if err != nil {
+			return "", err
+		}
+	}
+	now := time.Now()
+	m := &managed{
+		id:        fmt.Sprintf("s-%d", s.nextID.Add(1)),
+		fp:        fp,
+		sess:      sess,
+		state:     Refining,
+		lastTouch: now,
+		created:   now,
+		warm:      warm,
+	}
+	s.mgr.add(m)
+	s.created.Add(1)
+	s.sched.enqueue(m, true)
+	return m.id, nil
+}
+
+// runStep executes one refinement step for a scheduled session and
+// decides its next scheduling: re-enqueue cold while refining, park it
+// once the regime reaches maximal resolution (exporting a snapshot to
+// the warm-start cache the first time), drop it when terminal.
+func (s *Service) runStep(m *managed) {
+	m.mu.Lock()
+	if m.state != Refining {
+		m.mu.Unlock()
+		return
+	}
+	frontier := m.sess.Step()
+	m.steps++
+	s.steps.Add(1)
+	if m.firstFrontier == 0 && len(frontier) > 0 {
+		m.firstFrontier = time.Since(m.created)
+	}
+	again := true
+	if m.sess.AtMaxResolution() {
+		m.state = AtTarget
+		again = false
+		if s.cache != nil && !m.snapshotted {
+			s.cache.Put(m.fp, m.sess.Optimizer().Snapshot())
+			m.snapshotted = true
+		}
+	}
+	m.mu.Unlock()
+	if again {
+		s.sched.enqueue(m, false)
+	}
+}
+
+// lookup fetches a live session or fails with a not-found error.
+func (s *Service) lookup(id string) (*managed, error) {
+	m, ok := s.mgr.get(id)
+	if !ok {
+		return nil, fmt.Errorf("service: no session %q", id)
+	}
+	return m, nil
+}
+
+// Poll returns the session's current status and frontier snapshot.
+func (s *Service) Poll(id string) (Status, error) {
+	m, err := s.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.touch()
+	return Status{
+		ID:            m.id,
+		Query:         m.sess.Optimizer().Query().Name(),
+		State:         m.state,
+		WarmStarted:   m.warm,
+		Resolution:    m.sess.Resolution(),
+		Steps:         m.steps,
+		Bounds:        m.sess.Bounds(),
+		Frontier:      m.sess.Frontier(),
+		FirstFrontier: m.firstFrontier,
+	}, nil
+}
+
+// SetBounds changes a live session's cost bounds. Per the paper's
+// regime rule the next step restarts at resolution 0, so the session is
+// (re)scheduled at hot priority.
+func (s *Service) SetBounds(id string, b cost.Vector) error {
+	m, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if !m.state.Live() {
+		m.mu.Unlock()
+		return fmt.Errorf("service: session %q is %v", id, m.state)
+	}
+	if err := m.sess.SetBounds(b); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.state = Refining
+	m.snapshotted = false // new regime: next convergence re-exports
+	m.touch()
+	m.mu.Unlock()
+	s.sched.enqueue(m, true)
+	return nil
+}
+
+// Select picks a plan from the session's current frontier by index,
+// finishing the session (it leaves the registry). Scheduler steps can
+// reorder the frontier between a client's poll and its select, so
+// expectSteps carries the Steps value from the poll the index refers
+// to: a mismatch means the frontier moved underneath the client and
+// Select fails with ErrFrontierMoved instead of silently returning a
+// plan the user never saw. Pass a negative expectSteps to skip the
+// check (safe once the session is AtTarget, whose frontier is frozen).
+func (s *Service) Select(id string, index, expectSteps int) (*plan.Node, error) {
+	m, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if !m.state.Live() {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("service: session %q is %v", id, m.state)
+	}
+	if expectSteps >= 0 && expectSteps != m.steps {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: session %q refined from step %d to %d since the poll",
+			ErrFrontierMoved, id, expectSteps, m.steps)
+	}
+	frontier := m.sess.Frontier()
+	p, _, err := m.sess.Apply(session.Event{Action: session.Select, PlanIndex: index}, frontier)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.state = Selected
+	m.mu.Unlock()
+	s.mgr.remove(id)
+	s.selected.Add(1)
+	return p, nil
+}
+
+// Close drops a live session without selecting a plan.
+func (s *Service) Close(id string) error {
+	m, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if !m.state.Live() {
+		m.mu.Unlock()
+		return fmt.Errorf("service: session %q is %v", id, m.state)
+	}
+	m.state = Closed
+	m.mu.Unlock()
+	s.mgr.remove(id)
+	s.closed.Add(1)
+	return nil
+}
+
+// Stats returns the service counters and gauges.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Created:    s.created.Load(),
+		Selected:   s.selected.Load(),
+		Closed:     s.closed.Load(),
+		Expired:    s.expired.Load(),
+		Steps:      s.steps.Load(),
+		WarmStarts: s.warmStarts.Load(),
+		Active:     s.mgr.count(),
+		Queued:     s.sched.queueLen(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}

@@ -1,0 +1,133 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+func applyTestSession(t *testing.T, levels int) *Session {
+	t.Helper()
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	if !ok {
+		t.Fatal("missing block Q4")
+	}
+	cfg := core.Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: levels,
+		TargetPrecision:  1.05,
+		PrecisionStep:    0.1,
+	}
+	s, err := New(blk.Query, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStepApplyUnits drives the control loop through the public
+// schedulable units (Step + Apply) exactly as the service scheduler
+// does, and checks the regime invariants along the way.
+func TestStepApplyUnits(t *testing.T) {
+	s := applyTestSession(t, 3)
+	if s.AtMaxResolution() {
+		t.Error("AtMaxResolution before any step")
+	}
+
+	frontier := s.Step()
+	if s.Resolution() != 0 {
+		t.Fatalf("first step at resolution %d, want 0", s.Resolution())
+	}
+	if _, done, err := s.Apply(Event{Action: None}, frontier); err != nil || done {
+		t.Fatalf("Apply(None) = done=%v err=%v", done, err)
+	}
+
+	frontier = s.Step()
+	frontier = s.Step()
+	if !s.AtMaxResolution() {
+		t.Errorf("not at max resolution after %d steps with 3 levels", 3)
+	}
+
+	// A bounds change through Apply starts a new regime.
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	bounds := frontier[0].Cost.Scale(2)
+	if _, done, err := s.Apply(Event{Action: SetBounds, Bounds: bounds}, frontier); err != nil || done {
+		t.Fatalf("Apply(SetBounds) = done=%v err=%v", done, err)
+	}
+	if s.AtMaxResolution() {
+		t.Error("AtMaxResolution still true after bounds change")
+	}
+	frontier = s.Step()
+	if s.Resolution() != 0 {
+		t.Errorf("post-bounds step at resolution %d, want 0", s.Resolution())
+	}
+
+	// Select returns the frontier plan and signals completion.
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier after bounds change")
+	}
+	p, done, err := s.Apply(Event{Action: Select, PlanIndex: 0}, frontier)
+	if err != nil || !done {
+		t.Fatalf("Apply(Select) = done=%v err=%v", done, err)
+	}
+	if p != frontier[0] {
+		t.Error("Select returned a different plan than the frontier slot")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := applyTestSession(t, 2)
+	frontier := s.Step()
+
+	if _, _, err := s.Apply(Event{Action: Select, PlanIndex: len(frontier)}, frontier); err == nil {
+		t.Error("out-of-range select index accepted")
+	}
+	if _, _, err := s.Apply(Event{Action: Select}, nil); err == nil {
+		t.Error("select on empty frontier accepted")
+	}
+	if _, _, err := s.Apply(Event{Action: Action(99)}, frontier); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestNewWithOptimizerWarmStart(t *testing.T) {
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	cfg := core.Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: 2,
+		TargetPrecision:  1.05,
+		PrecisionStep:    0.1,
+	}
+	src := core.MustNewOptimizer(blk.Query, cfg)
+	src.Optimize(nil, 0)
+	src.Optimize(nil, 1)
+
+	opt, err := core.NewOptimizerFromSnapshot(blk.Query, cfg, src.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptimizer(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm session starts a fresh regime over restored plan state.
+	if got := s.Resolution(); got != -1 {
+		t.Errorf("fresh warm session resolution %d, want -1", got)
+	}
+	s.Step()
+	s.Step()
+	if !s.AtMaxResolution() {
+		t.Error("warm session did not converge")
+	}
+	if n := opt.Stats().PlansGenerated; n != 0 {
+		t.Errorf("warm session regenerated %d plans, want 0", n)
+	}
+
+	if _, err := NewWithOptimizer(nil, nil); err == nil {
+		t.Error("NewWithOptimizer accepted a nil optimizer")
+	}
+}

@@ -110,7 +110,18 @@ func New(q *query.Query, cfg core.Config, defaultBounds cost.Vector) (*Session, 
 	if err != nil {
 		return nil, err
 	}
-	dim := cfg.Model.Space().Dim()
+	return NewWithOptimizer(opt, defaultBounds)
+}
+
+// NewWithOptimizer wraps an existing optimizer — typically one restored
+// from a core.Snapshot for a warm start — in a fresh session with the
+// given initial bounds; nil means unbounded. The session assumes sole
+// ownership of the optimizer.
+func NewWithOptimizer(opt *core.Optimizer, defaultBounds cost.Vector) (*Session, error) {
+	if opt == nil {
+		return nil, fmt.Errorf("session: nil optimizer")
+	}
+	dim := opt.Config().Model.Space().Dim()
 	if defaultBounds == nil {
 		defaultBounds = cost.Unbounded(dim)
 	}
@@ -143,6 +154,15 @@ func (s *Session) Resolution() int {
 		return -1
 	}
 	return s.res
+}
+
+// AtMaxResolution reports whether the session has refined the current
+// bounds regime to the maximal resolution, i.e. the frontier has reached
+// the target precision α_T and further Steps cannot sharpen it. A
+// subsequent SetBounds starts a new regime and makes Steps productive
+// again. This is the scheduler's "nothing left to refine" signal.
+func (s *Session) AtMaxResolution() bool {
+	return s.started && s.res >= s.opt.Config().MaxResolution()
 }
 
 // Records returns the per-iteration instrumentation.
@@ -205,6 +225,34 @@ func (s *Session) Step() []*plan.Node {
 	return frontier
 }
 
+// Apply processes one user event against the given frontier: a no-op
+// for None, a bounds change (starting a new regime on the next Step)
+// for SetBounds, and a terminal plan choice for Select. It returns the
+// selected plan and done=true when the event ends the session. Step and
+// Apply together form one schedulable control-loop iteration; Run, the
+// service scheduler, and the moqod server all drive sessions through
+// these two units rather than a private loop.
+func (s *Session) Apply(ev Event, frontier []*plan.Node) (selected *plan.Node, done bool, err error) {
+	switch ev.Action {
+	case None:
+		// Refinement continues on the next Step.
+		return nil, false, nil
+	case SetBounds:
+		return nil, false, s.SetBounds(ev.Bounds)
+	case Select:
+		if len(frontier) == 0 {
+			return nil, false, fmt.Errorf("session: select on empty frontier")
+		}
+		if ev.PlanIndex < 0 || ev.PlanIndex >= len(frontier) {
+			return nil, false, fmt.Errorf("session: plan index %d outside frontier of %d",
+				ev.PlanIndex, len(frontier))
+		}
+		return frontier[ev.PlanIndex], true, nil
+	default:
+		return nil, false, fmt.Errorf("session: unknown action %d", ev.Action)
+	}
+}
+
 // Run executes the full interactive loop of Algorithm 1: it iterates
 // until the event source selects a plan or maxIterations is reached (a
 // safeguard; interactive users always select eventually). It returns the
@@ -218,24 +266,12 @@ func (s *Session) Run(events EventSource, maxIterations int) (*plan.Node, error)
 	}
 	for iter := 0; iter < maxIterations; iter++ {
 		frontier := s.Step()
-		switch ev := events.Next(frontier); ev.Action {
-		case None:
-			// Refinement continues on the next Step.
-		case SetBounds:
-			if err := s.SetBounds(ev.Bounds); err != nil {
-				return nil, err
-			}
-		case Select:
-			if len(frontier) == 0 {
-				return nil, fmt.Errorf("session: select on empty frontier")
-			}
-			if ev.PlanIndex < 0 || ev.PlanIndex >= len(frontier) {
-				return nil, fmt.Errorf("session: plan index %d outside frontier of %d",
-					ev.PlanIndex, len(frontier))
-			}
-			return frontier[ev.PlanIndex], nil
-		default:
-			return nil, fmt.Errorf("session: unknown action %d", ev.Action)
+		selected, done, err := s.Apply(events.Next(frontier), frontier)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return selected, nil
 		}
 	}
 	return nil, nil

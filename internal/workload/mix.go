@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SessionProfile scripts one simulated interactive user for the service
+// load generator: which query block the user optimizes and how they
+// interact with the frontier while the scheduler refines it.
+type SessionProfile struct {
+	// Block is the query the session optimizes.
+	Block Block
+	// BoundsResets is how many times the user drags the cost bounds
+	// (each reset starts a new regime at resolution 0).
+	BoundsResets int
+	// BoundsScale multiplies the first frontier plan's cost vector to
+	// produce the dragged bounds; > 1 keeps the frontier non-empty.
+	BoundsScale float64
+	// Selects reports whether the user finally picks a plan (true) or
+	// abandons the session (false).
+	Selects bool
+}
+
+// Mix generates a deterministic stream of n session profiles over the
+// given blocks, approximating an interactive population: most users
+// optimize small blocks (ad-hoc queries skew simple), drag bounds zero
+// to two times, and four in five select a plan. Deterministic for a
+// fixed rng state, so experiments are reproducible seed-for-seed.
+func Mix(blocks []Block, n int, rng *rand.Rand) ([]SessionProfile, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("workload: Mix needs at least one block")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: Mix n=%d < 1", n)
+	}
+	// Weight blocks inversely by table count so the mix skews small the
+	// way interactive traffic does, while still exercising large blocks.
+	weights := make([]float64, len(blocks))
+	total := 0.0
+	for i, b := range blocks {
+		weights[i] = 1 / float64(b.Query.NumTables())
+		total += weights[i]
+	}
+	pick := func() Block {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x < 0 {
+				return blocks[i]
+			}
+		}
+		return blocks[len(blocks)-1]
+	}
+	out := make([]SessionProfile, n)
+	for i := range out {
+		out[i] = SessionProfile{
+			Block:        pick(),
+			BoundsResets: rng.Intn(3),
+			BoundsScale:  1.5 + 2*rng.Float64(),
+			Selects:      rng.Float64() < 0.8,
+		}
+	}
+	return out, nil
+}
+
+// MustMix is Mix but panics on error.
+func MustMix(blocks []Block, n int, rng *rand.Rand) []SessionProfile {
+	out, err := Mix(blocks, n, rng)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMixDeterministicAndBounded(t *testing.T) {
+	blocks := MustTPCHBlocks(1)
+	a := MustMix(blocks, 100, rand.New(rand.NewSource(3)))
+	b := MustMix(blocks, 100, rand.New(rand.NewSource(3)))
+	if len(a) != 100 {
+		t.Fatalf("got %d profiles, want 100", len(a))
+	}
+	for i := range a {
+		if a[i].Block.Name != b[i].Block.Name ||
+			a[i].BoundsResets != b[i].BoundsResets ||
+			a[i].BoundsScale != b[i].BoundsScale ||
+			a[i].Selects != b[i].Selects {
+			t.Fatalf("profile %d differs across same-seed runs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].BoundsResets < 0 || a[i].BoundsResets > 2 {
+			t.Errorf("profile %d: BoundsResets %d outside [0,2]", i, a[i].BoundsResets)
+		}
+		if a[i].BoundsScale <= 1 {
+			t.Errorf("profile %d: BoundsScale %g would empty the frontier", i, a[i].BoundsScale)
+		}
+	}
+}
+
+// TestMixSkewsSmall checks the inverse-table-count weighting: 2-table
+// blocks must outnumber 6-plus-table blocks in a large sample.
+func TestMixSkewsSmall(t *testing.T) {
+	blocks := MustTPCHBlocks(1)
+	profiles := MustMix(blocks, 2000, rand.New(rand.NewSource(1)))
+	small, large := 0, 0
+	for _, p := range profiles {
+		switch n := p.Block.Query.NumTables(); {
+		case n == 2:
+			small++
+		case n >= 6:
+			large++
+		}
+	}
+	if small <= large {
+		t.Errorf("mix is not small-skewed: %d two-table vs %d six-plus-table sessions", small, large)
+	}
+}
+
+func TestMixErrors(t *testing.T) {
+	if _, err := Mix(nil, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Mix accepted an empty block list")
+	}
+	if _, err := Mix(MustTPCHBlocks(1), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Mix accepted n=0")
+	}
+}
