@@ -29,30 +29,11 @@ import (
 	"repro/internal/workload"
 )
 
-func aggNS(ds []time.Duration, useMax bool) float64 {
-	if len(ds) == 0 {
-		return 0
-	}
-	if useMax {
-		m := ds[0]
-		for _, d := range ds[1:] {
-			if d > m {
-				m = d
-			}
-		}
-		return float64(m.Nanoseconds())
-	}
-	var sum time.Duration
-	for _, d := range ds {
-		sum += d
-	}
-	return float64(sum.Nanoseconds()) / float64(len(ds))
-}
-
 // benchSeries runs the three algorithms on one block and reports their
 // per-invocation (average or maximal) times as custom benchmark metrics.
 func benchSeries(b *testing.B, blockName string, levels int, alphaT, alphaS float64, useMax bool) {
 	b.Helper()
+	b.ReportAllocs()
 	blk, ok := workload.Find(workload.MustTPCHBlocks(1), blockName)
 	if !ok {
 		b.Fatalf("unknown block %s", blockName)
@@ -64,9 +45,9 @@ func benchSeries(b *testing.B, blockName string, levels int, alphaT, alphaS floa
 		if err != nil {
 			b.Fatal(err)
 		}
-		iamaNS += aggNS(ia, useMax)
-		mlNS += aggNS(ml, useMax)
-		osNS += aggNS(os, useMax)
+		iamaNS += harness.AggregateNS(ia, useMax)
+		mlNS += harness.AggregateNS(ml, useMax)
+		osNS += harness.AggregateNS(os, useMax)
 	}
 	n := float64(b.N)
 	b.ReportMetric(iamaNS/n, "iama-ns")
@@ -120,6 +101,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure2aAnytimeSeries(b *testing.B) {
 	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q10")
 	model := costmodel.Default()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.Config{Model: model, ResolutionLevels: 10, TargetPrecision: 1.01, PrecisionStep: 0.05}
 		opt := core.MustNewOptimizer(blk.Query, cfg)
@@ -132,6 +114,7 @@ func BenchmarkFigure2aAnytimeSeries(b *testing.B) {
 // Figure 2b: per-invocation run time of incremental versus memoryless
 // across a 10-step refinement series.
 func BenchmarkFigure2bInvocationTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := harness.InvocationTrace("Q5", harness.Options{
 			TargetPrecision:  1.01,
@@ -145,6 +128,7 @@ func BenchmarkFigure2bInvocationTrace(b *testing.B) {
 
 func benchAblation(b *testing.B, mutate func(*core.Config)) {
 	b.Helper()
+	b.ReportAllocs()
 	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q3")
 	model := costmodel.Default()
 	for i := 0; i < b.N; i++ {
@@ -200,6 +184,7 @@ func BenchmarkAblationCellBase(b *testing.B) {
 func BenchmarkBoundsInteraction(b *testing.B) {
 	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q5")
 	model := costmodel.Default()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.Config{Model: model, ResolutionLevels: 5, TargetPrecision: 1.01, PrecisionStep: 0.05}
 		opt := core.MustNewOptimizer(blk.Query, cfg)
@@ -227,6 +212,7 @@ func BenchmarkExhaustiveVsApprox(b *testing.B) {
 	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q10")
 	model := costmodel.Default()
 	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res := baseline.Exhaustive(blk.Query, model, nil)
 			if len(res.Final(blk.Query)) == 0 {
@@ -235,6 +221,7 @@ func BenchmarkExhaustiveVsApprox(b *testing.B) {
 		}
 	})
 	b.Run("oneshot-1.01", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := baseline.OneShot(blk.Query, model, 1.01, nil)
 			if err != nil {
@@ -256,6 +243,7 @@ func BenchmarkDensitySweep(b *testing.B) {
 	for _, rates := range []int{2, 6, 12} {
 		rates := rates
 		b.Run(fmt.Sprintf("rates=%d", rates), func(b *testing.B) {
+			b.ReportAllocs()
 			var iamaNS, mlNS, osNS float64
 			for i := 0; i < b.N; i++ {
 				points, err := harness.DensitySweep(4, []int{rates}, 5, 1.01, 0.1)
@@ -287,36 +275,21 @@ func BenchmarkDensitySweep(b *testing.B) {
 // is disabled entirely.
 func benchServiceSessions(b *testing.B, sessions int, warmCache bool) {
 	b.Helper()
+	b.ReportAllocs()
 	blocks := workload.MustTPCHBlocks(1)
-	// Small interactive blocks: the session mix of an ad-hoc workload.
-	names := []string{"Q4", "Q12", "Q13", "Q14"}
-	cfg := service.Config{
-		Opt: core.Config{
-			Model:            costmodel.Default(),
-			ResolutionLevels: 3,
-			TargetPrecision:  1.05,
-			PrecisionStep:    0.1,
-		},
-		IdleTimeout: -1,
-	}
-	if !warmCache {
-		cfg.CacheCapacity = -1
-	}
-	svc, err := service.New(cfg)
+	// Workload spec shared with cmd/benchjson (harness.ServiceBench*),
+	// so BENCH_core.json records the same benchmark.
+	names := harness.ServiceBenchNames()
+	svc, err := service.New(harness.ServiceBenchConfig(warmCache))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer svc.Shutdown()
 
-	await := func(id string) (service.Status, error) {
-		for {
-			st, err := svc.Poll(id)
-			if err != nil || st.State == service.AtTarget {
-				return st, err
-			}
-			time.Sleep(50 * time.Microsecond)
-		}
-	}
+	// WaitTarget blocks on the service's step-completion broadcast, so
+	// neither the warm-up nor the timed sessions burn worker cycles in
+	// a poll loop (they used to spin on Poll at 50µs intervals, which
+	// both wasted a core and perturbed the latency percentiles).
 	if warmCache {
 		for _, name := range names {
 			blk, _ := workload.Find(blocks, name)
@@ -324,7 +297,7 @@ func benchServiceSessions(b *testing.B, sessions int, warmCache bool) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := await(id); err != nil {
+			if _, err := svc.WaitTarget(id); err != nil {
 				b.Fatal(err)
 			}
 			if err := svc.Close(id); err != nil {
@@ -350,7 +323,7 @@ func benchServiceSessions(b *testing.B, sessions int, warmCache bool) {
 					return
 				}
 				pollStart := time.Now()
-				st, err := await(id)
+				st, err := svc.WaitTarget(id)
 				pollLat := time.Since(pollStart)
 				if err != nil {
 					errs <- err

@@ -1,0 +1,249 @@
+// Command benchjson runs the repository's headline benchmarks — the
+// paper's Figure 3/5 invocation-series measurements and the
+// multi-tenant service throughput — and writes the results as JSON
+// (BENCH_core.json by default), so the performance trajectory of the
+// repo is recorded per PR in a diffable, machine-readable form.
+//
+// Two modes:
+//
+//	-mode smoke   one iteration of a reduced workload (seconds); CI
+//	              uses this to keep the harness from bit-rotting.
+//	-mode full    the acceptance workload (Figure 3 at 20 resolution
+//	              levels on Q5/Q8, Figure 5 on Q5, 64-session service
+//	              throughput warm and cold), several iterations each.
+//
+// Unlike `go test -bench`, this binary measures allocations and custom
+// metrics (per-algorithm invocation times, sessions/sec) through one
+// code path and needs no output parsing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Result is one benchmark's averaged measurements.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	Mode        string   `json:"mode"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Results     []Result `json:"results"`
+}
+
+// bench is one named measurement: setup returns the op to repeat and an
+// optional teardown. Custom metrics accumulated into the op's map are
+// averaged over the iterations.
+type bench struct {
+	name      string
+	iters     int
+	setup     func() (op func(metrics map[string]float64) error, teardown func(), err error)
+	smokeOnly bool
+	fullOnly  bool
+}
+
+func measure(b bench) (Result, error) {
+	op, teardown, err := b.setup()
+	if err != nil {
+		return Result{}, err
+	}
+	if teardown != nil {
+		defer teardown()
+	}
+	metrics := map[string]float64{}
+	// One untimed warm-up iteration stabilizes caches and lazily built
+	// state, mirroring testing.B's behaviour.
+	if err := op(map[string]float64{}); err != nil {
+		return Result{}, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < b.iters; i++ {
+		if err := op(metrics); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	n := float64(b.iters)
+	for k := range metrics {
+		metrics[k] /= n
+	}
+	return Result{
+		Name:        b.name,
+		Iterations:  b.iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / n,
+		Metrics:     metrics,
+	}, nil
+}
+
+// figureSeries measures one Figure 3/5-style block: a full
+// invocation series of IAMA, memoryless and one-shot, reporting the
+// per-invocation (average or maximal) times as custom metrics.
+func figureSeries(block string, levels int, alphaT, alphaS float64, useMax bool) func() (func(map[string]float64) error, func(), error) {
+	return func() (func(map[string]float64) error, func(), error) {
+		blk, ok := workload.Find(workload.MustTPCHBlocks(1), block)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown block %s", block)
+		}
+		model := costmodel.Default()
+		op := func(metrics map[string]float64) error {
+			ia, ml, osh, err := harness.InvocationTimes(blk.Query, model, levels, alphaT, alphaS)
+			if err != nil {
+				return err
+			}
+			metrics["iama_ns"] += harness.AggregateNS(ia, useMax)
+			metrics["memoryless_ns"] += harness.AggregateNS(ml, useMax)
+			metrics["oneshot_ns"] += harness.AggregateNS(osh, useMax)
+			return nil
+		}
+		return op, nil, nil
+	}
+}
+
+// serviceSessions measures one batch of concurrent sessions driven to
+// target precision through the multi-tenant service, reporting
+// throughput as sessions/sec.
+func serviceSessions(sessions int, warm bool) func() (func(map[string]float64) error, func(), error) {
+	return func() (func(map[string]float64) error, func(), error) {
+		blocks := workload.MustTPCHBlocks(1)
+		// Workload spec shared with bench_test.go's
+		// BenchmarkServiceSessions, so both measure the same thing.
+		names := harness.ServiceBenchNames()
+		svc, err := service.New(harness.ServiceBenchConfig(warm))
+		if err != nil {
+			return nil, nil, err
+		}
+		if warm {
+			for _, name := range names {
+				blk, _ := workload.Find(blocks, name)
+				id, err := svc.Create(blk.Query)
+				if err != nil {
+					return nil, nil, err
+				}
+				if _, err := svc.WaitTarget(id); err != nil {
+					return nil, nil, err
+				}
+				if err := svc.Close(id); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		op := func(metrics map[string]float64) error {
+			start := time.Now()
+			errs := make(chan error, sessions)
+			for s := 0; s < sessions; s++ {
+				go func(s int) {
+					blk, _ := workload.Find(blocks, names[s%len(names)])
+					id, err := svc.Create(blk.Query)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := svc.WaitTarget(id); err != nil {
+						errs <- err
+						return
+					}
+					errs <- svc.Close(id)
+				}(s)
+			}
+			for s := 0; s < sessions; s++ {
+				if err := <-errs; err != nil {
+					return err
+				}
+			}
+			metrics["sessions_per_sec"] += float64(sessions) / time.Since(start).Seconds()
+			return nil
+		}
+		return op, svc.Shutdown, nil
+	}
+}
+
+func main() {
+	mode := flag.String("mode", "smoke", "smoke (reduced, 1 iteration) or full (acceptance workload)")
+	out := flag.String("out", "BENCH_core.json", "output JSON path")
+	flag.Parse()
+	if *mode != "smoke" && *mode != "full" {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	full := *mode == "full"
+
+	benches := []bench{
+		// Smoke variants: small blocks, few levels — seconds total.
+		{name: "figure3/levels=5/Q3", iters: 1, smokeOnly: true,
+			setup: figureSeries("Q3", 5, 1.01, 0.05, false)},
+		{name: "service/sessions=8/cold", iters: 1, smokeOnly: true,
+			setup: serviceSessions(8, false)},
+		{name: "service/sessions=8/warm", iters: 1, smokeOnly: true,
+			setup: serviceSessions(8, true)},
+
+		// Full variants: the acceptance workload.
+		{name: "figure3/levels=20/Q5", iters: 3, fullOnly: true,
+			setup: figureSeries("Q5", 20, 1.01, 0.05, false)},
+		{name: "figure3/levels=20/Q8", iters: 3, fullOnly: true,
+			setup: figureSeries("Q8", 20, 1.01, 0.05, false)},
+		{name: "figure5/Q5", iters: 2, fullOnly: true,
+			setup: figureSeries("Q5", 20, 1.005, 0.5, true)},
+		{name: "service/sessions=64/cold", iters: 5, fullOnly: true,
+			setup: serviceSessions(64, false)},
+		{name: "service/sessions=64/warm", iters: 5, fullOnly: true,
+			setup: serviceSessions(64, true)},
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Mode:        *mode,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, b := range benches {
+		if (b.smokeOnly && full) || (b.fullOnly && !full) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s (%d iterations)...\n", b.name, b.iters)
+		res, err := measure(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", b.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-28s %14.0f ns/op %14.0f allocs/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp)
+		report.Results = append(report.Results, res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}

@@ -386,32 +386,20 @@ func driveSession(svc *service.Service, p workload.SessionProfile) (first, total
 	return first, time.Since(start), nil
 }
 
-// awaitTarget polls until the session's current regime reaches target
-// precision. The poll interval backs off exponentially so that many
-// waiting clients do not starve the refinement workers of CPU; the
-// deadline only guards against hangs (under heavy fan-out on few cores
-// a fair-shared session legitimately takes minutes).
+// awaitTarget blocks on the service's step-completion signal until the
+// session's current regime reaches target precision: WaitTargetTimeout
+// parks on a condition variable instead of polling, so many waiting
+// clients cost the refinement workers nothing and a waited-on session
+// cannot idle-expire; service shutdown releases the wait with an
+// error. The deadline only guards against hangs (under heavy fan-out
+// on few cores a fair-shared session legitimately takes minutes).
 func awaitTarget(svc *service.Service, id string) (service.Status, error) {
-	deadline := time.Now().Add(15 * time.Minute)
-	sleep := 200 * time.Microsecond
-	for {
-		st, err := svc.Poll(id)
-		if err != nil {
-			return service.Status{}, err
-		}
-		if st.State == service.AtTarget {
-			return st, nil
-		}
-		if !st.State.Live() {
-			return st, fmt.Errorf("session %s ended in state %v", id, st.State)
-		}
-		if time.Now().After(deadline) {
-			return st, fmt.Errorf("session %s did not reach target in time (state %v, resolution %d)",
-				id, st.State, st.Resolution)
-		}
-		time.Sleep(sleep)
-		if sleep < 10*time.Millisecond {
-			sleep *= 2
-		}
+	st, err := svc.WaitTargetTimeout(id, 15*time.Minute)
+	if err != nil {
+		return st, err
 	}
+	if st.State != service.AtTarget {
+		return st, fmt.Errorf("session %s ended in state %v", id, st.State)
+	}
+	return st, nil
 }

@@ -63,10 +63,18 @@ func Optimize(q *query.Query, model *costmodel.Model, alpha float64, b cost.Vect
 	}
 	res := &Result{Plans: map[tableset.Set][]*plan.Node{}}
 
+	// One arena and alternatives scratch per DP pass: the baselines
+	// share the optimizer's block allocation so timing comparisons
+	// measure the algorithmic strategy, not allocator traffic. The
+	// arena's memory lives as long as the Result references its nodes.
+	arena := plan.NewArena()
+	var alts []*plan.Node
+
 	// Scan plans.
 	q.Tables().ForEach(func(id int) {
 		sub := tableset.Singleton(id)
-		for _, p := range model.ScanPlans(q, id) {
+		alts = model.AppendScanPlans(alts[:0], q, id, arena)
+		for _, p := range alts {
 			res.PlansGenerated++
 			res.insert(sub, p, alpha, b)
 		}
@@ -88,7 +96,8 @@ func Optimize(q *query.Query, model *costmodel.Model, alpha float64, b cost.Vect
 				}
 				for _, l := range res.Plans[q1] {
 					for _, r := range res.Plans[q2] {
-						for _, p := range model.JoinAlternatives(q, l, r) {
+						alts = model.AppendJoinAlternatives(alts[:0], q, l, r, arena)
+						for _, p := range alts {
 							res.PlansGenerated++
 							res.insert(sub, p, alpha, b)
 						}
@@ -118,9 +127,8 @@ func (r *Result) insert(sub tableset.Set, p *plan.Node, alpha float64, b cost.Ve
 		return
 	}
 	set := r.Plans[sub]
-	scaled := p.Cost.Scale(alpha)
 	for _, q := range set {
-		if q.Order.Covers(p.Order) && q.Cost.Dominates(scaled) {
+		if q.Order.Covers(p.Order) && q.Cost.DominatesScaled(p.Cost, alpha) {
 			return
 		}
 	}

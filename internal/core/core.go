@@ -33,9 +33,15 @@ type Optimizer struct {
 	// operator of function Fresh.
 	epoch uint64
 
-	// pairMemo implements predicate IsFresh: a sub-plan pair maps to
-	// true once its join alternatives have been generated.
-	pairMemo map[pairKey]struct{}
+	// arena allocates every plan node (and its cost vector) this
+	// optimizer generates, assigning dense uint32 IDs (DESIGN.md D8).
+	arena *plan.Arena
+
+	// pairMemo implements predicate IsFresh: a sub-plan pair, packed as
+	// leftID<<32|rightID of the arena's dense node IDs, is present once
+	// its join alternatives have been generated. Packing halves the key
+	// memory and hashing cost of the two-pointer struct it replaces.
+	pairMemo map[uint64]struct{}
 
 	// prevBounds/prevRes record the previous invocation's focus to
 	// decide whether the Δ filter is sound (the bounds-tightening,
@@ -45,10 +51,40 @@ type Optimizer struct {
 
 	initialized bool
 	stats       Stats
+
+	// Scratch state reused across calls (DESIGN.md D9): the refinement
+	// inner loop must not heap-allocate per prune call or per sub-plan
+	// pair. An Optimizer is single-threaded, so one set of buffers
+	// suffices; none of the buffers is live across exported calls.
+	unbounded     cost.Vector        // cached ∞ bounds for b == nil
+	scaledScratch cost.Vector        // α_r·c(p) in prune
+	boundScratch  cost.Vector        // query box min(α_r·c(p), b) in prune
+	drainScratch  []rangeindex.Entry // phase-one candidate retrieval
+	altsScratch   []*plan.Node       // scan/join alternative enumeration
+	altsKeep      []bool             // frontier filter over altsScratch
+	visAll        []*plan.Node       // visible-set collection
+	visEpochs     []uint64           // insertion epochs of visAll
+	visKeep       []bool             // frontier filter over visAll
+	visCache      map[tableset.Set]*visibleSets
+	visPool       []*visibleSets // recycled visibleSets across invocations
+	visUsed       int
+
+	// Persistent range-query visitors (allocated once, so Query calls
+	// in the hot path create no closures), plus the state they operate
+	// on. Valid only during the call that set them.
+	pruneVisit func(rangeindex.Entry) bool
+	visCollect func(rangeindex.Entry) bool
+	pruneP     *plan.Node
+	pruneExact bool
+	pruneAppr  bool
 }
 
-type pairKey struct {
-	left, right *plan.Node
+// pairID packs an ordered sub-plan pair into the memo key. Node IDs are
+// unique within one optimizer (the arena assigns them densely, and
+// snapshot restore continues the source numbering), so the packed key
+// collides exactly when the pair is the same.
+func pairID(l, r *plan.Node) uint64 {
+	return uint64(l.ID())<<32 | uint64(r.ID())
 }
 
 // NewOptimizer creates an optimizer for query q. The scan plans are
@@ -66,12 +102,40 @@ func NewOptimizer(q *query.Query, cfg Config) (*Optimizer, error) {
 		return nil, fmt.Errorf("core: %d cost metrics exceed the index limit %d",
 			cfg.Model.Space().Dim(), rangeindex.MaxDims)
 	}
+	dim := cfg.Model.Space().Dim()
 	o := &Optimizer{
-		cfg:      cfg,
-		q:        q,
-		res:      map[tableset.Set]*rangeindex.Index{},
-		cand:     map[tableset.Set]*rangeindex.Index{},
-		pairMemo: map[pairKey]struct{}{},
+		cfg:           cfg,
+		q:             q,
+		res:           map[tableset.Set]*rangeindex.Index{},
+		cand:          map[tableset.Set]*rangeindex.Index{},
+		arena:         plan.NewArena(),
+		pairMemo:      map[uint64]struct{}{},
+		unbounded:     cost.Unbounded(dim),
+		scaledScratch: cost.NewVector(dim),
+		boundScratch:  cost.NewVector(dim),
+		visCache:      map[tableset.Set]*visibleSets{},
+	}
+	o.pruneVisit = func(e rangeindex.Entry) bool {
+		o.stats.DominanceChecks++
+		pA := e.Payload
+		if !o.cfg.DisableOrderAwarePruning && !pA.Order.Covers(o.pruneP.Order) {
+			return true
+		}
+		// Cost ⪯ α_r·c(p) is guaranteed by the query box.
+		o.pruneAppr = true
+		if o.cfg.RetainDominatedCandidates {
+			return false
+		}
+		if pA.Rows <= o.pruneP.Rows && pA.Cost.Dominates(o.pruneP.Cost) {
+			o.pruneExact = true
+			return false
+		}
+		return true
+	}
+	o.visCollect = func(e rangeindex.Entry) bool {
+		o.visAll = append(o.visAll, e.Payload)
+		o.visEpochs = append(o.visEpochs, e.Epoch)
+		return true
 	}
 	o.subsetsBySize = connectedSubsets(q)
 	return o, nil
@@ -139,7 +203,7 @@ func (o *Optimizer) candFor(s tableset.Set) *rangeindex.Index {
 func (o *Optimizer) Optimize(b cost.Vector, r int) {
 	dim := o.cfg.Model.Space().Dim()
 	if b == nil {
-		b = cost.Unbounded(dim)
+		b = o.unbounded
 	}
 	if b.Dim() != dim {
 		panic(fmt.Sprintf("core: bounds dim %d, space dim %d", b.Dim(), dim))
@@ -175,8 +239,9 @@ func (o *Optimizer) Optimize(b cost.Vector, r int) {
 			if !ok {
 				continue
 			}
-			for _, e := range cand.Drain(b, r) {
-				p := e.Payload.(*plan.Node)
+			o.drainScratch = cand.Drain(b, r, o.drainScratch[:0])
+			for _, e := range o.drainScratch {
+				p := e.Payload
 				o.stats.CandidateRetrievals++
 				if o.cfg.Hooks.CandidateRetrieved != nil {
 					o.cfg.Hooks.CandidateRetrieved(p)
@@ -189,8 +254,10 @@ func (o *Optimizer) Optimize(b cost.Vector, r int) {
 	// Phase two: combine fresh sub-plan pairs bottom-up (lines 13–22).
 	// The visible-set cache is per invocation: subsets are processed in
 	// ascending size, so each split operand's result set is final when
-	// first collected.
-	cache := make(map[tableset.Set]*visibleSets)
+	// first collected. The cache map and its visibleSets are recycled
+	// across invocations.
+	clear(o.visCache)
+	o.visUsed = 0
 	for size := 2; size <= len(o.subsetsBySize); size++ {
 		for _, sub := range o.subsetsBySize[size-1] {
 			sub.AllSplits(func(q1, q2 tableset.Set) bool {
@@ -200,13 +267,17 @@ func (o *Optimizer) Optimize(b cost.Vector, r int) {
 				if _, edges := o.q.CrossSelectivity(q1, q2); edges == 0 {
 					return true // cartesian product: never planned
 				}
-				o.combineFresh(sub, q1, q2, b, r, deltaOK, cache)
+				o.combineFresh(sub, q1, q2, b, r, deltaOK)
 				return true
 			})
 		}
 	}
 
-	o.prevBounds = b.Clone()
+	if o.prevBounds == nil {
+		o.prevBounds = b.Clone()
+	} else {
+		copy(o.prevBounds, b)
+	}
 	o.prevRes = r
 }
 
@@ -215,7 +286,8 @@ func (o *Optimizer) Optimize(b cost.Vector, r int) {
 func (o *Optimizer) initScans(b cost.Vector, r int) {
 	o.q.Tables().ForEach(func(id int) {
 		sub := tableset.Singleton(id)
-		for _, p := range o.cfg.Model.ScanPlans(o.q, id) {
+		o.altsScratch = o.cfg.Model.AppendScanPlans(o.altsScratch[:0], o.q, id, o.arena)
+		for _, p := range o.altsScratch {
 			o.stats.PlansGenerated++
 			if o.cfg.Hooks.PlanGenerated != nil {
 				o.cfg.Hooks.PlanGenerated(p)
@@ -236,7 +308,7 @@ func (o *Optimizer) Results(b cost.Vector, r int) []*plan.Node {
 // bounds b and resolution r.
 func (o *Optimizer) ResultsFor(sub tableset.Set, b cost.Vector, r int) []*plan.Node {
 	if b == nil {
-		b = cost.Unbounded(o.cfg.Model.Space().Dim())
+		b = o.unbounded
 	}
 	ix, ok := o.res[sub]
 	if !ok {
@@ -244,7 +316,7 @@ func (o *Optimizer) ResultsFor(sub tableset.Set, b cost.Vector, r int) []*plan.N
 	}
 	var out []*plan.Node
 	ix.Query(b, r, 0, func(e rangeindex.Entry) bool {
-		out = append(out, e.Payload.(*plan.Node))
+		out = append(out, e.Payload)
 		return true
 	})
 	return out

@@ -3,48 +3,60 @@ package core
 import (
 	"repro/internal/cost"
 	"repro/internal/plan"
-	"repro/internal/rangeindex"
 	"repro/internal/tableset"
 )
 
 // visibleSets caches, per table subset and invocation, the result plans
 // visible under the current focus split into fresh (inserted in this
 // invocation) and old, with the frontier filter of DESIGN.md D6 applied.
+// The structs (and their backing arrays) are pooled on the optimizer and
+// recycled across invocations.
 type visibleSets struct {
 	fresh, old []*plan.Node
+}
+
+// takeVis hands out a recycled visibleSets (or grows the pool).
+func (o *Optimizer) takeVis() *visibleSets {
+	if o.visUsed < len(o.visPool) {
+		vs := o.visPool[o.visUsed]
+		o.visUsed++
+		vs.fresh, vs.old = vs.fresh[:0], vs.old[:0]
+		return vs
+	}
+	vs := &visibleSets{}
+	o.visPool = append(o.visPool, vs)
+	o.visUsed++
+	return vs
 }
 
 // visible collects and filters the result plans of subset q under the
 // focus [0..b, 0..r]. Because phase two walks subsets in ascending size,
 // the result set of every split operand is final when requested, so the
-// per-invocation cache is sound.
-func (o *Optimizer) visible(q tableset.Set, b cost.Vector, r int, cache map[tableset.Set]*visibleSets) *visibleSets {
-	if vs, ok := cache[q]; ok {
+// per-invocation cache is sound. Collection runs through the optimizer's
+// scratch slices (visAll/visEpochs/visKeep), so only the cached
+// fresh/old slices retain plan references after the call.
+func (o *Optimizer) visible(q tableset.Set, b cost.Vector, r int) *visibleSets {
+	if vs, ok := o.visCache[q]; ok {
 		return vs
 	}
-	vs := &visibleSets{}
-	ix, ok := o.res[q]
-	if ok {
-		var all []*plan.Node
-		var epochs []uint64
-		ix.Query(b, r, 0, func(e rangeindex.Entry) bool {
-			all = append(all, e.Payload.(*plan.Node))
-			epochs = append(epochs, e.Epoch)
-			return true
-		})
-		keep := o.frontierFilter(all)
-		for i, p := range all {
-			if !keep[i] {
+	vs := o.takeVis()
+	if ix, ok := o.res[q]; ok {
+		o.visAll = o.visAll[:0]
+		o.visEpochs = o.visEpochs[:0]
+		ix.Query(b, r, 0, o.visCollect)
+		o.visKeep = o.frontierFilter(o.visAll, o.visKeep)
+		for i, p := range o.visAll {
+			if !o.visKeep[i] {
 				continue
 			}
-			if epochs[i] >= o.epoch {
+			if o.visEpochs[i] >= o.epoch {
 				vs.fresh = append(vs.fresh, p)
 			} else {
 				vs.old = append(vs.old, p)
 			}
 		}
 	}
-	cache[q] = vs
+	o.visCache[q] = vs
 	return vs
 }
 
@@ -54,12 +66,16 @@ func (o *Optimizer) visible(q tableset.Set, b cost.Vector, r int, cache map[tabl
 // dropped plan can never produce anything its dominator's join would not
 // dominate, so dropping is sound; it keeps pair formation quadratic in
 // the frontier size rather than in the accumulated result-set size.
-func (o *Optimizer) frontierFilter(all []*plan.Node) []bool {
-	keep := make([]bool, len(all))
+//
+// The verdicts are written into the caller-owned keep scratch slice
+// (grown as needed) and the possibly-reallocated slice is returned; the
+// caller stores it back into the scratch field it came from.
+func (o *Optimizer) frontierFilter(all []*plan.Node, keep []bool) []bool {
+	keep = keep[:0]
+	for range all {
+		keep = append(keep, true)
+	}
 	if o.cfg.DisableVisibleFrontierFilter {
-		for i := range keep {
-			keep[i] = true
-		}
 		return keep
 	}
 	// A plan is dropped when another plan with covering order and no
@@ -69,7 +85,6 @@ func (o *Optimizer) frontierFilter(all []*plan.Node) []bool {
 	// drop relation is a strict partial order whose maximal elements
 	// are kept.
 	for i, p := range all {
-		keep[i] = true
 		for j, q := range all {
 			if i == j {
 				continue
@@ -89,6 +104,16 @@ func (o *Optimizer) frontierFilter(all []*plan.Node) []bool {
 	return keep
 }
 
+// hasFresh reports whether subset q's result set can hold a plan
+// inserted in the current invocation at resolution ≤ r, using the range
+// index's epoch watermark — no entries are touched. A false answer is
+// exact (watermarks never under-report), so callers may skip Δ-filtered
+// work outright.
+func (o *Optimizer) hasFresh(q tableset.Set, r int) bool {
+	ix, ok := o.res[q]
+	return ok && ix.EpochWatermark(r) >= o.epoch
+}
+
 // combineFresh implements function Fresh of Algorithm 3 for one ordered
 // split (q1, q2) of table set sub, followed by pruning of the generated
 // plans: it filters both result sets to the current focus [0..b, 0..r],
@@ -104,9 +129,16 @@ func (o *Optimizer) frontierFilter(all []*plan.Node) []bool {
 // Otherwise Δ degenerates to the full sets and staleness is decided by
 // the IsFresh pair memo alone, so no plan is ever constructed twice
 // either way (Lemma 5) and no pair is combined twice (Lemma 6).
-func (o *Optimizer) combineFresh(sub, q1, q2 tableset.Set, b cost.Vector, r int, deltaOK bool, cache map[tableset.Set]*visibleSets) {
-	v1 := o.visible(q1, b, r, cache)
-	v2 := o.visible(q2, b, r, cache)
+func (o *Optimizer) combineFresh(sub, q1, q2 tableset.Set, b cost.Vector, r int, deltaOK bool) {
+	if deltaOK && !o.hasFresh(q1, r) && !o.hasFresh(q2, r) {
+		// The epoch watermarks prove neither operand gained a result
+		// plan this invocation, so Δ would leave nothing: skip the
+		// split before paying for the visible-set computation.
+		return
+	}
+
+	v1 := o.visible(q1, b, r)
+	v2 := o.visible(q2, b, r)
 	n1 := len(v1.fresh) + len(v1.old)
 	n2 := len(v2.fresh) + len(v2.old)
 	if n1 == 0 || n2 == 0 {
@@ -134,14 +166,16 @@ func (o *Optimizer) combineFresh(sub, q1, q2 tableset.Set, b cost.Vector, r int,
 }
 
 // combinePairs joins every (left, right) pair that the IsFresh memo has
-// not seen and prunes the resulting plans.
+// not seen and prunes the resulting plans. Join alternatives are
+// enumerated into the optimizer's scratch slice and allocated from its
+// arena, so a pair's enumeration costs no individual heap allocations.
 func (o *Optimizer) combinePairs(sub tableset.Set, b cost.Vector, r int, lefts, rights []*plan.Node) {
 	if len(lefts) == 0 || len(rights) == 0 {
 		return
 	}
 	for _, l := range lefts {
 		for _, rt := range rights {
-			key := pairKey{l, rt}
+			key := pairID(l, rt)
 			if _, stale := o.pairMemo[key]; stale {
 				o.stats.PairsSkippedStale++
 				continue
@@ -151,14 +185,14 @@ func (o *Optimizer) combinePairs(sub tableset.Set, b cost.Vector, r int, lefts, 
 			if o.cfg.Hooks.PairCombined != nil {
 				o.cfg.Hooks.PairCombined(l, rt)
 			}
-			alts := o.cfg.Model.JoinAlternatives(o.q, l, rt)
-			keep := o.frontierFilter(alts)
-			for i, p := range alts {
+			o.altsScratch = o.cfg.Model.AppendJoinAlternatives(o.altsScratch[:0], o.q, l, rt, o.arena)
+			o.altsKeep = o.frontierFilter(o.altsScratch, o.altsKeep)
+			for i, p := range o.altsScratch {
 				o.stats.PlansGenerated++
 				if o.cfg.Hooks.PlanGenerated != nil {
 					o.cfg.Hooks.PlanGenerated(p)
 				}
-				if !keep[i] {
+				if !o.altsKeep[i] {
 					// Dominated within its own alternative batch:
 					// globally redundant (DESIGN.md D5).
 					o.stats.ExactDominated++

@@ -31,42 +31,35 @@ import (
 // comparison count proportional to the current resolution; and result
 // plans dominated by p are never removed, because other plans may already
 // reference them as sub-plans.
+//
+// prune is the single hottest procedure of the system (every generated
+// plan passes through it), so it works exclusively on per-optimizer
+// scratch state: the scaled vector and the query box live in reusable
+// buffers, and the range query dispatches through the pre-allocated
+// pruneVisit visitor rather than a per-call closure (DESIGN.md D9). Its
+// only steady-state heap traffic is amortized growth of the index cell
+// an entry is appended to.
 func (o *Optimizer) prune(sub tableset.Set, b cost.Vector, r int, p *plan.Node) {
 	o.stats.PruneCalls++
 	alpha := o.cfg.AlphaFor(r)
-	scaled := p.Cost.Scale(alpha)
+	scaled := p.Cost.ScaleInto(o.scaledScratch, alpha)
 
 	// One range query serves both checks. A result plan pA approximates
 	// p iff c(pA) ⪯ α_r·c(p); since pA must also respect the bounds,
 	// the query box is the component-wise minimum of both vectors.
 	// Exact dominators (c(pA) ⪯ c(p), order covered, rows ≤) lie inside
 	// the same box whenever p itself respects the bounds.
-	queryBound := scaled.Min(b)
+	queryBound := scaled.MinInto(o.boundScratch, b)
 	maxRes := r
 	if o.cfg.PruneAgainstAll {
 		maxRes = o.cfg.MaxResolution()
 	}
-	exact, approximated := false, false
+	o.pruneP, o.pruneExact, o.pruneAppr = p, false, false
 	if ix, ok := o.res[sub]; ok {
-		checkExact := !o.cfg.RetainDominatedCandidates
-		ix.Query(queryBound, maxRes, 0, func(e rangeindex.Entry) bool {
-			o.stats.DominanceChecks++
-			pA := e.Payload.(*plan.Node)
-			if !o.cfg.DisableOrderAwarePruning && !pA.Order.Covers(p.Order) {
-				return true
-			}
-			// Cost ⪯ α_r·c(p) is guaranteed by the query box.
-			approximated = true
-			if !checkExact {
-				return false
-			}
-			if pA.Rows <= p.Rows && pA.Cost.Dominates(p.Cost) {
-				exact = true
-				return false
-			}
-			return true
-		})
+		ix.Query(queryBound, maxRes, 0, o.pruneVisit)
 	}
+	exact, approximated := o.pruneExact, o.pruneAppr
+	o.pruneP = nil
 
 	switch {
 	case exact:

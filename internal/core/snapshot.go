@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rangeindex"
 	"repro/internal/tableset"
@@ -15,15 +16,26 @@ import (
 // and cost model) resume where the snapshotted one left off instead of
 // regenerating every plan from scratch — the service's warm-start path.
 //
-// A Snapshot shares *plan.Node payloads and cost vectors with the
-// source optimizer; both are immutable after construction, so a
-// snapshot may be restored into many optimizers running on different
-// goroutines. The Snapshot itself is immutable once created. Taking a
-// snapshot must not race with Optimize on the source (the caller
-// serializes, e.g. the service holds the session lock).
+// A Snapshot deep-copies the reachable plan nodes (preserving their
+// IDs and sub-plan sharing) into detached, individually allocated
+// nodes: the source optimizer's arena allocates in 512-node chunks of
+// which only a fraction stays reachable after pruning, so sharing
+// nodes would pin every chunk — and its cost-vector slabs — for as
+// long as the snapshot sits in the service's warm-start cache. The
+// copies are immutable after construction, so a snapshot may be
+// restored into many optimizers running on different goroutines. The
+// Snapshot itself is immutable once created. Taking a snapshot must
+// not race with Optimize on the source (the caller serializes, e.g.
+// the service holds the session lock).
+//
+// The pair memo travels as packed leftID<<32|rightID keys of the
+// source arena's dense node IDs; nextID records where that numbering
+// stopped, so a restored optimizer's arena continues it and newly
+// generated nodes can never collide with snapshot nodes in the memo.
 type Snapshot struct {
 	res, cand  map[tableset.Set][]rangeindex.Entry
-	pairs      []pairKey
+	pairs      []uint64
+	nextID     uint32
 	epoch      uint64
 	prevBounds []float64
 	prevRes    int
@@ -55,12 +67,16 @@ func (o *Optimizer) Snapshot() *Snapshot {
 	s := &Snapshot{
 		res:        make(map[tableset.Set][]rangeindex.Entry, len(o.res)),
 		cand:       make(map[tableset.Set][]rangeindex.Entry, len(o.cand)),
-		pairs:      make([]pairKey, 0, len(o.pairMemo)),
+		pairs:      make([]uint64, 0, len(o.pairMemo)),
+		nextID:     o.arena.NextID(),
 		epoch:      o.epoch,
 		prevBounds: append([]float64(nil), o.prevBounds...),
 		prevRes:    o.prevRes,
 		cfgEcho:    cfgFingerprint(o.cfg),
 	}
+	// Detach every entry off the source arena, preserving node IDs and
+	// sub-plan sharing (one shared memo across all plan sets).
+	copies := map[*plan.Node]*plan.Node{}
 	collect := func(src map[tableset.Set]*rangeindex.Index, dst map[tableset.Set][]rangeindex.Entry) {
 		for sub, ix := range src {
 			if ix.Len() == 0 {
@@ -68,6 +84,8 @@ func (o *Optimizer) Snapshot() *Snapshot {
 			}
 			entries := make([]rangeindex.Entry, 0, ix.Len())
 			ix.All(func(e rangeindex.Entry) bool {
+				e.Payload = plan.DetachInto(copies, e.Payload)
+				e.Cost = e.Payload.Cost
 				entries = append(entries, e)
 				return true
 			})
@@ -95,15 +113,31 @@ func (s *Snapshot) PlanCount() int {
 	return n
 }
 
+// maxRestoreNextID is the largest snapshot nextID a restore accepts.
+// Snapshot lineages (converge → snapshot → warm restore → converge …)
+// never reset the dense node numbering, so a long-lived service could
+// otherwise walk the uint32 space to exhaustion and panic the arena;
+// declining the warm start instead restarts the lineage from zero at
+// the cost of one cold optimization. Half the ID space (2^31 ≈ 2.1 B
+// nodes) is kept as headroom so even regimes generating tens of
+// millions of nodes cannot cross from an accepted restore into
+// exhaustion.
+const maxRestoreNextID = 1 << 31
+
 // NewOptimizerFromSnapshot creates an optimizer for query q that resumes
 // from the snapshotted plan-set state instead of starting empty. The
 // caller is responsible for q being plan-compatible with the snapshot's
 // source query — equal query.Fingerprint guarantees this — and cfg must
 // match the snapshot's configuration and cost-model parameters exactly
 // (validated; mismatches return an error rather than corrupt state).
+// Snapshots whose node-ID numbering is close to exhaustion are refused;
+// callers should fall back to a cold start (which resets the lineage).
 func NewOptimizerFromSnapshot(q *query.Query, cfg Config, s *Snapshot) (*Optimizer, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if s.nextID > maxRestoreNextID {
+		return nil, fmt.Errorf("core: snapshot node IDs near exhaustion (%d)", s.nextID)
 	}
 	o, err := NewOptimizer(q, cfg)
 	if err != nil {
@@ -112,6 +146,10 @@ func NewOptimizerFromSnapshot(q *query.Query, cfg Config, s *Snapshot) (*Optimiz
 	if got := cfgFingerprint(o.cfg); got != s.cfgEcho {
 		return nil, fmt.Errorf("core: snapshot config mismatch: snapshot %q, restore %q", s.cfgEcho, got)
 	}
+	// Continue the snapshot's dense node numbering: restored entries
+	// keep their source-arena IDs, so fresh allocations must start
+	// above them for the packed pair memo to stay collision-free.
+	o.arena = plan.NewArenaFrom(s.nextID)
 	restore := func(src map[tableset.Set][]rangeindex.Entry, dst func(tableset.Set) *rangeindex.Index) error {
 		for sub, entries := range src {
 			if !sub.SubsetOf(q.Tables()) {

@@ -124,9 +124,12 @@ func TestSnapshotSkipsRegeneration(t *testing.T) {
 	}
 }
 
-// TestSnapshotSharesImmutableNodes documents the sharing contract: the
-// snapshot references the source's plan nodes rather than copying them.
-func TestSnapshotSharesImmutableNodes(t *testing.T) {
+// TestSnapshotDetachesNodes documents the retention contract
+// (DESIGN.md D8): the snapshot deep-copies reachable plan nodes off
+// the source arena — chunk-granular arena retention must not leak into
+// the warm-start cache — while preserving IDs, costs, plan structure
+// and sub-plan sharing.
+func TestSnapshotDetachesNodes(t *testing.T) {
 	q, cfg := snapshotTestQuery(t)
 	src := MustNewOptimizer(q, cfg)
 	src.Optimize(nil, 0)
@@ -134,14 +137,37 @@ func TestSnapshotSharesImmutableNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srcPlans := map[*plan.Node]bool{}
+	srcByID := map[uint32]*plan.Node{}
 	for _, p := range src.Results(nil, 0) {
-		srcPlans[p] = true
+		srcByID[p.ID()] = p
+	}
+	seen := map[*plan.Node]bool{}
+	var walk func(p *plan.Node)
+	walk = func(p *plan.Node) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		walk(p.Left)
+		walk(p.Right)
 	}
 	for _, p := range restored.Results(nil, 0) {
-		if !srcPlans[p] {
-			t.Fatalf("restored plan %v is a copy, want shared pointer", p)
+		orig, ok := srcByID[p.ID()]
+		if !ok {
+			t.Fatalf("restored plan %v has unknown ID %d", p, p.ID())
 		}
+		if orig == p {
+			t.Fatalf("restored plan %v shares the source arena node, want detached copy", p)
+		}
+		if orig.Signature() != p.Signature() || !orig.Cost.Equal(p.Cost) {
+			t.Fatalf("detached copy diverged: %v vs %v", p, orig)
+		}
+		walk(p)
+	}
+	// Sub-plan sharing is preserved: the restored plan-set must not
+	// hold more distinct nodes than the source generated IDs for.
+	if len(seen) > int(src.arena.NextID()) {
+		t.Fatalf("detachment duplicated nodes: %d distinct, %d allocated", len(seen), src.arena.NextID())
 	}
 }
 

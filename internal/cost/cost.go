@@ -96,11 +96,31 @@ func (v Vector) Equal(w Vector) bool {
 // more expensive; the pruning procedure uses this to decide whether an
 // existing plan approximately covers a new one.
 func (v Vector) Scale(alpha float64) Vector {
-	out := make(Vector, len(v))
+	return v.ScaleInto(make(Vector, len(v)), alpha)
+}
+
+// ScaleInto writes α·v into dst and returns dst. It is the
+// non-allocating variant of Scale for hot paths that own a scratch
+// vector; dst may alias v. It panics if the dimensions differ.
+func (v Vector) ScaleInto(dst Vector, alpha float64) Vector {
+	mustMatch(v, dst)
 	for i := range v {
-		out[i] = v[i] * alpha
+		dst[i] = v[i] * alpha
 	}
-	return out
+	return dst
+}
+
+// DominatesScaled reports whether v ⪯ α·w without materializing the
+// scaled vector: the fused form of w.Scale(alpha) followed by
+// v.Dominates. It panics if the dimensions differ.
+func (v Vector) DominatesScaled(w Vector, alpha float64) bool {
+	mustMatch(v, w)
+	for i := range v {
+		if v[i] > w[i]*alpha {
+			return false
+		}
+	}
+	return true
 }
 
 // Add returns the component-wise sum v + w.
@@ -125,12 +145,19 @@ func (v Vector) Max(w Vector) Vector {
 
 // Min returns the component-wise minimum of v and w.
 func (v Vector) Min(w Vector) Vector {
+	return v.MinInto(make(Vector, len(v)), w)
+}
+
+// MinInto writes the component-wise minimum of v and w into dst and
+// returns dst. It is the non-allocating variant of Min; dst may alias
+// either operand. It panics if the dimensions differ.
+func (v Vector) MinInto(dst, w Vector) Vector {
 	mustMatch(v, w)
-	out := make(Vector, len(v))
+	mustMatch(v, dst)
 	for i := range v {
-		out[i] = math.Min(v[i], w[i])
+		dst[i] = math.Min(v[i], w[i])
 	}
-	return out
+	return dst
 }
 
 // WithinBounds reports whether v respects the cost bounds b, i.e. v ⪯ b.

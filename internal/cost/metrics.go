@@ -94,6 +94,11 @@ func (s *Space) Metrics() []Metric {
 	return append([]Metric(nil), s.metrics...)
 }
 
+// MetricAt returns the metric at vector component i. It is the
+// non-allocating alternative to ranging over Metrics() on hot paths
+// (Metrics copies the list on every call).
+func (s *Space) MetricAt(i int) Metric { return s.metrics[i] }
+
 // Has reports whether metric m participates in the space.
 func (s *Space) Has(m Metric) bool {
 	return m >= 0 && m < numMetrics && s.index[m] >= 0

@@ -170,12 +170,18 @@ func (m *Model) Params() Params { return m.params }
 // index scan when the catalog grants one, and one sample scan per
 // sampling rate below one.
 func (m *Model) ScanPlans(q *query.Query, id int) []*plan.Node {
+	return m.AppendScanPlans(nil, q, id, nil)
+}
+
+// AppendScanPlans is ScanPlans appending into dst, allocating nodes and
+// cost vectors from arena a (both may be nil). The optimizer uses this
+// form so scan enumeration shares its arena and scratch slice.
+func (m *Model) AppendScanPlans(dst []*plan.Node, q *query.Query, id int, a *plan.Arena) []*plan.Node {
 	tbl := q.Catalog().Table(id)
 	baseRows := q.BaseRows(id)
-	var out []*plan.Node
 
 	seqTime := tbl.Rows * tbl.RowWidth * m.params.SeqIOCost
-	out = append(out, m.finishScan(q, &plan.Node{
+	dst = append(dst, m.newScan(a, plan.Node{
 		Tables:     tableset.Singleton(id),
 		TableID:    id,
 		Scan:       plan.SeqScan,
@@ -187,7 +193,7 @@ func (m *Model) ScanPlans(q *query.Query, id int) []*plan.Node {
 	if tbl.HasIndex {
 		idxTime := baseRows*tbl.RowWidth*m.params.SeqIOCost*m.params.IndexRandomPenalty +
 			math.Log2(tbl.Rows+1)*m.params.IndexLookupCost
-		out = append(out, m.finishScan(q, &plan.Node{
+		dst = append(dst, m.newScan(a, plan.Node{
 			Tables:     tableset.Singleton(id),
 			TableID:    id,
 			Scan:       plan.IndexScan,
@@ -206,7 +212,7 @@ func (m *Model) ScanPlans(q *query.Query, id int) []*plan.Node {
 			rows = math.Max(baseRows*rate, 1)
 		}
 		smpTime := tbl.Rows*rate*tbl.RowWidth*m.params.SeqIOCost + m.params.SampleOverhead
-		out = append(out, m.finishScan(q, &plan.Node{
+		dst = append(dst, m.newScan(a, plan.Node{
 			Tables:     tableset.Singleton(id),
 			TableID:    id,
 			Scan:       plan.SampleScan,
@@ -215,16 +221,15 @@ func (m *Model) ScanPlans(q *query.Query, id int) []*plan.Node {
 			Order:      plan.OrderNone,
 		}, smpTime, 1, 1-rate))
 	}
-	return out
+	return dst
 }
 
-// finishScan fills in the cost vector of a leaf from its scalar time,
+// newScan allocates a costed leaf node from proto and its scalar time,
 // cores and precision-loss values.
-func (m *Model) finishScan(q *query.Query, n *plan.Node, time float64, cores float64, ploss float64) *plan.Node {
-	v := m.space.Zero()
-	for _, metric := range m.space.Metrics() {
-		i := m.space.Index(metric)
-		switch metric {
+func (m *Model) newScan(a *plan.Arena, proto plan.Node, time float64, cores float64, ploss float64) *plan.Node {
+	v := a.NewVector(m.space.Dim())
+	for i := range v {
+		switch m.space.MetricAt(i) {
 		case cost.Time:
 			v[i] = time
 		case cost.Cores:
@@ -237,9 +242,13 @@ func (m *Model) finishScan(q *query.Query, n *plan.Node, time float64, cores flo
 			v[i] = m.params.EnergyRate * time * cores
 		}
 	}
-	n.Cost = v
-	return n
+	proto.Cost = v
+	return a.NewNode(proto)
 }
+
+// joinOps lists the enumerated join operators (package-level so the hot
+// loop does not rebuild the slice per call).
+var joinOps = [...]plan.JoinOp{plan.HashJoin, plan.MergeJoin, plan.NestLoopJoin}
 
 // JoinAlternatives enumerates every physical join of the two sub-plans:
 // each join operator crossed with each parallelism degree, fully costed.
@@ -247,15 +256,25 @@ func (m *Model) finishScan(q *query.Query, n *plan.Node, time float64, cores flo
 // the inputs (no cartesian products reach this function in the DP, but
 // defensive callers may pass arbitrary pairs, so the check stays cheap).
 func (m *Model) JoinAlternatives(q *query.Query, left, right *plan.Node) []*plan.Node {
+	return m.AppendJoinAlternatives(nil, q, left, right, nil)
+}
+
+// AppendJoinAlternatives is JoinAlternatives appending into dst,
+// allocating nodes and cost vectors from arena a (both may be nil).
+// This is the optimizer's hottest construction site: with a reused dst
+// and an arena, enumerating one pair's alternatives performs no
+// individual heap allocations.
+func (m *Model) AppendJoinAlternatives(dst []*plan.Node, q *query.Query, left, right *plan.Node, a *plan.Arena) []*plan.Node {
 	union := left.Tables.Union(right.Tables)
 	outRows := m.joinOutputRows(q, left, right)
 	sortKeyL, sortKeyR := m.mergeKeys(q, left, right)
 
-	out := make([]*plan.Node, 0, 3*len(m.params.Degrees))
-	for _, op := range []plan.JoinOp{plan.HashJoin, plan.MergeJoin, plan.NestLoopJoin} {
+	for _, op := range joinOps {
 		work, order := m.localWork(op, left, right, outRows, sortKeyL, sortKeyR)
 		for _, d := range m.params.Degrees {
-			n := &plan.Node{
+			v := a.NewVector(m.space.Dim())
+			m.joinCostInto(v, left, right, work, d)
+			dst = append(dst, a.NewNode(plan.Node{
 				Tables: union,
 				Join:   op,
 				Degree: d,
@@ -263,12 +282,11 @@ func (m *Model) JoinAlternatives(q *query.Query, left, right *plan.Node) []*plan
 				Right:  right,
 				Rows:   outRows,
 				Order:  order,
-			}
-			n.Cost = m.joinCost(left, right, work, d)
-			out = append(out, n)
+				Cost:   v,
+			}))
 		}
 	}
-	return out
+	return dst
 }
 
 // joinOutputRows estimates the join's output cardinality from the
@@ -336,15 +354,14 @@ func (m *Model) localWork(op plan.JoinOp, left, right *plan.Node, outRows float6
 	}
 }
 
-// joinCost aggregates the children's cost vectors with the local work.
-func (m *Model) joinCost(left, right *plan.Node, work float64, degree int) cost.Vector {
+// joinCostInto aggregates the children's cost vectors with the local
+// work, writing the result into v.
+func (m *Model) joinCostInto(v cost.Vector, left, right *plan.Node, work float64, degree int) {
 	p := &m.params
 	d := float64(degree)
-	v := m.space.Zero()
-	for _, metric := range m.space.Metrics() {
-		i := m.space.Index(metric)
+	for i := range v {
 		l, r := left.Cost[i], right.Cost[i]
-		switch metric {
+		switch m.space.MetricAt(i) {
 		case cost.Time:
 			v[i] = l + r + work/d
 		case cost.Cores:
@@ -357,5 +374,4 @@ func (m *Model) joinCost(left, right *plan.Node, work float64, degree int) cost.
 			v[i] = l + r + p.EnergyRate*work*(1+p.EnergyLeak*(d-1))
 		}
 	}
-	return v
 }

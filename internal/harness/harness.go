@@ -23,6 +23,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/pareto"
 	"repro/internal/query"
+	"repro/internal/service"
 	"repro/internal/workload"
 )
 
@@ -142,6 +143,42 @@ func InvocationTimes(q *query.Query, model *costmodel.Model, levels int, alphaT,
 	}
 	oneShot = []time.Duration{time.Since(start)}
 	return iama, memoryless, oneShot, nil
+}
+
+// AggregateNS reduces a per-invocation duration series to its average
+// or maximum in nanoseconds. Shared by the Figure benchmarks and the
+// benchjson recorder so both aggregate identically and cannot drift.
+func AggregateNS(ds []time.Duration, useMax bool) float64 {
+	return float64(aggregate(ds, useMax).Nanoseconds())
+}
+
+// ServiceBenchNames is the session mix of the multi-tenant service
+// benchmark: small interactive blocks, as in an ad-hoc workload. It is
+// shared by BenchmarkServiceSessions and the benchjson recorder so the
+// recorded trajectory measures the same workload as the go-test
+// benchmark.
+func ServiceBenchNames() []string {
+	return []string{"Q4", "Q12", "Q13", "Q14"}
+}
+
+// ServiceBenchConfig is the service configuration of the multi-tenant
+// service benchmark (shared for the same reason as ServiceBenchNames).
+// warmCache selects between the warm-start cache enabled and the cache
+// disabled entirely.
+func ServiceBenchConfig(warmCache bool) service.Config {
+	cfg := service.Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 3,
+			TargetPrecision:  1.05,
+			PrecisionStep:    0.1,
+		},
+		IdleTimeout: -1,
+	}
+	if !warmCache {
+		cfg.CacheCapacity = -1
+	}
+	return cfg
 }
 
 // aggregate selects the average or maximum of a duration series.

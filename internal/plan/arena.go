@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// arenaChunk is the number of Nodes (and the number of cost-vector
+// components) allocated per arena block. Large enough to amortize the
+// block allocation across the optimizer's plan-generation burst, small
+// enough not to waste memory on tiny queries.
+const arenaChunk = 512
+
+// Arena is a chunked allocator for plan Nodes and their cost vectors.
+// The optimizer's inner loop constructs thousands of short-lived join
+// alternatives per invocation; allocating each as an individual GC
+// object dominates the allocation profile (DESIGN.md D8). An Arena
+// hands out Node values from block-allocated slabs instead, so the
+// per-node cost is a pointer bump, and assigns every node a dense
+// uint32 ID used to pack sub-plan pairs into a single uint64 memo key.
+//
+// Nodes allocated from an Arena are never freed individually: result
+// plans reference their sub-plans by pointer, so the arena's memory
+// lives as long as its owning optimizer. Because retention is
+// chunk-granular, references that outlive the optimizer — warm-start
+// snapshots, plans handed to clients after their session closed — must
+// be detached first (DetachInto deep-copies a tree off the arena,
+// preserving IDs and sub-plan sharing); core.Snapshot and the
+// service's Select do exactly that.
+//
+// An Arena is not safe for concurrent use; each Optimizer owns one.
+type Arena struct {
+	nodes  []Node
+	floats []float64
+	nextID uint32
+}
+
+// NewArena returns an empty arena whose first node receives ID 0.
+func NewArena() *Arena { return &Arena{} }
+
+// NewArenaFrom returns an empty arena whose first node receives the
+// given ID. Snapshot restore uses this to continue the source arena's
+// dense numbering, keeping IDs unique within the restored optimizer
+// even though it shares the snapshot's nodes.
+func NewArenaFrom(nextID uint32) *Arena { return &Arena{nextID: nextID} }
+
+// NewNode copies proto into arena storage, assigns the next dense ID,
+// and returns the stored node. A nil arena falls back to an individual
+// heap allocation with ID 0 (callers that never consult IDs, such as
+// the baseline optimizers, may pass nil).
+func (a *Arena) NewNode(proto Node) *Node {
+	if a == nil {
+		n := new(Node)
+		*n = proto
+		return n
+	}
+	if a.nextID == ^uint32(0) {
+		// Last-resort guard; optimizer lifecycles that could approach
+		// this (snapshot lineages) decline the warm start well before
+		// (see core.NewOptimizerFromSnapshot).
+		panic("plan: arena node IDs exhausted")
+	}
+	if len(a.nodes) == cap(a.nodes) {
+		a.nodes = make([]Node, 0, arenaChunk)
+	}
+	a.nodes = append(a.nodes, proto)
+	n := &a.nodes[len(a.nodes)-1]
+	n.id = a.nextID
+	a.nextID++
+	return n
+}
+
+// NewVector returns a zero cost vector with dim components carved from
+// arena slab storage. Like nodes, arena vectors are never freed
+// individually; they are intended for the immutable Cost field of
+// arena-allocated nodes. A nil arena falls back to a regular make.
+func (a *Arena) NewVector(dim int) cost.Vector {
+	if dim <= 0 {
+		panic(fmt.Sprintf("plan: arena vector dim %d must be positive", dim))
+	}
+	if a == nil {
+		return make(cost.Vector, dim)
+	}
+	if len(a.floats)+dim > cap(a.floats) {
+		size := arenaChunk
+		if dim > size {
+			size = dim
+		}
+		a.floats = make([]float64, 0, size)
+	}
+	start := len(a.floats)
+	a.floats = a.floats[:start+dim]
+	// The returned view is capacity-limited so appending to it cannot
+	// clobber neighbouring vectors in the slab.
+	return cost.Vector(a.floats[start : start+dim : start+dim])
+}
+
+// NextID returns the ID the next allocated node will receive. Snapshots
+// record it so restored optimizers can continue the numbering.
+func (a *Arena) NextID() uint32 { return a.nextID }
+
+// ID returns the node's dense arena ID (0 for nodes allocated outside
+// an arena). IDs are unique among the nodes of one arena, and — via
+// NewArenaFrom — among all nodes reachable by one optimizer.
+func (n *Node) ID() uint32 { return n.id }
+
+// DetachInto deep-copies the plan tree rooted at n into individually
+// allocated nodes off any arena, preserving node IDs, cost values, and
+// sub-plan sharing (one copy per distinct source node, memoized in
+// memo — pass the same map when detaching several trees that share
+// sub-plans). Use it before letting a reference outlive the arena's
+// owning optimizer, so a single retained plan cannot pin whole arena
+// chunks.
+func DetachInto(memo map[*Node]*Node, n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if c, ok := memo[n]; ok {
+		return c
+	}
+	c := new(Node)
+	*c = *n
+	c.Cost = n.Cost.Clone() // off the arena's float slab too
+	memo[n] = c
+	c.Left = DetachInto(memo, n.Left)
+	c.Right = DetachInto(memo, n.Right)
+	return c
+}

@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestArenaNodeIDsDense(t *testing.T) {
+	a := NewArena()
+	for i := 0; i < 1200; i++ { // crosses chunk boundaries
+		n := a.NewNode(Node{TableID: i})
+		if n.ID() != uint32(i) {
+			t.Fatalf("node %d got ID %d", i, n.ID())
+		}
+		if n.TableID != i {
+			t.Fatalf("proto not copied: TableID %d, want %d", n.TableID, i)
+		}
+	}
+	if a.NextID() != 1200 {
+		t.Errorf("NextID = %d, want 1200", a.NextID())
+	}
+	b := NewArenaFrom(500)
+	if got := b.NewNode(Node{}).ID(); got != 500 {
+		t.Errorf("NewArenaFrom(500) first ID = %d", got)
+	}
+}
+
+func TestArenaNodesStableAcrossChunks(t *testing.T) {
+	a := NewArena()
+	var nodes []*Node
+	for i := 0; i < 2000; i++ {
+		nodes = append(nodes, a.NewNode(Node{TableID: i}))
+	}
+	for i, n := range nodes {
+		if n.TableID != i || n.ID() != uint32(i) {
+			t.Fatalf("node %d corrupted after chunk growth: TableID=%d ID=%d", i, n.TableID, n.ID())
+		}
+	}
+}
+
+func TestArenaVectorsIndependent(t *testing.T) {
+	a := NewArena()
+	var vs []cost.Vector
+	for i := 0; i < 600; i++ { // crosses slab boundaries
+		v := a.NewVector(3)
+		for d := range v {
+			if v[d] != 0 {
+				t.Fatalf("vector %d not zeroed: %v", i, v)
+			}
+			v[d] = float64(i)
+		}
+		vs = append(vs, v)
+	}
+	for i, v := range vs {
+		for d := range v {
+			if v[d] != float64(i) {
+				t.Fatalf("vector %d clobbered: %v", i, v)
+			}
+		}
+	}
+	// Appending to an arena vector must reallocate, never spill into
+	// the neighbouring vector's slab region.
+	v, w := a.NewVector(2), a.NewVector(2)
+	_ = append(v, 99)
+	if w[0] != 0 {
+		t.Error("append to an arena vector clobbered its neighbour")
+	}
+}
+
+// TestArenaAmortizedAllocs pins the point of the arena: node and vector
+// construction costs amortized chunk allocations, not one heap object
+// each. (A regression here — e.g. accidentally capping the slab slice —
+// multiplies the optimizer's allocation volume by the chunk size.)
+func TestArenaAmortizedAllocs(t *testing.T) {
+	a := NewArena()
+	allocs := testing.AllocsPerRun(2000, func() {
+		n := a.NewNode(Node{})
+		n.Cost = a.NewVector(3)
+	})
+	if allocs > 0.1 {
+		t.Errorf("arena allocates %.3f objects per node+vector, want amortized chunks only", allocs)
+	}
+}
+
+func TestNilArenaFallback(t *testing.T) {
+	var a *Arena
+	n := a.NewNode(Node{TableID: 7})
+	if n.TableID != 7 || n.ID() != 0 {
+		t.Errorf("nil-arena node: TableID=%d ID=%d", n.TableID, n.ID())
+	}
+	if v := a.NewVector(4); len(v) != 4 {
+		t.Errorf("nil-arena vector dim %d", len(v))
+	}
+}

@@ -146,6 +146,9 @@ type Node struct {
 	Cost cost.Vector
 	// Order is the interesting tuple order of the output.
 	Order Order
+
+	// id is the dense arena ID (see Arena); 0 outside an arena.
+	id uint32
 }
 
 // IsScan reports whether n is a leaf (scan) node.

@@ -7,31 +7,47 @@
 // The implementation follows the cell-data-structure sketch of the paper
 // (Section 5.3, citing Bentley and Friedman): the cost space is
 // partitioned logarithmically into cells, each cell keeps a list of
-// entries, and cells are reached by direct map lookup. Range queries
-// enumerate the (sparse) cell directory and filter entries exactly, so
-// retrieval of F matching plans costs O(cells + F) and insertion O(1),
-// matching the paper's assumption that retrieval is linear in the number
-// of retrieved plans. The logarithmic partitioning mirrors the paper's
-// footnote 3: the region a plan approximately dominates is obtained by
-// multiplying its cost by a constant factor, so log-scaled cells spread
-// plans evenly.
+// entries, and cells are reached by binary search on a sorted directory.
+// Range queries enumerate the (sparse) cell directory and filter entries
+// exactly, so retrieval of F matching plans costs O(cells + F),
+// matching the paper's assumption that retrieval is linear in the
+// number of retrieved plans. Insertion into an existing cell is an
+// O(log cells) search plus an append; creating a new cell key
+// additionally shifts the tail of the sorted directory (an O(cells)
+// memmove, cheap in practice because directories hold tens of cells). The logarithmic
+// partitioning mirrors the paper's footnote 3: the region a plan
+// approximately dominates is obtained by multiplying its cost by a
+// constant factor, so log-scaled cells spread plans evenly.
 //
-// The cell directory is kept in a slice (with a map only for key→slot
-// lookup on insertion) because range queries dominate the optimizer's
-// profile and iterating a slice is several times faster than ranging
-// over a map.
+// Three directory-level refinements keep queries from touching provably
+// irrelevant cells (DESIGN.md D9):
 //
-// Entries additionally carry the insertion epoch (the optimizer
-// invocation number), which supports the Δ operator of function Fresh:
-// "plans inserted in the current invocation" is a range query with a
-// minimum epoch.
+//   - cells are kept sorted by their packed key, whose highest bits hold
+//     the first dimension's coordinate, so a scan can stop at the first
+//     cell whose dimension-0 coordinate exceeds the bound;
+//   - each level tracks the per-dimension minimum cell coordinate, so a
+//     whole level is skipped when the bound lies below its populated
+//     region in any dimension;
+//   - each cell and level carries an epoch watermark (the largest
+//     insertion epoch it holds), so minimum-epoch queries — the Δ
+//     operator of function Fresh — skip cells with no fresh entries.
+//
+// Entries carry the insertion epoch (the optimizer invocation number),
+// which supports the Δ operator: "plans inserted in the current
+// invocation" is a range query with a minimum epoch.
+//
+// The index is concretely typed over *plan.Node payloads: the optimizer
+// is its only client, and an `any` payload would box every reference and
+// re-assert it on every retrieval in the hottest loop of the system.
 package rangeindex
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/plan"
 )
 
 // maxCoord caps the per-dimension cell coordinate; together with 12 bits
@@ -43,8 +59,7 @@ const (
 	MaxDims = 64 / coordBits
 )
 
-// Entry is one indexed plan reference. The Payload is opaque to the
-// index; the optimizer stores *plan.Node values.
+// Entry is one indexed plan reference.
 type Entry struct {
 	// Cost is the plan's cost vector (the index key).
 	Cost cost.Vector
@@ -52,35 +67,46 @@ type Entry struct {
 	Resolution int
 	// Epoch is the optimizer invocation at which the entry was added.
 	Epoch uint64
-	// Payload is the indexed object.
-	Payload any
+	// Payload is the indexed plan.
+	Payload *plan.Node
 }
 
-// cell is one directory slot: a cell key plus its entries.
+// cell is one directory slot: a cell key plus its entries and the
+// largest epoch among them (a conservative watermark: removals never
+// lower it).
 type cell struct {
-	key     uint64
-	entries []Entry
+	key      uint64
+	maxEpoch uint64
+	entries  []Entry
 }
 
-// level is the per-resolution cell directory.
+// level is the per-resolution cell directory, sorted by cell key.
 type level struct {
-	slot  map[uint64]int // key → index into cells
 	cells []cell
-}
-
-func newLevel() *level {
-	return &level{slot: map[uint64]int{}}
+	// minCoord[d] is the smallest dimension-d cell coordinate of any
+	// populated cell (conservative after drains); meaningless while the
+	// level is empty.
+	minCoord [MaxDims]uint64
+	// maxEpoch is the largest insertion epoch the level holds
+	// (recomputed from cell watermarks on compaction).
+	maxEpoch uint64
 }
 
 // Index is a cost×resolution range index. The zero value is not usable;
-// construct with New. Not safe for concurrent mutation.
+// construct with New. Not safe for concurrent use (queries reuse a
+// per-index scratch buffer, so even read-only access must be
+// serialized).
 type Index struct {
 	dims       int
 	logBase    float64
 	maxLevel   int
-	levels     []*level
+	levels     []level
 	size       int
 	insertions uint64 // statistics: total inserts ever
+
+	// bcScratch backs boundCoords so steady-state queries allocate
+	// nothing. Queries must not recursively query the same index.
+	bcScratch [MaxDims]uint64
 }
 
 // New creates an index for cost vectors with dims dimensions and
@@ -96,11 +122,8 @@ func New(dims, maxLevel int, base float64) (*Index, error) {
 	if base <= 1 {
 		return nil, fmt.Errorf("rangeindex: base %g must exceed 1", base)
 	}
-	levels := make([]*level, maxLevel+1)
-	for i := range levels {
-		levels[i] = newLevel()
-	}
-	return &Index{dims: dims, logBase: math.Log(base), maxLevel: maxLevel, levels: levels}, nil
+	return &Index{dims: dims, logBase: math.Log(base), maxLevel: maxLevel,
+		levels: make([]level, maxLevel+1)}, nil
 }
 
 // MustNew is New but panics on error.
@@ -120,6 +143,24 @@ func (ix *Index) Len() int { return ix.size }
 // analysis tests.
 func (ix *Index) Insertions() uint64 { return ix.insertions }
 
+// EpochWatermark returns the largest insertion epoch among levels
+// 0..maxRes, or 0 when they are empty. It is conservative after drains
+// (never too small), so "watermark < e" soundly proves that no entry
+// with epoch ≥ e is stored at those levels.
+func (ix *Index) EpochWatermark(maxRes int) uint64 {
+	if maxRes > ix.maxLevel {
+		maxRes = ix.maxLevel
+	}
+	var wm uint64
+	for res := 0; res <= maxRes; res++ {
+		lv := &ix.levels[res]
+		if len(lv.cells) > 0 && lv.maxEpoch > wm {
+			wm = lv.maxEpoch
+		}
+	}
+	return wm
+}
+
 // coord maps one cost value to its cell coordinate.
 func (ix *Index) coord(c float64) uint64 {
 	if c <= 0 {
@@ -132,7 +173,9 @@ func (ix *Index) coord(c float64) uint64 {
 	return uint64(k)
 }
 
-// cellKey packs the per-dimension coordinates of v into one uint64.
+// cellKey packs the per-dimension coordinates of v into one uint64,
+// dimension 0 in the highest bits (so sorting by key sorts primarily by
+// the first dimension's coordinate).
 func (ix *Index) cellKey(v cost.Vector) uint64 {
 	var key uint64
 	for d := 0; d < ix.dims; d++ {
@@ -140,6 +183,9 @@ func (ix *Index) cellKey(v cost.Vector) uint64 {
 	}
 	return key
 }
+
+// dim0Shift returns the bit offset of dimension 0 inside a packed key.
+func (ix *Index) dim0Shift() uint { return uint((ix.dims - 1) * coordBits) }
 
 // cellMayMatch reports whether the cell with the given key can contain a
 // vector dominated by b: every coordinate's lower corner must not exceed
@@ -154,8 +200,10 @@ func (ix *Index) cellMayMatch(key uint64, bCoords []uint64) bool {
 	return true
 }
 
+// boundCoords fills the per-index scratch buffer with b's cell
+// coordinates and returns it. The result is valid until the next query.
 func (ix *Index) boundCoords(b cost.Vector) []uint64 {
-	out := make([]uint64, ix.dims)
+	out := ix.bcScratch[:ix.dims]
 	for d := 0; d < ix.dims; d++ {
 		if math.IsInf(b[d], 1) {
 			out[d] = maxCoord
@@ -164,6 +212,21 @@ func (ix *Index) boundCoords(b cost.Vector) []uint64 {
 		}
 	}
 	return out
+}
+
+// levelMayMatch reports whether any cell of lv can match bounds bc: the
+// level must be populated and its minimum coordinate must not exceed the
+// bound coordinate in any dimension.
+func (ix *Index) levelMayMatch(lv *level, bc []uint64) bool {
+	if len(lv.cells) == 0 {
+		return false
+	}
+	for d := 0; d < ix.dims; d++ {
+		if bc[d] < lv.minCoord[d] {
+			return false
+		}
+	}
+	return true
 }
 
 // Insert adds an entry. The cost vector's dimension must match the
@@ -179,12 +242,33 @@ func (ix *Index) Insert(e Entry) {
 		panic(fmt.Sprintf("rangeindex: non-finite cost %v", e.Cost))
 	}
 	key := ix.cellKey(e.Cost)
-	lv := ix.levels[e.Resolution]
-	if i, ok := lv.slot[key]; ok {
-		lv.cells[i].entries = append(lv.cells[i].entries, e)
+	lv := &ix.levels[e.Resolution]
+	i := sort.Search(len(lv.cells), func(i int) bool { return lv.cells[i].key >= key })
+	if i < len(lv.cells) && lv.cells[i].key == key {
+		c := &lv.cells[i]
+		c.entries = append(c.entries, e)
+		if e.Epoch > c.maxEpoch {
+			c.maxEpoch = e.Epoch
+		}
 	} else {
-		lv.slot[key] = len(lv.cells)
-		lv.cells = append(lv.cells, cell{key: key, entries: []Entry{e}})
+		lv.cells = append(lv.cells, cell{})
+		copy(lv.cells[i+1:], lv.cells[i:])
+		lv.cells[i] = cell{key: key, maxEpoch: e.Epoch, entries: []Entry{e}}
+	}
+	// Maintain the per-dimension minimum coordinates and the epoch
+	// watermark. A level with exactly one cell (the one just touched)
+	// takes its coordinates outright.
+	single := len(lv.cells) == 1
+	k := key
+	for d := ix.dims - 1; d >= 0; d-- {
+		c := k & maxCoord
+		if single || c < lv.minCoord[d] {
+			lv.minCoord[d] = c
+		}
+		k >>= coordBits
+	}
+	if e.Epoch > lv.maxEpoch {
+		lv.maxEpoch = e.Epoch
 	}
 	ix.size++
 	ix.insertions++
@@ -195,6 +279,9 @@ func (ix *Index) Insert(e Entry) {
 // Pass minEpoch 0 to disable epoch filtering. Enumeration order is
 // unspecified. If fn returns false the query stops early.
 //
+// Steady-state queries perform no heap allocations; fn must not query
+// or mutate the same index.
+//
 // This realizes the paper's selection Res^q[0..b, 0..r].
 func (ix *Index) Query(b cost.Vector, maxRes int, minEpoch uint64, fn func(Entry) bool) {
 	if b.Dim() != ix.dims {
@@ -204,13 +291,21 @@ func (ix *Index) Query(b cost.Vector, maxRes int, minEpoch uint64, fn func(Entry
 		maxRes = ix.maxLevel
 	}
 	bc := ix.boundCoords(b)
+	shift := ix.dim0Shift()
 	for res := 0; res <= maxRes; res++ {
-		cells := ix.levels[res].cells
-		for i := range cells {
-			if !ix.cellMayMatch(cells[i].key, bc) {
+		lv := &ix.levels[res]
+		if !ix.levelMayMatch(lv, bc) || lv.maxEpoch < minEpoch {
+			continue
+		}
+		for i := range lv.cells {
+			c := &lv.cells[i]
+			if c.key>>shift > bc[0] {
+				break // sorted by key: every later cell exceeds dim 0
+			}
+			if c.maxEpoch < minEpoch || !ix.cellMayMatch(c.key, bc) {
 				continue
 			}
-			for _, e := range cells[i].entries {
+			for _, e := range c.entries {
 				if e.Epoch >= minEpoch && e.Cost.WithinBounds(b) {
 					if !fn(e) {
 						return
@@ -231,11 +326,14 @@ func (ix *Index) Collect(b cost.Vector, maxRes int, minEpoch uint64) []Entry {
 	return out
 }
 
-// Drain removes and returns all entries whose cost is dominated by b and
-// whose resolution is at most maxRes. This is the candidate-set retrieval
-// of the paper's Optimize phase one, where every retrieved candidate is
-// deleted before being re-pruned.
-func (ix *Index) Drain(b cost.Vector, maxRes int) []Entry {
+// Drain removes all entries whose cost is dominated by b and whose
+// resolution is at most maxRes, appends them to dst, and returns the
+// extended slice. Callers reuse a scratch slice (pass dst[:0]) to keep
+// the candidate-retrieval phase of Optimize allocation-free; pass nil
+// to allocate. This is the candidate-set retrieval of the paper's
+// Optimize phase one, where every retrieved candidate is deleted before
+// being re-pruned.
+func (ix *Index) Drain(b cost.Vector, maxRes int, dst []Entry) []Entry {
 	if b.Dim() != ix.dims {
 		panic(fmt.Sprintf("rangeindex: bound dim %d, index dim %d", b.Dim(), ix.dims))
 	}
@@ -243,19 +341,26 @@ func (ix *Index) Drain(b cost.Vector, maxRes int) []Entry {
 		maxRes = ix.maxLevel
 	}
 	bc := ix.boundCoords(b)
-	var out []Entry
+	shift := ix.dim0Shift()
+	start := len(dst)
 	for res := 0; res <= maxRes; res++ {
-		lv := ix.levels[res]
+		lv := &ix.levels[res]
+		if !ix.levelMayMatch(lv, bc) {
+			continue
+		}
 		dirty := false
 		for ci := range lv.cells {
 			c := &lv.cells[ci]
+			if c.key>>shift > bc[0] {
+				break
+			}
 			if len(c.entries) == 0 || !ix.cellMayMatch(c.key, bc) {
 				continue
 			}
 			kept := c.entries[:0]
 			for _, e := range c.entries {
 				if e.Cost.WithinBounds(b) {
-					out = append(out, e)
+					dst = append(dst, e)
 				} else {
 					kept = append(kept, e)
 				}
@@ -269,12 +374,13 @@ func (ix *Index) Drain(b cost.Vector, maxRes int) []Entry {
 			ix.compact(lv)
 		}
 	}
-	ix.size -= len(out)
-	return out
+	ix.size -= len(dst) - start
+	return dst
 }
 
-// compact removes empty cells from a level's directory and rebuilds the
-// slot map.
+// compact removes empty cells from a level's directory (preserving the
+// sort order) and retightens the per-dimension minima and the epoch
+// watermark from the surviving cells.
 func (ix *Index) compact(lv *level) {
 	kept := lv.cells[:0]
 	for _, c := range lv.cells {
@@ -283,17 +389,29 @@ func (ix *Index) compact(lv *level) {
 		}
 	}
 	lv.cells = kept
-	lv.slot = make(map[uint64]int, len(kept))
-	for i, c := range kept {
-		lv.slot[c.key] = i
+	lv.maxEpoch = 0
+	for i := range kept {
+		c := &kept[i]
+		if c.maxEpoch > lv.maxEpoch {
+			lv.maxEpoch = c.maxEpoch
+		}
+		k := c.key
+		for d := ix.dims - 1; d >= 0; d-- {
+			coord := k & maxCoord
+			if i == 0 || coord < lv.minCoord[d] {
+				lv.minCoord[d] = coord
+			}
+			k >>= coordBits
+		}
 	}
 }
 
 // All calls fn for every entry regardless of cost, resolution, or epoch.
 func (ix *Index) All(fn func(Entry) bool) {
-	for _, lv := range ix.levels {
-		for i := range lv.cells {
-			for _, e := range lv.cells[i].entries {
+	for l := range ix.levels {
+		cells := ix.levels[l].cells
+		for i := range cells {
+			for _, e := range cells[i].entries {
 				if !fn(e) {
 					return
 				}
@@ -305,7 +423,7 @@ func (ix *Index) All(fn func(Entry) bool) {
 // Clear removes all entries, keeping the configuration.
 func (ix *Index) Clear() {
 	for i := range ix.levels {
-		ix.levels[i] = newLevel()
+		ix.levels[i] = level{}
 	}
 	ix.size = 0
 }

@@ -6,7 +6,11 @@ import (
 	"testing"
 
 	"repro/internal/cost"
+	"repro/internal/plan"
 )
+
+// pn returns a distinct payload node identified by its TableID.
+func pn(id int) *plan.Node { return &plan.Node{TableID: id} }
 
 func TestNewValidation(t *testing.T) {
 	cases := []struct {
@@ -43,8 +47,8 @@ func TestInsertAndLen(t *testing.T) {
 	if ix.Len() != 0 {
 		t.Fatal("fresh index not empty")
 	}
-	ix.Insert(Entry{Cost: cost.Vec(1, 2), Resolution: 0, Epoch: 1, Payload: "a"})
-	ix.Insert(Entry{Cost: cost.Vec(100, 200), Resolution: 3, Epoch: 2, Payload: "b"})
+	ix.Insert(Entry{Cost: cost.Vec(1, 2), Resolution: 0, Epoch: 1, Payload: pn(0)})
+	ix.Insert(Entry{Cost: cost.Vec(100, 200), Resolution: 3, Epoch: 2, Payload: pn(1)})
 	if ix.Len() != 2 {
 		t.Fatalf("Len = %d", ix.Len())
 	}
@@ -74,15 +78,15 @@ func TestInsertPanics(t *testing.T) {
 
 func TestQueryFiltersCostResolutionEpoch(t *testing.T) {
 	ix := MustNew(2, 5, 2)
-	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Epoch: 1, Payload: 1})
-	ix.Insert(Entry{Cost: cost.Vec(10, 10), Resolution: 2, Epoch: 2, Payload: 2})
-	ix.Insert(Entry{Cost: cost.Vec(100, 100), Resolution: 4, Epoch: 3, Payload: 3})
-	ix.Insert(Entry{Cost: cost.Vec(5, 500), Resolution: 0, Epoch: 4, Payload: 4})
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Epoch: 1, Payload: pn(1)})
+	ix.Insert(Entry{Cost: cost.Vec(10, 10), Resolution: 2, Epoch: 2, Payload: pn(2)})
+	ix.Insert(Entry{Cost: cost.Vec(100, 100), Resolution: 4, Epoch: 3, Payload: pn(3)})
+	ix.Insert(Entry{Cost: cost.Vec(5, 500), Resolution: 0, Epoch: 4, Payload: pn(4)})
 
 	collect := func(b cost.Vector, maxRes int, minEpoch uint64) map[int]bool {
 		got := map[int]bool{}
 		ix.Query(b, maxRes, minEpoch, func(e Entry) bool {
-			got[e.Payload.(int)] = true
+			got[e.Payload.TableID] = true
 			return true
 		})
 		return got
@@ -110,10 +114,34 @@ func TestQueryFiltersCostResolutionEpoch(t *testing.T) {
 	}
 }
 
+func TestEpochWatermark(t *testing.T) {
+	ix := MustNew(2, 3, 2)
+	if wm := ix.EpochWatermark(3); wm != 0 {
+		t.Fatalf("empty watermark = %d", wm)
+	}
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Epoch: 2, Payload: pn(0)})
+	ix.Insert(Entry{Cost: cost.Vec(2, 2), Resolution: 2, Epoch: 7, Payload: pn(1)})
+	if wm := ix.EpochWatermark(1); wm != 2 {
+		t.Errorf("watermark(res<=1) = %d, want 2", wm)
+	}
+	if wm := ix.EpochWatermark(3); wm != 7 {
+		t.Errorf("watermark(res<=3) = %d, want 7", wm)
+	}
+	if wm := ix.EpochWatermark(99); wm != 7 {
+		t.Errorf("clamped watermark = %d, want 7", wm)
+	}
+	// Watermarks let minEpoch queries skip stale levels entirely; the
+	// filter must stay exact either way.
+	got := ix.Collect(cost.Unbounded(2), 3, 5)
+	if len(got) != 1 || got[0].Payload.TableID != 1 {
+		t.Errorf("minEpoch query over watermarked levels = %v", got)
+	}
+}
+
 func TestQueryEarlyStop(t *testing.T) {
 	ix := MustNew(1, 0, 2)
 	for i := 0; i < 10; i++ {
-		ix.Insert(Entry{Cost: cost.Vec(float64(i + 1)), Resolution: 0, Payload: i})
+		ix.Insert(Entry{Cost: cost.Vec(float64(i + 1)), Resolution: 0, Payload: pn(i)})
 	}
 	count := 0
 	ix.Query(cost.Unbounded(1), 0, 0, func(Entry) bool {
@@ -136,12 +164,18 @@ func TestQueryPanicsOnDimMismatch(t *testing.T) {
 }
 
 func TestDrainRemovesMatching(t *testing.T) {
+	const (
+		keepRes = iota
+		drainMe
+		tooBig
+		high
+	)
 	ix := MustNew(2, 2, 2)
-	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Payload: "keepRes"})
-	ix.Insert(Entry{Cost: cost.Vec(2, 2), Resolution: 2, Payload: "drainMe"})
-	ix.Insert(Entry{Cost: cost.Vec(999, 999), Resolution: 0, Payload: "tooBig"})
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 0, Payload: pn(keepRes)})
+	ix.Insert(Entry{Cost: cost.Vec(2, 2), Resolution: 2, Payload: pn(drainMe)})
+	ix.Insert(Entry{Cost: cost.Vec(999, 999), Resolution: 0, Payload: pn(tooBig)})
 
-	out := ix.Drain(cost.Vec(10, 10), 2)
+	out := ix.Drain(cost.Vec(10, 10), 2, nil)
 	if len(out) != 2 {
 		t.Fatalf("drained %d, want 2", len(out))
 	}
@@ -149,17 +183,18 @@ func TestDrainRemovesMatching(t *testing.T) {
 		t.Fatalf("Len after drain = %d, want 1", ix.Len())
 	}
 	rest := ix.Collect(cost.Unbounded(2), 2, 0)
-	if len(rest) != 1 || rest[0].Payload != "tooBig" {
+	if len(rest) != 1 || rest[0].Payload.TableID != tooBig {
 		t.Fatalf("remaining = %v", rest)
 	}
 	// Drain with restricted resolution leaves higher levels alone:
-	// "tooBig" (res 0) is drained, "high" (res 2) survives.
-	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 2, Payload: "high"})
-	out = ix.Drain(cost.Unbounded(2), 1)
-	if len(out) != 1 || out[0].Payload != "tooBig" {
+	// "tooBig" (res 0) is drained, "high" (res 2) survives. Reusing the
+	// previous output as scratch must not leak the old entries.
+	ix.Insert(Entry{Cost: cost.Vec(1, 1), Resolution: 2, Payload: pn(high)})
+	out = ix.Drain(cost.Unbounded(2), 1, out[:0])
+	if len(out) != 1 || out[0].Payload.TableID != tooBig {
 		t.Fatalf("drain res<=1 removed %v, want tooBig only", out)
 	}
-	if rest := ix.Collect(cost.Unbounded(2), 2, 0); len(rest) != 1 || rest[0].Payload != "high" {
+	if rest := ix.Collect(cost.Unbounded(2), 2, 0); len(rest) != 1 || rest[0].Payload.TableID != high {
 		t.Fatalf("remaining after res-limited drain = %v", rest)
 	}
 }
@@ -167,7 +202,7 @@ func TestDrainRemovesMatching(t *testing.T) {
 func TestAllAndClear(t *testing.T) {
 	ix := MustNew(2, 1, 2)
 	for i := 0; i < 5; i++ {
-		ix.Insert(Entry{Cost: cost.Vec(float64(i), 1), Resolution: i % 2, Payload: i})
+		ix.Insert(Entry{Cost: cost.Vec(float64(i), 1), Resolution: i % 2, Payload: pn(i)})
 	}
 	count := 0
 	ix.All(func(Entry) bool { count++; return true })
@@ -191,11 +226,42 @@ func TestAllAndClear(t *testing.T) {
 
 func TestZeroCostVectorsIndexable(t *testing.T) {
 	ix := MustNew(3, 0, 2)
-	ix.Insert(Entry{Cost: cost.Vec(0, 0, 0), Resolution: 0, Payload: "zero"})
+	ix.Insert(Entry{Cost: cost.Vec(0, 0, 0), Resolution: 0, Payload: pn(0)})
 	got := ix.Collect(cost.Vec(0, 0, 0), 0, 0)
 	if len(got) != 1 {
 		t.Fatalf("zero-cost entry not found: %v", got)
 	}
+}
+
+// TestQueryAllocFree pins the tentpole guarantee of this package: a
+// steady-state range query performs zero heap allocations (the bound
+// coordinates come from the per-index scratch buffer and cells are
+// enumerated in place).
+func TestQueryAllocFree(t *testing.T) {
+	ix := MustNew(3, 20, 2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		ix.Insert(Entry{
+			Cost:       cost.Vec(rng.Float64()*1e6, rng.Float64()*8, rng.Float64()),
+			Resolution: i % 21,
+			Epoch:      uint64(i % 3),
+			Payload:    pn(i),
+		})
+	}
+	bound := cost.Vec(5e5, 4, 0.5)
+	sink := 0
+	visit := func(e Entry) bool { sink += e.Payload.TableID; return true }
+	if allocs := testing.AllocsPerRun(200, func() {
+		ix.Query(bound, 10, 0, visit)
+	}); allocs != 0 {
+		t.Errorf("steady-state Query allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		ix.Query(bound, 20, 2, visit)
+	}); allocs != 0 {
+		t.Errorf("steady-state minEpoch Query allocates %.1f times per call, want 0", allocs)
+	}
+	_ = sink
 }
 
 // naive is a reference implementation: a flat slice with linear scans.
@@ -244,7 +310,7 @@ func TestQuickAgainstNaive(t *testing.T) {
 				for d := range v {
 					v[d] = math.Pow(10, rng.Float64()*6) - 1
 				}
-				e := Entry{Cost: v, Resolution: rng.Intn(maxLevel + 1), Epoch: uint64(rng.Intn(5)), Payload: id}
+				e := Entry{Cost: v, Resolution: rng.Intn(maxLevel + 1), Epoch: uint64(rng.Intn(5)), Payload: pn(id)}
 				id++
 				ix.Insert(e)
 				ref.insert(e)
@@ -260,7 +326,7 @@ func TestQuickAgainstNaive(t *testing.T) {
 			case 3: // drain
 				b := randomBound(rng, dims)
 				maxRes := rng.Intn(maxLevel + 2)
-				got := payloadSet(ix.Drain(b, maxRes))
+				got := payloadSet(ix.Drain(b, maxRes, nil))
 				want := payloadSet(ref.drain(b, maxRes))
 				if !sameSet(got, want) {
 					t.Fatalf("drain mismatch: got %v want %v", got, want)
@@ -288,7 +354,7 @@ func randomBound(rng *rand.Rand, dims int) cost.Vector {
 func payloadSet(entries []Entry) map[int]bool {
 	out := map[int]bool{}
 	for _, e := range entries {
-		out[e.Payload.(int)] = true
+		out[e.Payload.TableID] = true
 	}
 	return out
 }
@@ -313,7 +379,7 @@ func BenchmarkInsert(b *testing.B) {
 		ix.Insert(Entry{
 			Cost:       cost.Vec(rng.Float64()*1e6, rng.Float64()*8, rng.Float64()),
 			Resolution: i % 21,
-			Payload:    i,
+			Payload:    pn(i),
 		})
 	}
 }
@@ -325,7 +391,7 @@ func BenchmarkQuery1000(b *testing.B) {
 		ix.Insert(Entry{
 			Cost:       cost.Vec(rng.Float64()*1e6, rng.Float64()*8, rng.Float64()),
 			Resolution: i % 21,
-			Payload:    i,
+			Payload:    pn(i),
 		})
 	}
 	bound := cost.Vec(5e5, 4, 0.5)

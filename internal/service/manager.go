@@ -74,8 +74,25 @@ type managed struct {
 	// interactive metric the warm-start cache exists to improve.
 	firstFrontier time.Duration
 
+	// cond (on mu) is broadcast on every state transition; WaitTarget
+	// blocks on it instead of polling. Nil for bare test fixtures.
+	cond *sync.Cond
+	// waiters counts goroutines blocked in WaitTarget. A waited-on
+	// session is active client interaction, so the janitor never
+	// expires it (lastTouch is only updated on call boundaries).
+	waiters int
+
 	// Scheduler-owned flags, guarded by scheduler.mu.
 	queued, hot bool
+}
+
+// setState transitions the lifecycle state and wakes any WaitTarget
+// callers. Callers hold m.mu.
+func (m *managed) setState(s State) {
+	m.state = s
+	if m.cond != nil {
+		m.cond.Broadcast()
+	}
 }
 
 // touch records a client interaction for idle-expiry accounting.
@@ -118,6 +135,17 @@ func (mg *manager) count() int {
 	return len(mg.sessions)
 }
 
+// all returns a snapshot of the registered sessions.
+func (mg *manager) all() []*managed {
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	out := make([]*managed, 0, len(mg.sessions))
+	for _, m := range mg.sessions {
+		out = append(out, m)
+	}
+	return out
+}
+
 // expireIdle transitions every live session untouched for at least ttl
 // to Expired, removes it from the registry, and returns the number
 // reclaimed. Sessions mid-step simply expire once the worker releases
@@ -134,9 +162,9 @@ func (mg *manager) expireIdle(ttl time.Duration) int {
 	expired := 0
 	for _, m := range stale {
 		m.mu.Lock()
-		kill := m.state.Live() && now.Sub(m.lastTouch) >= ttl
+		kill := m.state.Live() && m.waiters == 0 && now.Sub(m.lastTouch) >= ttl
 		if kill {
-			m.state = Expired
+			m.setState(Expired)
 		}
 		m.mu.Unlock()
 		if kill {

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,7 +100,11 @@ type Status struct {
 	// Bounds is the session's current bound vector.
 	Bounds cost.Vector
 	// Frontier is the current visualization input (shared immutable
-	// plan nodes; callers must not mutate).
+	// plan nodes; callers must not mutate). The nodes are backed by the
+	// session's arena: in-process callers keeping them past the
+	// session's lifetime should copy what they need (Select returns a
+	// detached copy for exactly this reason); callers serializing to a
+	// wire format (moqod) are unaffected.
 	Frontier []*plan.Node
 	// FirstFrontier is the creation→first-non-empty-frontier latency
 	// (0 until one exists).
@@ -121,6 +126,7 @@ type Service struct {
 	expired     atomic.Uint64
 	steps       atomic.Uint64
 	warmStarts  atomic.Uint64
+	stopping    atomic.Bool
 	janitorStop chan struct{}
 }
 
@@ -156,14 +162,30 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// ErrShutdown reports that the service stopped while the call was in
+// progress (e.g. a WaitTarget whose session can no longer converge
+// because the workers are gone).
+var ErrShutdown = errors.New("service: shut down")
+
 // Shutdown stops the workers and the janitor; in-flight steps finish
 // first. Sessions are not drained — callers wanting final state poll
-// before shutting down.
+// before shutting down. Goroutines blocked in WaitTarget are released
+// with ErrShutdown.
 func (s *Service) Shutdown() {
 	select {
 	case <-s.janitorStop:
 	default:
 		close(s.janitorStop)
+	}
+	s.stopping.Store(true)
+	// Wake blocked WaitTarget callers: with the workers stopping, a
+	// Refining session may never transition again.
+	for _, m := range s.mgr.all() {
+		m.mu.Lock()
+		if m.cond != nil {
+			m.cond.Broadcast()
+		}
+		m.mu.Unlock()
 	}
 	s.sched.stop()
 }
@@ -193,16 +215,18 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	warm := false
 	if s.cache != nil {
 		if snap, ok := s.cache.Get(fp); ok {
-			opt, err := core.NewOptimizerFromSnapshot(q, s.cfg.Opt, snap)
-			if err != nil {
-				return "", fmt.Errorf("service: warm start: %w", err)
+			// A refused restore (config drift, node-ID numbering near
+			// exhaustion) falls back to a cold start instead of
+			// failing the session; the next convergence re-exports a
+			// fresh snapshot, resetting the lineage.
+			if opt, err := core.NewOptimizerFromSnapshot(q, s.cfg.Opt, snap); err == nil {
+				sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
+				if err != nil {
+					return "", err
+				}
+				warm = true
+				s.warmStarts.Add(1)
 			}
-			sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
-			if err != nil {
-				return "", err
-			}
-			warm = true
-			s.warmStarts.Add(1)
 		}
 	}
 	if sess == nil {
@@ -222,6 +246,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		created:   now,
 		warm:      warm,
 	}
+	m.cond = sync.NewCond(&m.mu)
 	s.mgr.add(m)
 	s.created.Add(1)
 	s.sched.enqueue(m, true)
@@ -246,7 +271,7 @@ func (s *Service) runStep(m *managed) {
 	}
 	again := true
 	if m.sess.AtMaxResolution() {
-		m.state = AtTarget
+		m.setState(AtTarget)
 		again = false
 		if s.cache != nil && !m.snapshotted {
 			s.cache.Put(m.fp, m.sess.Optimizer().Snapshot())
@@ -268,15 +293,8 @@ func (s *Service) lookup(id string) (*managed, error) {
 	return m, nil
 }
 
-// Poll returns the session's current status and frontier snapshot.
-func (s *Service) Poll(id string) (Status, error) {
-	m, err := s.lookup(id)
-	if err != nil {
-		return Status{}, err
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.touch()
+// statusLocked builds a Status snapshot; callers hold m.mu.
+func (m *managed) statusLocked() Status {
 	return Status{
 		ID:            m.id,
 		Query:         m.sess.Optimizer().Query().Name(),
@@ -287,7 +305,76 @@ func (s *Service) Poll(id string) (Status, error) {
 		Bounds:        m.sess.Bounds(),
 		Frontier:      m.sess.Frontier(),
 		FirstFrontier: m.firstFrontier,
-	}, nil
+	}
+}
+
+// Poll returns the session's current status and frontier snapshot.
+func (s *Service) Poll(id string) (Status, error) {
+	m, err := s.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.touch()
+	return m.statusLocked(), nil
+}
+
+// ErrWaitTimeout reports that WaitTargetTimeout's deadline passed
+// before the session left the Refining state.
+var ErrWaitTimeout = errors.New("service: wait target timeout")
+
+// WaitTarget blocks until the session leaves the Refining state — it
+// reached the target precision (AtTarget) or was selected, closed or
+// expired concurrently — and returns the status at that moment. It is
+// the step-completion signal clients (and benchmarks) should use
+// instead of polling: the scheduler broadcasts every state transition,
+// so no cycles are burned re-reading an unchanged frontier. A blocked
+// waiter counts as ongoing client interaction, so the janitor never
+// idle-expires a waited-on session. If the service shuts down while
+// waiting, WaitTarget returns the last status with ErrShutdown.
+func (s *Service) WaitTarget(id string) (Status, error) {
+	return s.WaitTargetTimeout(id, 0)
+}
+
+// WaitTargetTimeout is WaitTarget with a hang guard: if d is positive
+// and elapses first, the last status is returned with ErrWaitTimeout
+// (the waiter leaves, so idle expiry resumes for the session). d <= 0
+// means no deadline.
+func (s *Service) WaitTargetTimeout(id string, d time.Duration) (Status, error) {
+	m, err := s.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		// cond.Wait cannot time out; a timer broadcast bounds it.
+		timer := time.AfterFunc(d, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.touch()
+	m.waiters++
+	for m.state == Refining && !s.stopping.Load() &&
+		(deadline.IsZero() || time.Now().Before(deadline)) {
+		m.cond.Wait()
+	}
+	m.waiters--
+	m.touch()
+	switch {
+	case m.state != Refining:
+		return m.statusLocked(), nil
+	case s.stopping.Load():
+		return m.statusLocked(), ErrShutdown
+	default:
+		return m.statusLocked(), ErrWaitTimeout
+	}
 }
 
 // SetBounds changes a live session's cost bounds. Per the paper's
@@ -307,7 +394,7 @@ func (s *Service) SetBounds(id string, b cost.Vector) error {
 		m.mu.Unlock()
 		return err
 	}
-	m.state = Refining
+	m.setState(Refining)
 	m.snapshotted = false // new regime: next convergence re-exports
 	m.touch()
 	m.mu.Unlock()
@@ -344,11 +431,14 @@ func (s *Service) Select(id string, index, expectSteps int) (*plan.Node, error) 
 		m.mu.Unlock()
 		return nil, err
 	}
-	m.state = Selected
+	m.setState(Selected)
 	m.mu.Unlock()
 	s.mgr.remove(id)
 	s.selected.Add(1)
-	return p, nil
+	// The session is finished: hand back a copy detached from the
+	// optimizer's arena, so a client keeping the plan does not pin the
+	// dead session's node chunks (see plan.DetachInto).
+	return plan.DetachInto(map[*plan.Node]*plan.Node{}, p), nil
 }
 
 // Close drops a live session without selecting a plan.
@@ -362,7 +452,7 @@ func (s *Service) Close(id string) error {
 		m.mu.Unlock()
 		return fmt.Errorf("service: session %q is %v", id, m.state)
 	}
-	m.state = Closed
+	m.setState(Closed)
 	m.mu.Unlock()
 	s.mgr.remove(id)
 	s.closed.Add(1)

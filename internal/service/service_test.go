@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -324,5 +325,106 @@ func TestRejectsHooks(t *testing.T) {
 	cfg.Opt.Hooks.PlanGenerated = func(*plan.Node) {}
 	if _, err := New(cfg); err == nil {
 		t.Fatal("New accepted a config with hooks")
+	}
+}
+
+// TestWaitTarget verifies the blocking step-completion signal: waiters
+// wake when the session converges, further waits return immediately,
+// and concurrent closes unblock waiters with the terminal state.
+func TestWaitTarget(t *testing.T) {
+	svc, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	id, err := svc.Create(blk.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.WaitTarget(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != AtTarget {
+		t.Fatalf("WaitTarget returned state %v, want %v", st.State, AtTarget)
+	}
+	if len(st.Frontier) == 0 {
+		t.Error("empty frontier at target")
+	}
+	// A second wait on a converged session returns without blocking.
+	done := make(chan Status, 1)
+	go func() {
+		st, err := svc.WaitTarget(id)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- st
+	}()
+	select {
+	case st = <-done:
+		if st.State != AtTarget {
+			t.Errorf("second wait state %v", st.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitTarget blocked on a converged session")
+	}
+	// Waiters blocked across a bounds change are released when the new
+	// regime converges — or, as here, when the session is closed.
+	tight := st.Frontier[0].Cost.Scale(1.3)
+	if err := svc.SetBounds(id, tight); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		st, err := svc.WaitTarget(id)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- st
+	}()
+	if st, err = svc.WaitTarget(id); err != nil || st.State == Refining {
+		t.Fatalf("wait after SetBounds: state %v err %v", st.State, err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter not released")
+	}
+	if err := svc.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTarget(id); err == nil {
+		t.Error("WaitTarget on a removed session succeeded")
+	}
+}
+
+// TestWaitTargetShutdownRelease pins the Shutdown contract: a waiter
+// parked on a session that can no longer converge (workers stopping)
+// is released with ErrShutdown instead of blocking forever.
+func TestWaitTargetShutdownRelease(t *testing.T) {
+	svc, err := New(testConfig(20)) // deep refinement: will not converge quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q5")
+	id, err := svc.Create(blk.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.WaitTarget(id)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	svc.Shutdown()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ErrShutdown) {
+			t.Fatalf("WaitTarget after Shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("WaitTarget not released by Shutdown")
 	}
 }
