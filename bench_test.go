@@ -306,6 +306,14 @@ func benchServiceSessions(b *testing.B, sessions int, warmCache bool) {
 		}
 	}
 
+	driveServiceSessions(b, svc, blocks, names, sessions, warmCache)
+}
+
+// driveServiceSessions is the shared timed loop of the service
+// benchmarks: b.N batches of `sessions` concurrent create→converge→
+// close session lifecycles over the caller's workload mix.
+func driveServiceSessions(b *testing.B, svc *service.Service, blocks []workload.Block, names []string, sessions int, warmCache bool) {
+	b.Helper()
 	var mu sync.Mutex
 	var pollLats, firstLats []time.Duration
 	b.ResetTimer()
@@ -367,6 +375,54 @@ func BenchmarkServiceSessions(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("sessions=%d/%s", n, label), func(b *testing.B) {
 				benchServiceSessions(b, n, warm)
+			})
+		}
+	}
+}
+
+// benchServiceContention drives the cold-cache session workload through
+// a service with an explicit shard count, reporting throughput plus the
+// scheduler's contention counters. GOMAXPROCS (and with it the worker
+// pool and the shards=auto count) comes from the -cpu flag.
+func benchServiceContention(b *testing.B, sessions, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	svc, err := service.New(harness.ServiceBenchContentionConfig(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Shutdown()
+	driveServiceSessions(b, svc, workload.MustTPCHBlocks(1), harness.ServiceBenchNames(), sessions, false)
+	st := svc.Stats()
+	var steals, pops uint64
+	for _, ss := range st.Shards {
+		steals += ss.Steals
+		pops += ss.Pops
+	}
+	b.ReportMetric(float64(steals), "steals")
+	if pops > 0 {
+		b.ReportMetric(float64(st.Steps)/float64(pops), "steps/pop")
+	}
+	b.ReportMetric(float64(st.StepGapP99.Nanoseconds()), "p99-step-gap-ns")
+}
+
+// BenchmarkServiceContention isolates the multi-core scaling of the
+// sharded scheduler: the same cold 64–512-session workload against the
+// single-queue control (shards=1) and the per-core sharded
+// configuration (shards=auto). Run it across core counts with
+//
+//	go test -cpu 1,4,8 -bench 'BenchmarkServiceContention' -benchtime 3x -run '^$' .
+//
+// The acceptance target is sharded ≥2x the shards=1 control at ≥4
+// cores and within noise of it at 1 core.
+func BenchmarkServiceContention(b *testing.B) {
+	for _, cfg := range []struct {
+		label  string
+		shards int
+	}{{"single", 1}, {"sharded", 0}} {
+		for _, n := range []int{64, 512} {
+			b.Run(fmt.Sprintf("shards=%s/sessions=%d", cfg.label, n), func(b *testing.B) {
+				benchServiceContention(b, n, cfg.shards)
 			})
 		}
 	}

@@ -124,6 +124,36 @@ func figureSeries(block string, levels int, alphaT, alphaS float64, useMax bool)
 	}
 }
 
+// driveSessionBatch runs one batch of n concurrent create→converge→
+// close session lifecycles against svc over the shared workload mix
+// and returns the batch duration. Both recorded service benchmarks
+// drive through this one loop so their throughput stays comparable.
+func driveSessionBatch(svc *service.Service, blocks []workload.Block, names []string, n int) (time.Duration, error) {
+	start := time.Now()
+	errs := make(chan error, n)
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			blk, _ := workload.Find(blocks, names[s%len(names)])
+			id, err := svc.Create(blk.Query)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := svc.WaitTarget(id); err != nil {
+				errs <- err
+				return
+			}
+			errs <- svc.Close(id)
+		}(s)
+	}
+	for s := 0; s < n; s++ {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
 // serviceSessions measures one batch of concurrent sessions driven to
 // target precision through the multi-tenant service, reporting
 // throughput as sessions/sec.
@@ -153,32 +183,60 @@ func serviceSessions(sessions int, warm bool) func() (func(map[string]float64) e
 			}
 		}
 		op := func(metrics map[string]float64) error {
-			start := time.Now()
-			errs := make(chan error, sessions)
-			for s := 0; s < sessions; s++ {
-				go func(s int) {
-					blk, _ := workload.Find(blocks, names[s%len(names)])
-					id, err := svc.Create(blk.Query)
-					if err != nil {
-						errs <- err
-						return
-					}
-					if _, err := svc.WaitTarget(id); err != nil {
-						errs <- err
-						return
-					}
-					errs <- svc.Close(id)
-				}(s)
+			d, err := driveSessionBatch(svc, blocks, names, sessions)
+			if err != nil {
+				return err
 			}
-			for s := 0; s < sessions; s++ {
-				if err := <-errs; err != nil {
-					return err
-				}
-			}
-			metrics["sessions_per_sec"] += float64(sessions) / time.Since(start).Seconds()
+			metrics["sessions_per_sec"] += float64(sessions) / d.Seconds()
 			return nil
 		}
 		return op, svc.Shutdown, nil
+	}
+}
+
+// serviceContention measures the multi-core scaling of the sharded
+// scheduler: the cold-session workload at an explicit GOMAXPROCS and
+// shard count (1 = single-queue control, 0 = one shard per core),
+// reporting sessions/sec plus the scheduler's contention counters.
+func serviceContention(procs, shards, sessions int) func() (func(map[string]float64) error, func(), error) {
+	return func() (func(map[string]float64) error, func(), error) {
+		prev := runtime.GOMAXPROCS(procs)
+		blocks := workload.MustTPCHBlocks(1)
+		names := harness.ServiceBenchNames()
+		svc, err := service.New(harness.ServiceBenchContentionConfig(shards))
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			return nil, nil, err
+		}
+		teardown := func() {
+			svc.Shutdown()
+			runtime.GOMAXPROCS(prev)
+		}
+		// The service counters are cumulative across iterations (and the
+		// untimed warm-up), so each op records deltas; measure() then
+		// averages them per iteration like every other metric.
+		var lastSteals, lastPops, lastSteps uint64
+		op := func(metrics map[string]float64) error {
+			d, err := driveSessionBatch(svc, blocks, names, sessions)
+			if err != nil {
+				return err
+			}
+			metrics["sessions_per_sec"] += float64(sessions) / d.Seconds()
+			st := svc.Stats()
+			var steals, pops uint64
+			for _, ss := range st.Shards {
+				steals += ss.Steals
+				pops += ss.Pops
+			}
+			metrics["steals"] += float64(steals - lastSteals)
+			if dp := pops - lastPops; dp > 0 {
+				metrics["steps_per_pop"] += float64(st.Steps-lastSteps) / float64(dp)
+			}
+			metrics["p99_step_gap_ns"] += float64(st.StepGapP99.Nanoseconds())
+			lastSteals, lastPops, lastSteps = steals, pops, st.Steps
+			return nil
+		}
+		return op, teardown, nil
 	}
 }
 
@@ -200,6 +258,10 @@ func main() {
 			setup: serviceSessions(8, false)},
 		{name: "service/sessions=8/warm", iters: 1, smokeOnly: true,
 			setup: serviceSessions(8, true)},
+		{name: "contention/procs=2/shards=1/sessions=16", iters: 1, smokeOnly: true,
+			setup: serviceContention(2, 1, 16)},
+		{name: "contention/procs=2/shards=auto/sessions=16", iters: 1, smokeOnly: true,
+			setup: serviceContention(2, 0, 16)},
 
 		// Full variants: the acceptance workload.
 		{name: "figure3/levels=20/Q5", iters: 3, fullOnly: true,
@@ -212,6 +274,25 @@ func main() {
 			setup: serviceSessions(64, false)},
 		{name: "service/sessions=64/warm", iters: 5, fullOnly: true,
 			setup: serviceSessions(64, true)},
+		// Multi-core scale-out: the same cold workload against the
+		// single-queue control and the per-core sharded scheduler, at 1
+		// core (no-regression check) and 8 (the acceptance comparison).
+		{name: "contention/procs=1/shards=1/sessions=64", iters: 3, fullOnly: true,
+			setup: serviceContention(1, 1, 64)},
+		{name: "contention/procs=1/shards=auto/sessions=64", iters: 3, fullOnly: true,
+			setup: serviceContention(1, 0, 64)},
+		{name: "contention/procs=4/shards=1/sessions=64", iters: 3, fullOnly: true,
+			setup: serviceContention(4, 1, 64)},
+		{name: "contention/procs=4/shards=auto/sessions=64", iters: 3, fullOnly: true,
+			setup: serviceContention(4, 0, 64)},
+		{name: "contention/procs=8/shards=1/sessions=64", iters: 3, fullOnly: true,
+			setup: serviceContention(8, 1, 64)},
+		{name: "contention/procs=8/shards=auto/sessions=64", iters: 3, fullOnly: true,
+			setup: serviceContention(8, 0, 64)},
+		{name: "contention/procs=8/shards=1/sessions=512", iters: 2, fullOnly: true,
+			setup: serviceContention(8, 1, 512)},
+		{name: "contention/procs=8/shards=auto/sessions=512", iters: 2, fullOnly: true,
+			setup: serviceContention(8, 0, 512)},
 	}
 
 	report := Report{

@@ -1,9 +1,12 @@
 // Command moqod serves concurrent anytime multi-objective optimization
 // sessions over HTTP/JSON — the multi-tenant daemon counterpart of the
 // interactive moqo CLI. Each client session owns an incremental
-// optimizer whose refinement steps a fair-share worker pool time-slices
-// across all tenants; repeated query shapes warm-start from a plan-set
-// cache.
+// optimizer whose refinement steps sharded fair-share worker pools
+// time-slice across all tenants (sessions hash onto per-core
+// manager/scheduler shards with work stealing; see -shards and
+// -quantum); repeated query shapes warm-start from a plan-set cache.
+// Admission control (-max-sessions, -max-queue) sheds load with
+// HTTP 429 + Retry-After instead of queueing without bound.
 //
 //	moqod -addr :8080                 # serve the JSON API
 //	moqod -loadgen -sessions 64       # drive 64 concurrent sessions in-process
@@ -11,19 +14,23 @@
 // API sketch (all JSON):
 //
 //	POST   /sessions                {"block":"Q5"} or {"tables":6,"topology":"star"}
+//	                                → 429 + Retry-After when overloaded
 //	GET    /sessions/{id}           → state, resolution, frontier
 //	POST   /sessions/{id}/bounds    {"bounds":[2000,4,1]} (null/empty = unbounded)
 //	POST   /sessions/{id}/select    {"index":0,"steps":12} → chosen plan
 //	                                ("steps" from the poll guards against
 //	                                 a concurrently refined frontier)
 //	DELETE /sessions/{id}
-//	GET    /statz                   → service counters
+//	GET    /statz                   → service counters, incl. per-shard
+//	                                  queue/steal/preempt breakdown and
+//	                                  the p99 inter-step starvation gap
 //
 // All randomness is seeded by -seed (default 1) so runs reproduce.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +53,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 0, "refinement worker-pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "manager/scheduler shards (0 = GOMAXPROCS, 1 = single queue)")
+	quantum := flag.Int("quantum", 4, "max consecutive cold steps per scheduler pop (1 = strict round-robin)")
+	maxSessions := flag.Int("max-sessions", 0, "admission limit on live sessions (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission limit on queued sessions (0 = unlimited)")
 	levels := flag.Int("levels", 5, "resolution levels per session")
 	alphaT := flag.Float64("target", 1.01, "target precision αT")
 	alphaS := flag.Float64("step", 0.05, "precision step αS")
@@ -65,9 +76,13 @@ func main() {
 			TargetPrecision:  *alphaT,
 			PrecisionStep:    *alphaS,
 		},
-		Workers:       *workers,
-		IdleTimeout:   *idle,
-		CacheCapacity: *cacheCap,
+		Workers:           *workers,
+		Shards:            *shards,
+		Quantum:           *quantum,
+		MaxActiveSessions: *maxSessions,
+		MaxQueueDepth:     *maxQueue,
+		IdleTimeout:       *idle,
+		CacheCapacity:     *cacheCap,
 	}
 	svc, err := service.New(cfg)
 	if err != nil {
@@ -87,8 +102,9 @@ func main() {
 	}
 
 	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(*sf), seed: *seed, dim: cfg.Opt.Model.Space().Dim()}
-	log.Printf("moqod: serving on %s (workers=%d levels=%d αT=%g αS=%g cache=%d)",
-		*addr, cfg.Workers, *levels, *alphaT, *alphaS, cfg.CacheCapacity)
+	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d max-sessions=%d max-queue=%d)",
+		*addr, cfg.Workers, len(svc.Stats().Shards), cfg.Quantum, *levels, *alphaT, *alphaS,
+		cfg.CacheCapacity, cfg.MaxActiveSessions, cfg.MaxQueueDepth)
 	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
 		fail(err)
 	}
@@ -150,6 +166,13 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.svc.Create(q)
 	if err != nil {
+		if errors.Is(err, service.ErrOverloaded) {
+			// Admission control shed the session; tell clients when to
+			// come back instead of letting them hammer the queue.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -349,6 +372,17 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 		harness.Percentile(totalLats, 0.50), harness.Percentile(totalLats, 0.95), harness.Percentile(totalLats, 1))
 	fmt.Printf("warm starts: %d, cache: %d entries, %d hits, %d misses\n",
 		st.WarmStarts, st.Cache.Entries, st.Cache.Hits, st.Cache.Misses)
+	var steals, pops uint64
+	for _, ss := range st.Shards {
+		steals += ss.Steals
+		pops += ss.Pops
+	}
+	stepsPerPop := 0.0
+	if pops > 0 {
+		stepsPerPop = float64(st.Steps) / float64(pops)
+	}
+	fmt.Printf("shards: %d, steals: %d, steps/pop: %.2f, p99 inter-step gap: %v\n",
+		len(st.Shards), steals, stepsPerPop, st.StepGapP99.Round(time.Microsecond))
 	return nil
 }
 

@@ -181,6 +181,18 @@ func ServiceBenchConfig(warmCache bool) service.Config {
 	return cfg
 }
 
+// ServiceBenchContentionConfig is the configuration of the multi-core
+// contention benchmark (BenchmarkServiceContention and the benchjson
+// recorder): the cold-cache service workload with an explicit shard
+// count — 1 is the serialized single-queue control, 0 shards per
+// GOMAXPROCS. Workers default to GOMAXPROCS, so `go test -cpu 1,4,8`
+// scales the worker pool and the shard count together.
+func ServiceBenchContentionConfig(shards int) service.Config {
+	cfg := ServiceBenchConfig(false)
+	cfg.Shards = shards
+	return cfg
+}
+
 // aggregate selects the average or maximum of a duration series.
 func aggregate(ds []time.Duration, useMax bool) time.Duration {
 	if len(ds) == 0 {

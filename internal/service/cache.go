@@ -12,6 +12,11 @@ import (
 // created for an already-seen query shape restores the cached scan and
 // join plan sets instead of regenerating them, which collapses its
 // first-frontier latency. Safe for concurrent use.
+//
+// The service shards the cache by fingerprint hash — one PlanCache per
+// shard, each owning a slice of the total capacity — so concurrent
+// warm starts on distinct query shapes do not serialize on one mutex;
+// eviction is LRU within each shard.
 type PlanCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -90,6 +95,15 @@ type CacheStats struct {
 	Hits, Misses uint64
 	// Plans is the total number of plan entries across cached snapshots.
 	Plans int
+}
+
+// add accumulates another shard's counters into cs (Stats aggregation
+// across cache shards).
+func (cs *CacheStats) add(o CacheStats) {
+	cs.Entries += o.Entries
+	cs.Hits += o.Hits
+	cs.Misses += o.Misses
+	cs.Plans += o.Plans
 }
 
 // Stats returns a consistent snapshot of the cache counters. O(1): the

@@ -50,34 +50,3 @@ func TestPlanCacheIgnoresNil(t *testing.T) {
 		t.Error("nil snapshot was cached")
 	}
 }
-
-func TestSchedulerHotPriority(t *testing.T) {
-	// No workers: the test drains the queues itself.
-	sc := newScheduler(0, func(*managed) {})
-	defer sc.stop()
-
-	a, b, hot := &managed{id: "a"}, &managed{id: "b"}, &managed{id: "hot"}
-	sc.enqueue(a, false)
-	sc.enqueue(b, false)
-	sc.enqueue(hot, true)
-	if got := sc.pop(); got != hot {
-		t.Fatalf("pop = %s, want hot session first", got.id)
-	}
-	if got := sc.pop(); got != a {
-		t.Fatalf("pop = %s, want a (FIFO cold order)", got.id)
-	}
-
-	// Re-enqueueing a queued session is a no-op; a hot request promotes
-	// a cold entry.
-	sc.enqueue(b, false)
-	if n := sc.queueLen(); n != 1 {
-		t.Fatalf("queue length %d after duplicate enqueue, want 1", n)
-	}
-	sc.enqueue(b, true)
-	if !b.hot {
-		t.Error("cold entry was not promoted to hot")
-	}
-	if got := sc.pop(); got != b {
-		t.Fatalf("pop = %s, want b", got.id)
-	}
-}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/session"
@@ -53,12 +54,13 @@ func (s State) Live() bool { return s == Refining || s == AtTarget }
 // the bookkeeping the scheduler, janitor and cache need. mu serializes
 // all access to sess and the fields below it — optimizer state is not
 // concurrency-safe, so scheduler steps, polls, bounds changes and
-// snapshots all take the lock. queued/hot are owned by the scheduler's
-// own mutex instead (lock order: scheduler.mu is never held while
-// taking m.mu and vice versa).
+// snapshots all take the lock. queued/hot/seq are owned by the owning
+// shard's scheduler mutex instead (lock order: scheduler.mu is never
+// held while taking m.mu and vice versa; see DESIGN.md D10).
 type managed struct {
-	id string
-	fp string // canonical query fingerprint (cache key)
+	id    string
+	fp    string // canonical query fingerprint (cache key)
+	shard int    // owning shard index (fixed at create: hash of id)
 
 	mu          sync.Mutex
 	sess        *session.Session
@@ -74,6 +76,14 @@ type managed struct {
 	// interactive metric the warm-start cache exists to improve.
 	firstFrontier time.Duration
 
+	// lastStep and maxStepGap drive the starvation audit: maxStepGap is
+	// the session's largest observed start-to-start interval between
+	// consecutive scheduler steps, the time a session waited for service
+	// while runnable. Stats aggregates the p99 across sessions so the
+	// fair-share claim stays observable under skewed load.
+	lastStep   time.Time
+	maxStepGap time.Duration
+
 	// cond (on mu) is broadcast on every state transition; WaitTarget
 	// blocks on it instead of polling. Nil for bare test fixtures.
 	cond *sync.Cond
@@ -82,8 +92,12 @@ type managed struct {
 	// expires it (lastTouch is only updated on call boundaries).
 	waiters int
 
-	// Scheduler-owned flags, guarded by scheduler.mu.
+	// Scheduler-owned state, guarded by the owning shard's
+	// scheduler.mu: queue membership, priority, and the enqueue stamp
+	// that validates queue entries (only the entry carrying the current
+	// seq is live; stale entries from O(1) hot promotion are skipped).
 	queued, hot bool
+	seq         uint64
 }
 
 // setState transitions the lifecycle state and wakes any WaitTarget
@@ -99,21 +113,88 @@ func (m *managed) setState(s State) {
 // Callers hold m.mu.
 func (m *managed) touch() { m.lastTouch = time.Now() }
 
-// manager is the session registry: id → managed session, plus idle
-// expiry. Safe for concurrent use.
+// noteStep updates the starvation-audit bookkeeping at a step start.
+// Callers hold m.mu.
+func (m *managed) noteStep(now time.Time) {
+	if !m.lastStep.IsZero() {
+		if gap := now.Sub(m.lastStep); gap > m.maxStepGap {
+			m.maxStepGap = gap
+		}
+	}
+	m.lastStep = now
+}
+
+// gapRingSize bounds the per-shard ring of finished sessions' max
+// inter-step gaps kept for the starvation-audit percentile.
+const gapRingSize = 256
+
+// manager is one shard's session registry: id → managed session, plus
+// idle expiry and the shard's slice of the starvation audit. Safe for
+// concurrent use.
 type manager struct {
 	mu       sync.RWMutex
 	sessions map[string]*managed
+
+	// live mirrors len(sessions) lock-free, so admission control and
+	// Stats read the shard's session count without touching mu (the
+	// same gauge pattern as scheduler.qLen).
+	live atomic.Int32
+
+	// gaps is a ring of max inter-step gaps of finished (selected,
+	// closed, expired) sessions; live sessions contribute their current
+	// maximum directly at Stats time.
+	gaps   [gapRingSize]time.Duration
+	gapN   int // total recorded (ring occupancy = min(gapN, gapRingSize))
+	gapIdx int
 }
 
 func newManager() *manager {
 	return &manager{sessions: map[string]*managed{}}
 }
 
+// recordGap archives a finished session's max inter-step gap (zero
+// gaps — sessions with fewer than two steps — carry no information and
+// are dropped).
+func (mg *manager) recordGap(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	mg.mu.Lock()
+	mg.gaps[mg.gapIdx] = d
+	mg.gapIdx = (mg.gapIdx + 1) % gapRingSize
+	mg.gapN++
+	mg.mu.Unlock()
+}
+
+// appendGaps appends the shard's starvation samples — archived rings
+// plus every live session's current maximum — to dst.
+func (mg *manager) appendGaps(dst []time.Duration) []time.Duration {
+	mg.mu.RLock()
+	n := mg.gapN
+	if n > gapRingSize {
+		n = gapRingSize
+	}
+	dst = append(dst, mg.gaps[:n]...)
+	live := make([]*managed, 0, len(mg.sessions))
+	for _, m := range mg.sessions {
+		live = append(live, m)
+	}
+	mg.mu.RUnlock()
+	for _, m := range live {
+		m.mu.Lock()
+		if g := m.maxStepGap; g > 0 {
+			dst = append(dst, g)
+		}
+		m.mu.Unlock()
+	}
+	return dst
+}
+
 func (mg *manager) add(m *managed) {
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
 	mg.sessions[m.id] = m
+	mg.live.Store(int32(len(mg.sessions)))
 }
 
 func (mg *manager) get(id string) (*managed, bool) {
@@ -127,13 +208,10 @@ func (mg *manager) remove(id string) {
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
 	delete(mg.sessions, id)
+	mg.live.Store(int32(len(mg.sessions)))
 }
 
-func (mg *manager) count() int {
-	mg.mu.RLock()
-	defer mg.mu.RUnlock()
-	return len(mg.sessions)
-}
+func (mg *manager) count() int { return int(mg.live.Load()) }
 
 // all returns a snapshot of the registered sessions.
 func (mg *manager) all() []*managed {
@@ -163,12 +241,15 @@ func (mg *manager) expireIdle(ttl time.Duration) int {
 	for _, m := range stale {
 		m.mu.Lock()
 		kill := m.state.Live() && m.waiters == 0 && now.Sub(m.lastTouch) >= ttl
+		var gap time.Duration
 		if kill {
 			m.setState(Expired)
+			gap = m.maxStepGap
 		}
 		m.mu.Unlock()
 		if kill {
 			mg.remove(m.id)
+			mg.recordGap(gap)
 			expired++
 		}
 	}

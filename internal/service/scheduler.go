@@ -1,118 +1,335 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// scheduler is the fair-share refinement scheduler: a worker pool that
-// time-slices single Optimize refinement steps (session.Step) across
-// the active sessions. Two FIFO run queues implement the policy:
+// scheduler is one shard's fair-share refinement scheduler: a worker
+// pool that time-slices bounded refinement quanta (up to a few
+// consecutive session.Step calls, see Service.runSteps) across the
+// shard's active sessions. Two FIFO run queues implement the policy:
 //
 //   - hot holds sessions whose bounds just changed — the paper's regime
 //     rule resets their resolution to 0, so their frontier is coarsest
 //     and a step buys the most user-visible precision. Newly created
 //     sessions start hot for the same reason. Workers always drain hot
-//     before cold.
+//     before cold, and a hot arrival preempts a running cold quantum.
 //   - cold holds idle-refining sessions cycling toward the target
-//     precision. A session re-enters the cold queue after each step, so
-//     every active session receives one step per queue cycle (round-
-//     robin fair share) regardless of how expensive its query is.
+//     precision. A session re-enters the cold queue after each quantum,
+//     so every active session receives one quantum per queue cycle
+//     (round-robin fair share) regardless of how expensive its query is.
 //
 // Sessions at maximal resolution leave the queues entirely until a
 // bounds change reactivates them, so converged sessions cost nothing.
+//
+// Queue entries are validated lazily: each enqueue stamps the session
+// with a fresh sequence number and only the entry carrying the current
+// stamp is live, so promoting a cold session to hot is O(1) — push a
+// freshly stamped hot entry and let pop skip the stale cold one.
+//
+// Schedulers are sharded (one per shard, linked as peers). A worker
+// whose own queues are empty steals one session from a peer's cold
+// queue before sleeping, so an idle shard drains a loaded shard's
+// backlog instead of parking. Stealing is cold-only: hot sessions stay
+// with their shard's workers, who reach them within one bounded
+// quantum. The ticket counter closes the sleep/steal race: every
+// enqueue bumps the tickets of (potentially) stealing peers under their
+// own locks, and a worker only parks if no ticket moved since it last
+// scanned, so work published during a scan is never slept through.
 type scheduler struct {
+	id    int
+	peers []*scheduler // all shards' schedulers, including this one
+
 	mu      sync.Mutex
 	cond    *sync.Cond
-	hot     []*managed
-	cold    []*managed
+	hot     entryQueue
+	cold    entryQueue
+	ticket  uint64 // bumped whenever runnable work may have appeared
+	idle    int    // workers parked in cond.Wait
 	stopped bool
 	wg      sync.WaitGroup
+
+	// hotLen/qLen count live (non-stale) entries; lock-free reads back
+	// the quantum-preemption check and admission control.
+	hotLen atomic.Int32
+	qLen   atomic.Int32
+
+	// idleGauge mirrors idle lock-free so pokePeers can skip peers with
+	// no parked workers without touching their mutexes.
+	idleGauge atomic.Int32
+
+	// pokeCursor rotates which peer an overloaded enqueue pokes first,
+	// spreading wakeups across shards.
+	pokeCursor atomic.Uint32
+
+	// Observability counters (ShardStats).
+	steals    atomic.Uint64 // cold sessions this shard's workers took from peers
+	pops      atomic.Uint64 // queue pops serviced by this shard's workers
+	preempts  atomic.Uint64 // cold quanta cut short by a hot arrival
+	stepsDone atomic.Uint64 // steps executed by this shard's workers
 }
 
-func newScheduler(workers int, step func(*managed)) *scheduler {
-	sc := &scheduler{}
+// entry is one queue slot; it is live iff seq matches the session's
+// current enqueue stamp (stale entries are skipped on pop).
+type entry struct {
+	m   *managed
+	seq uint64
+}
+
+// entryQueue is a FIFO of entries over a reusable backing slice: pops
+// advance a head index and the buffer compacts once the dead prefix
+// dominates, so steady-state push/pop does not allocate.
+type entryQueue struct {
+	buf  []entry
+	head int
+}
+
+func (q *entryQueue) push(e entry) { q.buf = append(q.buf, e) }
+
+func (q *entryQueue) pop() (entry, bool) {
+	if q.head >= len(q.buf) {
+		return entry{}, false
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = entry{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	} else if q.head >= 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = entry{}
+		}
+		q.buf, q.head = q.buf[:n], 0
+	}
+	return e, true
+}
+
+func (q *entryQueue) reset() { q.buf, q.head = nil, 0 }
+
+// newScheduler constructs shard id's scheduler. Callers link the peer
+// slice (shared across all shards, self included) and then start the
+// workers; linking must precede start so stealing never observes a nil
+// peer set.
+func newScheduler(id int) *scheduler {
+	sc := &scheduler{id: id}
 	sc.cond = sync.NewCond(&sc.mu)
+	return sc
+}
+
+// link installs the peer set (all shards' schedulers in shard order).
+func (sc *scheduler) link(peers []*scheduler) { sc.peers = peers }
+
+// start launches the shard's workers. run executes one scheduling
+// quantum: sc is the executing (not necessarily owning) scheduler and
+// hot reports which queue the session was popped from.
+func (sc *scheduler) start(workers int, run func(sc *scheduler, m *managed, hot bool)) {
 	for i := 0; i < workers; i++ {
 		sc.wg.Add(1)
 		go func() {
 			defer sc.wg.Done()
 			for {
-				m := sc.pop()
-				if m == nil {
+				m, hot, ok := sc.next()
+				if !ok {
 					return
 				}
-				step(m)
+				run(sc, m, hot)
 			}
 		}()
 	}
-	return sc
 }
 
-// enqueue makes the session runnable. hot promotes it to the priority
-// queue; enqueueing an already-queued session is a no-op except that a
-// hot request promotes a cold entry in place.
+// enqueue makes the session runnable on this (its owning) shard. hot
+// selects the priority queue; enqueueing an already-queued session is a
+// no-op except that a hot request promotes a cold entry in place — O(1)
+// via a fresh stamp, the stale cold entry is skipped on pop.
 func (sc *scheduler) enqueue(m *managed, hot bool) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	if sc.stopped {
+		sc.mu.Unlock()
 		return
 	}
 	if m.queued {
 		if hot && !m.hot {
-			for i, q := range sc.cold {
-				if q == m {
-					sc.cold = append(sc.cold[:i], sc.cold[i+1:]...)
-					break
-				}
-			}
 			m.hot = true
-			sc.hot = append(sc.hot, m)
+			m.seq++
+			sc.hot.push(entry{m, m.seq})
+			sc.hotLen.Add(1)
+			sc.ticket++
 			sc.cond.Signal()
 		}
+		sc.mu.Unlock()
 		return
 	}
 	m.queued, m.hot = true, hot
+	m.seq++
 	if hot {
-		sc.hot = append(sc.hot, m)
+		sc.hot.push(entry{m, m.seq})
+		sc.hotLen.Add(1)
 	} else {
-		sc.cold = append(sc.cold, m)
+		sc.cold.push(entry{m, m.seq})
 	}
+	sc.qLen.Add(1)
+	sc.ticket++
 	sc.cond.Signal()
+	poke := sc.idle == 0 && len(sc.peers) > 1
+	sc.mu.Unlock()
+	if poke {
+		sc.pokePeers()
+	}
 }
 
-// pop blocks for the next runnable session, preferring the hot queue;
-// it returns nil once the scheduler stops.
-func (sc *scheduler) pop() *managed {
+// pokePeers wakes one peer's parked worker (round-robin) after work
+// arrived on a shard whose own workers are all busy. The scan reads
+// each peer's lock-free idle gauge first, so when the whole pool is
+// saturated — the common case on every cold requeue under load — the
+// poke costs O(shards) atomic loads plus at most one mutex, not a
+// sweep of every peer's lock. Bumping the chosen peer's ticket under
+// its lock — never while holding our own — guarantees that peer
+// re-scans before parking if it was mid steal-scan; other peers may
+// park past this particular enqueue, but every enqueue pokes again and
+// the owning shard's workers drain their own queues regardless, so
+// stealing stays best-effort without being lossy.
+func (sc *scheduler) pokePeers() {
+	n := len(sc.peers)
+	// Modulo in uint32 before converting: a plain int(cursor) goes
+	// negative on 32-bit platforms after 2^31 pokes.
+	start := int(sc.pokeCursor.Add(1) % uint32(n))
+	var fallback *scheduler
+	for i := 0; i < n; i++ {
+		p := sc.peers[(sc.id+start+i)%n]
+		if p == sc {
+			continue
+		}
+		if fallback == nil {
+			fallback = p
+		}
+		if p.idleGauge.Load() > 0 {
+			p.mu.Lock()
+			p.ticket++
+			if p.idle > 0 {
+				p.cond.Signal()
+			}
+			p.mu.Unlock()
+			return
+		}
+	}
+	// Nobody reports idle; bump one peer anyway so a worker that was
+	// mid steal-scan (idle not yet set) re-scans instead of parking.
+	if fallback != nil {
+		fallback.mu.Lock()
+		fallback.ticket++
+		if fallback.idle > 0 {
+			fallback.cond.Signal()
+		}
+		fallback.mu.Unlock()
+	}
+}
+
+// popLocked takes the next live entry, preferring hot; callers hold mu.
+func (sc *scheduler) popLocked() (*managed, bool, bool) {
+	for {
+		e, ok := sc.hot.pop()
+		if !ok {
+			break
+		}
+		if e.seq == e.m.seq && e.m.queued {
+			e.m.queued, e.m.hot = false, false
+			sc.hotLen.Add(-1)
+			sc.qLen.Add(-1)
+			return e.m, true, true
+		}
+	}
+	return sc.popColdLocked()
+}
+
+// popColdLocked takes the next live cold entry; callers hold mu.
+func (sc *scheduler) popColdLocked() (*managed, bool, bool) {
+	for {
+		e, ok := sc.cold.pop()
+		if !ok {
+			return nil, false, false
+		}
+		if e.seq == e.m.seq && e.m.queued {
+			e.m.queued, e.m.hot = false, false
+			sc.qLen.Add(-1)
+			return e.m, false, true
+		}
+	}
+}
+
+// steal scans the peer shards once, round-robin from this shard's
+// successor, and takes one session from the first non-empty cold queue.
+// Hot queues are never stolen from: hot work is latency-sensitive and
+// its own shard's workers reach it within a bounded quantum. Callers
+// hold no locks; exactly one peer lock is held at a time, so stealing
+// cannot deadlock with peers stealing back.
+func (sc *scheduler) steal() (*managed, bool) {
+	n := len(sc.peers)
+	for i := 1; i < n; i++ {
+		p := sc.peers[(sc.id+i)%n]
+		p.mu.Lock()
+		if !p.stopped {
+			if m, _, ok := p.popColdLocked(); ok {
+				p.mu.Unlock()
+				sc.steals.Add(1)
+				return m, true
+			}
+		}
+		p.mu.Unlock()
+	}
+	return nil, false
+}
+
+// next blocks for the next runnable session: own queues first, then one
+// steal scan over the peers, then park until a ticket moves. Returns
+// ok=false once the scheduler stops.
+func (sc *scheduler) next() (*managed, bool, bool) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	for {
 		if sc.stopped {
-			return nil
+			sc.mu.Unlock()
+			return nil, false, false
 		}
-		var m *managed
-		if len(sc.hot) > 0 {
-			m, sc.hot = sc.hot[0], sc.hot[1:]
-		} else if len(sc.cold) > 0 {
-			m, sc.cold = sc.cold[0], sc.cold[1:]
+		if m, hot, ok := sc.popLocked(); ok {
+			sc.mu.Unlock()
+			sc.pops.Add(1)
+			return m, hot, true
 		}
-		if m != nil {
-			m.queued, m.hot = false, false
-			return m
+		ticket := sc.ticket
+		sc.mu.Unlock()
+		if m, ok := sc.steal(); ok {
+			sc.pops.Add(1)
+			return m, false, true
 		}
-		sc.cond.Wait()
+		sc.mu.Lock()
+		if sc.ticket == ticket && !sc.stopped {
+			sc.idle++
+			sc.idleGauge.Add(1)
+			sc.cond.Wait()
+			sc.idle--
+			sc.idleGauge.Add(-1)
+		}
 	}
 }
 
-// queueLen returns the combined queue length (instrumentation).
-func (sc *scheduler) queueLen() int {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return len(sc.hot) + len(sc.cold)
-}
+// hotPending reports whether a hot session awaits this shard's workers
+// (the quantum-preemption signal; lock-free).
+func (sc *scheduler) hotPending() bool { return sc.hotLen.Load() > 0 }
 
-// stop shuts the worker pool down and waits for in-flight steps.
+// queueLen returns the live queue length (instrumentation, admission).
+func (sc *scheduler) queueLen() int { return int(sc.qLen.Load()) }
+
+// stop shuts the worker pool down and waits for in-flight quanta.
 func (sc *scheduler) stop() {
 	sc.mu.Lock()
 	sc.stopped = true
-	sc.hot, sc.cold = nil, nil
+	sc.hot.reset()
+	sc.cold.reset()
+	sc.hotLen.Store(0)
+	sc.qLen.Store(0)
+	sc.ticket++
 	sc.cond.Broadcast()
 	sc.mu.Unlock()
 	sc.wg.Wait()

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tryPop drains one live entry without blocking (test helper).
+func (sc *scheduler) tryPop() (*managed, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	m, _, ok := sc.popLocked()
+	return m, ok
+}
+
+// soloScheduler builds a worker-less scheduler linked only to itself,
+// for queue-semantics tests that drain the queues by hand.
+func soloScheduler() *scheduler {
+	sc := newScheduler(0)
+	sc.link([]*scheduler{sc})
+	return sc
+}
+
+func TestSchedulerHotPriority(t *testing.T) {
+	sc := soloScheduler()
+	defer sc.stop()
+
+	a, b, hot := &managed{id: "a"}, &managed{id: "b"}, &managed{id: "hot"}
+	sc.enqueue(a, false)
+	sc.enqueue(b, false)
+	sc.enqueue(hot, true)
+	if got, ok := sc.tryPop(); !ok || got != hot {
+		t.Fatalf("pop = %v, want hot session first", got)
+	}
+	if got, ok := sc.tryPop(); !ok || got != a {
+		t.Fatalf("pop = %v, want a (FIFO cold order)", got)
+	}
+
+	// Re-enqueueing a queued session is a no-op; a hot request promotes
+	// a cold entry.
+	sc.enqueue(b, false)
+	if n := sc.queueLen(); n != 1 {
+		t.Fatalf("queue length %d after duplicate enqueue, want 1", n)
+	}
+	sc.enqueue(b, true)
+	if !b.hot {
+		t.Error("cold entry was not promoted to hot")
+	}
+	if got, ok := sc.tryPop(); !ok || got != b {
+		t.Fatalf("pop = %v, want b", got)
+	}
+	if _, ok := sc.tryPop(); ok {
+		t.Error("queue not empty: the promoted session's stale cold entry was popped")
+	}
+	if n := sc.queueLen(); n != 0 {
+		t.Errorf("queue length %d after draining, want 0", n)
+	}
+}
+
+// TestSchedulerPromotionStampsStale pins the O(1) hot promotion: the
+// stale cold entry left behind by a promotion is skipped, and the
+// session can be re-enqueued cold afterwards without duplication.
+func TestSchedulerPromotionStampsStale(t *testing.T) {
+	sc := soloScheduler()
+	defer sc.stop()
+
+	m := &managed{id: "m"}
+	sc.enqueue(m, false)
+	sc.enqueue(m, true) // promote: stale cold entry remains behind
+	if got, ok := sc.tryPop(); !ok || got != m {
+		t.Fatalf("pop after promotion = %v, want m", got)
+	}
+	// A fresh cold enqueue must be live even though the old stale cold
+	// entry (with an outdated stamp) is still buffered ahead of it.
+	sc.enqueue(m, false)
+	if got, ok := sc.tryPop(); !ok || got != m {
+		t.Fatalf("pop after re-enqueue = %v, want m", got)
+	}
+	if _, ok := sc.tryPop(); ok {
+		t.Error("stale entry resurrected the session")
+	}
+	if hl := sc.hotLen.Load(); hl != 0 {
+		t.Errorf("hotLen %d after draining, want 0", hl)
+	}
+}
+
+// TestWorkStealingDrainsLoadedShard pins the stealing contract: when
+// one shard's only worker is stuck in a long step and its cold queue
+// backs up, the idle peer shard's worker steals and executes the
+// backlog instead of sleeping. Run under -race, this also exercises the
+// cross-shard locking.
+func TestWorkStealingDrainsLoadedShard(t *testing.T) {
+	var mu sync.Mutex
+	executedBy := map[string]int{}
+	block := make(chan struct{})
+
+	scheds := []*scheduler{newScheduler(0), newScheduler(1)}
+	for _, sc := range scheds {
+		sc.link(scheds)
+	}
+	run := func(sc *scheduler, m *managed, hot bool) {
+		if m.id == "blocker" {
+			<-block
+			return
+		}
+		mu.Lock()
+		executedBy[m.id] = sc.id
+		mu.Unlock()
+	}
+	scheds[0].start(1, run)
+	scheds[1].start(1, run)
+	defer func() {
+		close(block) // release the blocker so stop() can join the worker
+		for _, sc := range scheds {
+			sc.stop()
+		}
+	}()
+
+	// Occupy shard 0's only worker.
+	scheds[0].enqueue(&managed{id: "blocker"}, true)
+	deadline := time.Now().Add(10 * time.Second)
+	for scheds[0].pops.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never popped")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Back up shard 0's cold queue; only shard 1's worker can drain it.
+	const n = 4
+	for i := 0; i < n; i++ {
+		scheds[0].enqueue(&managed{id: fmt.Sprintf("c%d", i)}, false)
+	}
+	for {
+		mu.Lock()
+		done := len(executedBy)
+		mu.Unlock()
+		if done == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d backlogged sessions executed; shard 1 never stole", done, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for id, by := range executedBy {
+		if by != 1 {
+			t.Errorf("session %s executed by shard %d, want the stealing shard 1", id, by)
+		}
+	}
+	if steals := scheds[1].steals.Load(); steals != n {
+		t.Errorf("shard 1 recorded %d steals, want %d", steals, n)
+	}
+}

@@ -2,26 +2,34 @@
 // one process: the multi-tenant subsystem behind the moqod server. It
 // combines
 //
-//   - a session manager with a full lifecycle (create, poll frontier,
-//     set bounds, select plan, close, idle expiry),
-//   - a fair-share scheduler whose worker pool time-slices single
-//     Optimize refinement steps across sessions, prioritizing sessions
+//   - a sharded session manager with a full lifecycle (create, poll
+//     frontier, set bounds, select plan, close, idle expiry) — sessions
+//     hash by ID onto GOMAXPROCS-sized shards so registry access never
+//     serializes on one lock,
+//   - per-shard fair-share schedulers whose worker pools time-slice
+//     bounded refinement quanta across sessions, prioritizing sessions
 //     whose bounds just changed (their resolution resets to 0 per the
-//     paper's regime rule) over idle-refining ones, and
-//   - a warm-start plan cache keyed by canonical query fingerprints, so
-//     a session on an already-seen query shape restores cached scan and
-//     join plan sets instead of rebuilding them from scratch.
+//     paper's regime rule) over idle-refining ones, with bounded work
+//     stealing so an idle shard drains a loaded shard's cold queue, and
+//   - a fingerprint-sharded warm-start plan cache, so a session on an
+//     already-seen query shape restores cached scan and join plan sets
+//     instead of rebuilding them from scratch — without cache hits
+//     serializing either.
 //
 // The paper's interactive-speed guarantee is per optimizer invocation;
 // this package extends it to many users by making one invocation
-// (session.Step) the schedulable unit, so no tenant can monopolize a
-// worker for longer than one bounded refinement step.
+// (session.Step) the preemption granularity: a popped cold session runs
+// up to Config.Quantum consecutive steps to amortize queue round-trips,
+// but a hot arrival (bounds change, new session) cuts the quantum short
+// at the next step boundary, so no tenant can monopolize a worker for
+// longer than one bounded refinement step past a hot arrival.
 package service
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,9 +48,38 @@ type Config struct {
 	// unset: they would be invoked concurrently from many workers.
 	Opt core.Config
 
-	// Workers is the refinement worker-pool size; defaults to
-	// runtime.GOMAXPROCS(0).
+	// Workers is the total refinement worker-pool size, distributed
+	// across the shards; defaults to runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Shards is the number of manager/scheduler shards sessions hash
+	// onto; defaults to runtime.GOMAXPROCS(0) and is clamped to
+	// Workers (a shard needs at least one worker). 1 restores the
+	// single-queue behaviour.
+	Shards int
+
+	// Quantum is the maximum number of consecutive refinement steps a
+	// popped cold session runs before re-entering its queue (amortizing
+	// queue round-trips); a pending hot session preempts the quantum at
+	// the next step boundary. Hot pops always run exactly one step —
+	// their next step is the most user-visible one, so they return to
+	// the queue immediately. 0 defaults to 4; 1 restores strict
+	// one-step-per-pop round-robin.
+	Quantum int
+
+	// MaxActiveSessions bounds the number of live sessions; Create
+	// fails with ErrOverloaded at the limit. 0 means unlimited. The
+	// check reads sharded gauges without a global lock, so concurrent
+	// creates can overshoot the limit by at most the create
+	// concurrency — admission control is load shedding, not a hard
+	// resource cap.
+	MaxActiveSessions int
+
+	// MaxQueueDepth bounds the combined scheduler backlog (queued, not
+	// yet running sessions) across shards; Create fails with
+	// ErrOverloaded at the limit. 0 means unlimited. Approximate under
+	// concurrency, like MaxActiveSessions.
+	MaxQueueDepth int
 
 	// IdleTimeout expires sessions with no client interaction for this
 	// long; defaults to 5 minutes. Negative disables expiry.
@@ -52,8 +89,8 @@ type Config struct {
 	// IdleTimeout/4.
 	JanitorInterval time.Duration
 
-	// CacheCapacity bounds the warm-start cache (snapshots); 0 defaults
-	// to 256, negative disables the cache.
+	// CacheCapacity bounds the warm-start cache (snapshots) across all
+	// cache shards; 0 defaults to 256, negative disables the cache.
 	CacheCapacity int
 
 	// DefaultBounds are the initial cost bounds of new sessions; nil
@@ -61,27 +98,63 @@ type Config struct {
 	DefaultBounds cost.Vector
 }
 
+// ShardStats are one shard's gauges and counters.
+type ShardStats struct {
+	// Workers is the shard's worker count.
+	Workers int
+	// Sessions is the shard's current live-session count.
+	Sessions int
+	// Queued is the shard's current run-queue length.
+	Queued int
+	// Steps counts refinement steps executed by this shard's workers
+	// (including steps on sessions stolen from other shards).
+	Steps uint64
+	// Pops counts queue pops serviced by this shard's workers; the
+	// Steps/Pops ratio shows the quantum's round-trip amortization.
+	Pops uint64
+	// Steals counts cold sessions this shard's workers took from
+	// loaded peers instead of sleeping.
+	Steals uint64
+	// Preempts counts cold quanta cut short by a hot arrival.
+	Preempts uint64
+}
+
 // Stats are cumulative service counters plus current gauges.
 type Stats struct {
 	// Created, Selected, Closed and Expired count session lifecycle
 	// transitions since service start.
 	Created, Selected, Closed, Expired uint64
+	// Rejected counts Create calls refused by admission control.
+	Rejected uint64
 	// Steps counts scheduler-executed refinement steps.
 	Steps uint64
 	// WarmStarts counts sessions created from a cached snapshot.
 	WarmStarts uint64
 	// Active is the current number of live sessions.
 	Active int
-	// Queued is the current scheduler run-queue length.
+	// Queued is the current combined scheduler run-queue length.
 	Queued int
-	// Cache summarizes the warm-start cache (zero value if disabled).
+	// StepGapP99 is the starvation audit: the 99th percentile, across
+	// recent and live sessions, of each session's maximum start-to-start
+	// interval between consecutive refinement steps — how long the most
+	// starved sessions waited for service while runnable.
+	StepGapP99 time.Duration
+	// Cache summarizes the warm-start cache across its shards (zero
+	// value if disabled).
 	Cache CacheStats
+	// Shards holds the per-shard breakdown.
+	Shards []ShardStats
 }
 
 // ErrFrontierMoved reports that refinement steps changed the frontier
 // between the poll a Select index refers to and the Select itself; the
 // client should re-poll and re-decide.
 var ErrFrontierMoved = errors.New("service: frontier moved since poll")
+
+// ErrOverloaded reports that admission control refused a new session:
+// the service is at MaxActiveSessions or MaxQueueDepth. Clients should
+// retry after a backoff (moqod maps this to HTTP 429 with Retry-After).
+var ErrOverloaded = errors.New("service: overloaded")
 
 // Status is a poll result: the session's state and current frontier.
 type Status struct {
@@ -109,29 +182,43 @@ type Status struct {
 	// FirstFrontier is the creation→first-non-empty-frontier latency
 	// (0 until one exists).
 	FirstFrontier time.Duration
+	// MaxStepGap is the session's largest observed interval between
+	// consecutive refinement steps (the per-session starvation metric).
+	MaxStepGap time.Duration
+}
+
+// shard pairs one slice of the session registry with the scheduler that
+// serves it. A session's shard is fixed at creation (hash of its ID),
+// so every registry and queue operation for it touches only this
+// shard's locks.
+type shard struct {
+	mgr   *manager
+	sched *scheduler
 }
 
 // Service is the concurrent anytime-optimization subsystem. Create one
 // with New and release it with Shutdown.
 type Service struct {
-	cfg   Config
-	mgr   *manager
-	sched *scheduler
-	cache *PlanCache // nil when disabled
+	cfg        Config
+	shards     []*shard
+	caches     []*PlanCache // fingerprint-sharded; nil when disabled
+	quantum    int
+	shardSizes []int // workers per shard (ShardStats)
 
 	nextID      atomic.Uint64
 	created     atomic.Uint64
 	selected    atomic.Uint64
 	closed      atomic.Uint64
 	expired     atomic.Uint64
+	rejected    atomic.Uint64
 	steps       atomic.Uint64
 	warmStarts  atomic.Uint64
 	stopping    atomic.Bool
 	janitorStop chan struct{}
 }
 
-// New validates the configuration, starts the worker pool and the idle
-// janitor, and returns the running service.
+// New validates the configuration, starts the sharded worker pools and
+// the idle janitor, and returns the running service.
 func New(cfg Config) (*Service, error) {
 	if cfg.Opt.Hooks.PlanGenerated != nil || cfg.Opt.Hooks.PairCombined != nil ||
 		cfg.Opt.Hooks.CandidateRetrieved != nil {
@@ -143,23 +230,104 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("service: Workers %d < 1", cfg.Workers)
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("service: Shards %d < 1", cfg.Shards)
+	}
+	if cfg.Shards > cfg.Workers {
+		cfg.Shards = cfg.Workers // every shard needs at least one worker
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 4
+	}
+	if cfg.Quantum < 1 {
+		return nil, fmt.Errorf("service: Quantum %d < 1", cfg.Quantum)
+	}
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
 	if cfg.JanitorInterval <= 0 {
 		cfg.JanitorInterval = cfg.IdleTimeout / 4
 	}
-	s := &Service{cfg: cfg, mgr: newManager(), janitorStop: make(chan struct{})}
+	s := &Service{cfg: cfg, quantum: cfg.Quantum, janitorStop: make(chan struct{})}
 	if cfg.CacheCapacity >= 0 {
-		s.cache = NewPlanCache(cfg.CacheCapacity)
+		total := cfg.CacheCapacity
+		if total < 1 {
+			total = 256
+		}
+		// Never more cache shards than capacity: a tiny cache split
+		// across many single-entry shards would thrash two popular
+		// shapes hashing to the same shard while the rest sit empty.
+		// The remainder spreads one entry at a time so the aggregate
+		// capacity equals the configured budget exactly.
+		n := cfg.Shards
+		if n > total {
+			n = total
+		}
+		s.caches = make([]*PlanCache, n)
+		base, extra := total/n, total%n
+		for i := range s.caches {
+			c := base
+			if i < extra {
+				c++
+			}
+			s.caches[i] = NewPlanCache(c)
+		}
 	}
-	s.sched = newScheduler(cfg.Workers, s.runStep)
+	// Build every shard's scheduler and link the peer set before any
+	// worker starts, so stealing never observes a partial peer slice.
+	scheds := make([]*scheduler, cfg.Shards)
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		scheds[i] = newScheduler(i)
+		s.shards[i] = &shard{mgr: newManager(), sched: scheds[i]}
+	}
+	for _, sc := range scheds {
+		sc.link(scheds)
+	}
+	s.shardSizes = make([]int, cfg.Shards)
+	base, extra := cfg.Workers/cfg.Shards, cfg.Workers%cfg.Shards
+	for i, sc := range scheds {
+		n := base
+		if i < extra {
+			n++
+		}
+		s.shardSizes[i] = n
+		sc.start(n, s.runSteps)
+	}
 	if cfg.IdleTimeout > 0 {
 		go s.janitor()
 	} else {
 		close(s.janitorStop)
 	}
 	return s, nil
+}
+
+// shardIndex hashes a key (session ID or query fingerprint) onto a
+// shard with FNV-1a.
+func shardIndex(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// shardFor returns the shard owning the session ID.
+func (s *Service) shardFor(id string) *shard {
+	return s.shards[shardIndex(id, len(s.shards))]
+}
+
+// cacheFor returns the cache shard owning the query fingerprint, or nil
+// when the cache is disabled.
+func (s *Service) cacheFor(fp string) *PlanCache {
+	if s.caches == nil {
+		return nil
+	}
+	return s.caches[shardIndex(fp, len(s.caches))]
 }
 
 // ErrShutdown reports that the service stopped while the call was in
@@ -180,14 +348,18 @@ func (s *Service) Shutdown() {
 	s.stopping.Store(true)
 	// Wake blocked WaitTarget callers: with the workers stopping, a
 	// Refining session may never transition again.
-	for _, m := range s.mgr.all() {
-		m.mu.Lock()
-		if m.cond != nil {
-			m.cond.Broadcast()
+	for _, sh := range s.shards {
+		for _, m := range sh.mgr.all() {
+			m.mu.Lock()
+			if m.cond != nil {
+				m.cond.Broadcast()
+			}
+			m.mu.Unlock()
 		}
-		m.mu.Unlock()
 	}
-	s.sched.stop()
+	for _, sh := range s.shards {
+		sh.sched.stop()
+	}
 }
 
 func (s *Service) janitor() {
@@ -198,23 +370,57 @@ func (s *Service) janitor() {
 		case <-s.janitorStop:
 			return
 		case <-t.C:
-			s.expired.Add(uint64(s.mgr.expireIdle(s.cfg.IdleTimeout)))
+			for _, sh := range s.shards {
+				s.expired.Add(uint64(sh.mgr.expireIdle(s.cfg.IdleTimeout)))
+			}
 		}
 	}
 }
 
+// activeSessions returns the current live-session count across shards.
+func (s *Service) activeSessions() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.mgr.count()
+	}
+	return n
+}
+
+// queuedSessions returns the combined scheduler backlog across shards.
+func (s *Service) queuedSessions() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.sched.queueLen()
+	}
+	return n
+}
+
 // Create registers a new session for q and schedules its first
-// refinement step at hot priority. If the warm-start cache holds a
-// snapshot for q's fingerprint, the session resumes from it.
+// refinement step at hot priority on its shard. If the warm-start cache
+// holds a snapshot for q's fingerprint, the session resumes from it.
+// At MaxActiveSessions or MaxQueueDepth, Create fails with
+// ErrOverloaded before any optimizer state is built.
 func (s *Service) Create(q *query.Query) (string, error) {
 	if q == nil {
 		return "", fmt.Errorf("service: nil query")
 	}
+	if lim := s.cfg.MaxActiveSessions; lim > 0 {
+		if n := s.activeSessions(); n >= lim {
+			s.rejected.Add(1)
+			return "", fmt.Errorf("%w: %d active sessions (limit %d)", ErrOverloaded, n, lim)
+		}
+	}
+	if lim := s.cfg.MaxQueueDepth; lim > 0 {
+		if n := s.queuedSessions(); n >= lim {
+			s.rejected.Add(1)
+			return "", fmt.Errorf("%w: %d queued sessions (limit %d)", ErrOverloaded, n, lim)
+		}
+	}
 	fp := q.Fingerprint()
 	var sess *session.Session
 	warm := false
-	if s.cache != nil {
-		if snap, ok := s.cache.Get(fp); ok {
+	if cache := s.cacheFor(fp); cache != nil {
+		if snap, ok := cache.Get(fp); ok {
 			// A refused restore (config drift, node-ID numbering near
 			// exhaustion) falls back to a cold start instead of
 			// failing the session; the next convergence re-exports a
@@ -237,9 +443,11 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		}
 	}
 	now := time.Now()
+	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
 	m := &managed{
-		id:        fmt.Sprintf("s-%d", s.nextID.Add(1)),
+		id:        id,
 		fp:        fp,
+		shard:     shardIndex(id, len(s.shards)),
 		sess:      sess,
 		state:     Refining,
 		lastTouch: now,
@@ -247,50 +455,83 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		warm:      warm,
 	}
 	m.cond = sync.NewCond(&m.mu)
-	s.mgr.add(m)
+	sh := s.shards[m.shard]
+	sh.mgr.add(m)
 	s.created.Add(1)
-	s.sched.enqueue(m, true)
+	sh.sched.enqueue(m, true)
 	return m.id, nil
 }
 
-// runStep executes one refinement step for a scheduled session and
-// decides its next scheduling: re-enqueue cold while refining, park it
-// once the regime reaches maximal resolution (exporting a snapshot to
-// the warm-start cache the first time), drop it when terminal.
-func (s *Service) runStep(m *managed) {
-	m.mu.Lock()
-	if m.state != Refining {
+// runSteps executes one scheduling quantum for a popped session and
+// decides its next scheduling: re-enqueue cold on its owning shard
+// while refining, park it once the regime reaches maximal resolution
+// (exporting a snapshot to the warm-start cache the first time), drop
+// it when terminal. sc is the executing scheduler — the owner's, or a
+// thief's when the session was stolen.
+//
+// Hot pops run exactly one step (the regime's coarsest, most
+// user-visible one) and requeue, keeping first-frontier latency low.
+// Cold pops run up to the configured quantum of consecutive steps to
+// amortize queue round-trips, releasing m.mu between steps so polls
+// never wait for a whole batch, and re-check both the executing and the
+// owning shard for hot arrivals at every step boundary — a waiting hot
+// session preempts the quantum.
+func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
+	owner := s.shards[m.shard].sched
+	k := s.quantum
+	if hot {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		m.mu.Lock()
+		if m.state != Refining {
+			m.mu.Unlock()
+			return
+		}
+		m.noteStep(time.Now())
+		frontier := m.sess.Step()
+		m.steps++
+		s.steps.Add(1)
+		sc.stepsDone.Add(1)
+		if m.firstFrontier == 0 && len(frontier) > 0 {
+			m.firstFrontier = time.Since(m.created)
+		}
+		if m.sess.AtMaxResolution() {
+			m.setState(AtTarget)
+			if cache := s.cacheFor(m.fp); cache != nil && !m.snapshotted {
+				cache.Put(m.fp, m.sess.Optimizer().Snapshot())
+				m.snapshotted = true
+			}
+			m.mu.Unlock()
+			return
+		}
 		m.mu.Unlock()
-		return
-	}
-	frontier := m.sess.Step()
-	m.steps++
-	s.steps.Add(1)
-	if m.firstFrontier == 0 && len(frontier) > 0 {
-		m.firstFrontier = time.Since(m.created)
-	}
-	again := true
-	if m.sess.AtMaxResolution() {
-		m.setState(AtTarget)
-		again = false
-		if s.cache != nil && !m.snapshotted {
-			s.cache.Put(m.fp, m.sess.Optimizer().Snapshot())
-			m.snapshotted = true
+		if i+1 < k && (owner.hotPending() || sc.hotPending()) {
+			sc.preempts.Add(1)
+			break
 		}
 	}
-	m.mu.Unlock()
-	if again {
-		s.sched.enqueue(m, false)
-	}
+	owner.enqueue(m, false)
 }
 
 // lookup fetches a live session or fails with a not-found error.
 func (s *Service) lookup(id string) (*managed, error) {
-	m, ok := s.mgr.get(id)
+	m, ok := s.shardFor(id).mgr.get(id)
 	if !ok {
 		return nil, fmt.Errorf("service: no session %q", id)
 	}
 	return m, nil
+}
+
+// finish removes a terminal session from its shard's registry and
+// archives its starvation sample. Callers must not hold m.mu.
+func (s *Service) finish(m *managed) {
+	m.mu.Lock()
+	gap := m.maxStepGap
+	m.mu.Unlock()
+	sh := s.shards[m.shard]
+	sh.mgr.remove(m.id)
+	sh.mgr.recordGap(gap)
 }
 
 // statusLocked builds a Status snapshot; callers hold m.mu.
@@ -305,6 +546,7 @@ func (m *managed) statusLocked() Status {
 		Bounds:        m.sess.Bounds(),
 		Frontier:      m.sess.Frontier(),
 		FirstFrontier: m.firstFrontier,
+		MaxStepGap:    m.maxStepGap,
 	}
 }
 
@@ -379,7 +621,7 @@ func (s *Service) WaitTargetTimeout(id string, d time.Duration) (Status, error) 
 
 // SetBounds changes a live session's cost bounds. Per the paper's
 // regime rule the next step restarts at resolution 0, so the session is
-// (re)scheduled at hot priority.
+// (re)scheduled at hot priority on its shard.
 func (s *Service) SetBounds(id string, b cost.Vector) error {
 	m, err := s.lookup(id)
 	if err != nil {
@@ -396,9 +638,13 @@ func (s *Service) SetBounds(id string, b cost.Vector) error {
 	}
 	m.setState(Refining)
 	m.snapshotted = false // new regime: next convergence re-exports
+	// The session sat converged (cost-free, not runnable) until this
+	// bounds change; that client idle time is not scheduler starvation,
+	// so the inter-step gap clock restarts with the new regime.
+	m.lastStep = time.Time{}
 	m.touch()
 	m.mu.Unlock()
-	s.sched.enqueue(m, true)
+	s.shards[m.shard].sched.enqueue(m, true)
 	return nil
 }
 
@@ -433,7 +679,7 @@ func (s *Service) Select(id string, index, expectSteps int) (*plan.Node, error) 
 	}
 	m.setState(Selected)
 	m.mu.Unlock()
-	s.mgr.remove(id)
+	s.finish(m)
 	s.selected.Add(1)
 	// The session is finished: hand back a copy detached from the
 	// optimizer's arena, so a client keeping the plan does not pin the
@@ -454,25 +700,62 @@ func (s *Service) Close(id string) error {
 	}
 	m.setState(Closed)
 	m.mu.Unlock()
-	s.mgr.remove(id)
+	s.finish(m)
 	s.closed.Add(1)
 	return nil
 }
 
-// Stats returns the service counters and gauges.
+// Stats returns the service counters and gauges, including the
+// per-shard breakdown and the starvation-audit percentile.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Created:    s.created.Load(),
 		Selected:   s.selected.Load(),
 		Closed:     s.closed.Load(),
 		Expired:    s.expired.Load(),
+		Rejected:   s.rejected.Load(),
 		Steps:      s.steps.Load(),
 		WarmStarts: s.warmStarts.Load(),
-		Active:     s.mgr.count(),
-		Queued:     s.sched.queueLen(),
+		Shards:     make([]ShardStats, len(s.shards)),
 	}
-	if s.cache != nil {
-		st.Cache = s.cache.Stats()
+	var gaps []time.Duration
+	for i, sh := range s.shards {
+		sc := sh.sched
+		ss := ShardStats{
+			Workers:  s.shardSizes[i],
+			Sessions: sh.mgr.count(),
+			Queued:   sc.queueLen(),
+			Steps:    sc.stepsDone.Load(),
+			Pops:     sc.pops.Load(),
+			Steals:   sc.steals.Load(),
+			Preempts: sc.preempts.Load(),
+		}
+		st.Shards[i] = ss
+		st.Active += ss.Sessions
+		st.Queued += ss.Queued
+		gaps = sh.mgr.appendGaps(gaps)
+	}
+	st.StepGapP99 = percentileDur(gaps, 0.99)
+	for _, c := range s.caches {
+		st.Cache.add(c.Stats())
 	}
 	return st
+}
+
+// percentileDur is the nearest-rank percentile of ds (p in [0,1]); it
+// mirrors harness.Percentile, which service cannot import (the harness
+// imports service).
+func percentileDur(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(p*float64(len(ds))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ds) {
+		i = len(ds) - 1
+	}
+	return ds[i]
 }

@@ -23,6 +23,7 @@ func testConfig(levels int) Config {
 			PrecisionStep:    0.1,
 		},
 		Workers:     4,
+		Shards:      4, // exercise sharding + stealing regardless of GOMAXPROCS
 		IdleTimeout: -1, // tests control expiry explicitly
 	}
 }
@@ -135,7 +136,7 @@ func TestBoundsChangeResetsResolution(t *testing.T) {
 	}
 	awaitState(t, svc, id, AtTarget)
 
-	m, ok := svc.mgr.get(id)
+	m, ok := svc.shardFor(id).mgr.get(id)
 	if !ok {
 		t.Fatal("session vanished")
 	}

@@ -1,0 +1,338 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+// TestShardIndexUniformity pins the ID→shard hash: sequential session
+// IDs (the only kind Create mints) must spread evenly, or one shard's
+// locks would re-serialize the service.
+func TestShardIndexUniformity(t *testing.T) {
+	const ids = 10000
+	for _, n := range []int{2, 4, 8, 16} {
+		counts := make([]int, n)
+		for i := 1; i <= ids; i++ {
+			idx := shardIndex(fmt.Sprintf("s-%d", i), n)
+			if idx < 0 || idx >= n {
+				t.Fatalf("shardIndex out of range: %d for %d shards", idx, n)
+			}
+			counts[idx]++
+		}
+		avg := ids / n
+		for sh, c := range counts {
+			if c < avg/2 || c > 2*avg {
+				t.Errorf("%d shards: shard %d got %d of %d ids (mean %d) — skewed hash",
+					n, sh, c, ids, avg)
+			}
+		}
+	}
+}
+
+// TestShardDistributionLive verifies sessions actually land on multiple
+// shards end to end and the per-shard gauges add up.
+func TestShardDistributionLive(t *testing.T) {
+	svc, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	const sessions = 32
+	ids := make([]string, sessions)
+	for i := range ids {
+		if ids[i], err = svc.Create(blk.Query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		if _, err := svc.WaitTarget(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("%d shards, want 4", len(st.Shards))
+	}
+	populated, total, steps := 0, 0, uint64(0)
+	for _, ss := range st.Shards {
+		if ss.Sessions > 0 {
+			populated++
+		}
+		total += ss.Sessions
+		steps += ss.Steps
+	}
+	if total != sessions || st.Active != sessions {
+		t.Errorf("shard sessions sum %d, Active %d, want %d", total, st.Active, sessions)
+	}
+	if populated < 2 {
+		t.Errorf("only %d of 4 shards hold sessions — hashing is not spreading", populated)
+	}
+	if steps != st.Steps {
+		t.Errorf("per-shard steps sum %d != total steps %d", steps, st.Steps)
+	}
+	for _, id := range ids {
+		if err := svc.Close(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuantumBatchingReducesPops pins the batched refinement quantum:
+// with quantum 8 and 9 resolution levels, a lone session costs exactly
+// two queue pops — one hot pop for the regime's first step, one cold
+// pop whose batch runs the remaining 8 — instead of nine.
+func TestQuantumBatchingReducesPops(t *testing.T) {
+	cfg := Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 9,
+			TargetPrecision:  1.05,
+			PrecisionStep:    0.1,
+		},
+		Workers:     1,
+		Shards:      1,
+		Quantum:     8,
+		IdleTimeout: -1,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	id, err := svc.Create(blk.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTarget(id); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Steps != 9 {
+		t.Errorf("steps = %d, want 9 (one per resolution level)", st.Steps)
+	}
+	if pops := st.Shards[0].Pops; pops != 2 {
+		t.Errorf("pops = %d, want 2 (hot pop + one cold batch)", pops)
+	}
+}
+
+// TestQuantumPreemptHotArrival pins the interactivity guard: a hot
+// arrival (new session) cuts a running cold batch short at the next
+// step boundary instead of waiting out the whole quantum.
+func TestQuantumPreemptHotArrival(t *testing.T) {
+	cfg := Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 20,
+			TargetPrecision:  1.01,
+			PrecisionStep:    0.05,
+		},
+		Workers:     1,
+		Shards:      1,
+		Quantum:     64, // would cover the whole refinement in one batch
+		IdleTimeout: -1,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blocks := workload.MustTPCHBlocks(1)
+	q5, _ := workload.Find(blocks, "Q5")
+	q4, _ := workload.Find(blocks, "Q4")
+
+	a, err := svc.Create(q5.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolution ≥ 1 means the worker is inside A's cold batch (the hot
+	// pop only runs resolution 0, and quantum 64 covers the rest).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := svc.Poll(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Resolution >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session A never reached resolution 1")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b, err := svc.Create(q4.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for svc.Stats().Shards[0].Preempts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hot arrival never preempted the cold batch")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// The preempted worker serves B's first (hot) step before finishing
+	// A's refinement.
+	for {
+		st, err := svc.Poll(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Steps >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hot session B never received a step")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestCacheShardsClampedToCapacity pins the cache-shard sizing: a tiny
+// cache never splits into more shards than it has entries (which would
+// thrash colliding shapes while other shards sit empty), and the
+// aggregate capacity equals the configured budget exactly.
+func TestCacheShardsClampedToCapacity(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Workers, cfg.Shards = 16, 16
+	cfg.CacheCapacity = 5
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+	if len(svc.caches) != 5 {
+		t.Fatalf("%d cache shards for capacity 5, want 5", len(svc.caches))
+	}
+	total := 0
+	for _, c := range svc.caches {
+		total += c.capacity
+	}
+	if total != 5 {
+		t.Errorf("aggregate cache capacity %d, want exactly 5", total)
+	}
+}
+
+// TestAdmissionMaxActive pins the session-count limit: Create fails
+// with ErrOverloaded at the limit and admits again after a Close.
+func TestAdmissionMaxActive(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MaxActiveSessions = 2
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	ids := make([]string, 2)
+	for i := range ids {
+		if ids[i], err = svc.Create(blk.Query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.Create(blk.Query); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third create returned %v, want ErrOverloaded", err)
+	}
+	if st := svc.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	if err := svc.Close(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Create(blk.Query); err != nil {
+		t.Errorf("create after close failed: %v", err)
+	}
+}
+
+// TestAdmissionMaxQueueDepth pins the backlog limit: flooding a
+// one-worker service with slow sessions must trip ErrOverloaded once
+// the scheduler backlog exceeds the configured depth.
+func TestAdmissionMaxQueueDepth(t *testing.T) {
+	cfg := Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 20,
+			TargetPrecision:  1.01,
+			PrecisionStep:    0.05,
+		},
+		Workers:       1,
+		Shards:        1,
+		MaxQueueDepth: 2,
+		IdleTimeout:   -1,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q5")
+	rejected := 0
+	for i := 0; i < 20; i++ {
+		_, err := svc.Create(blk.Query)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrOverloaded):
+			rejected++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if rejected == 0 {
+		t.Error("20 rapid creates against a depth-2 queue never hit ErrOverloaded")
+	}
+	if st := svc.Stats(); st.Rejected != uint64(rejected) {
+		t.Errorf("Rejected = %d, want %d", st.Rejected, rejected)
+	}
+}
+
+// TestStepGapMetric pins the starvation audit: multi-step sessions
+// report a positive max inter-step gap, and the service aggregates a
+// positive p99 both while sessions live and after they finish.
+func TestStepGapMetric(t *testing.T) {
+	svc, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blk, _ := workload.Find(workload.MustTPCHBlocks(1), "Q4")
+	ids := make([]string, 2)
+	for i := range ids {
+		if ids[i], err = svc.Create(blk.Query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		st, err := svc.WaitTarget(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxStepGap <= 0 {
+			t.Errorf("session %s: MaxStepGap = %v after %d steps, want > 0", id, st.MaxStepGap, st.Steps)
+		}
+	}
+	if st := svc.Stats(); st.StepGapP99 <= 0 {
+		t.Errorf("StepGapP99 = %v with live multi-step sessions, want > 0", st.StepGapP99)
+	}
+	for _, id := range ids {
+		if err := svc.Close(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Finished sessions persist in the shard's gap ring.
+	if st := svc.Stats(); st.StepGapP99 <= 0 {
+		t.Errorf("StepGapP99 = %v after sessions finished, want > 0 from the archive ring", st.StepGapP99)
+	}
+}
