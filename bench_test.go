@@ -380,6 +380,114 @@ func BenchmarkServiceSessions(b *testing.B) {
 	}
 }
 
+// benchServiceIsomorphic measures the cross-shape warm-start tier on a
+// workload with zero exact repeats and 100% shape repeats: every
+// session optimizes a distinct table-ID-permuted variant of one base
+// block. Three modes bound the result:
+//
+//	iso    cache warmed with the base variant only — every session is
+//	       an isomorphic (canonical-tier) hit restored via remap;
+//	exact  the driven variants themselves pre-converged — every
+//	       session is an exact-tier hit (the warm upper bound);
+//	cold   cache disabled (the lower bound).
+//
+// The acceptance target is iso within 2x of exact and ≥5x over cold.
+func benchServiceIsomorphic(b *testing.B, sessions int, mode string) {
+	b.Helper()
+	b.ReportAllocs()
+	pool, err := harness.ServiceIsoBenchPool()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := harness.ServiceBenchIsoConfig()
+	if mode == "cold" {
+		cfg = harness.ServiceBenchConfig(false)
+	}
+	newSvc := func() *service.Service {
+		svc, err := service.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch mode {
+		case "iso":
+			// Warm only the base: the canonical tier serves the rest.
+			if err := harness.ConvergeOnce(svc, pool[0].Query); err != nil {
+				b.Fatal(err)
+			}
+		case "exact":
+			// Pre-converge exactly the variants the timed loop drives.
+			if _, _, err := harness.DriveIsoSessions(svc, pool, 0, sessions); err != nil {
+				b.Fatal(err)
+			}
+		case "cold":
+		default:
+			b.Fatalf("unknown mode %q", mode)
+		}
+		return svc
+	}
+	svc := newSvc()
+	defer func() { svc.Shutdown() }()
+	var exactHits, isoHits, isoStarts uint64
+	var remapNS time.Duration
+	account := func(svc *service.Service) {
+		st := svc.Stats()
+		exactHits += st.Cache.ExactHits
+		isoHits += st.Cache.IsoHits
+		isoStarts += st.IsoWarmStarts
+		remapNS += st.RemapTotal
+	}
+	warmupHits := svc.Stats().Cache // exclude the warm-up drive's hits
+	cursor := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := cursor
+		if mode == "exact" {
+			start = 0 // repeat the pre-converged slice: all exact hits
+		} else if cursor+sessions > len(pool)-1 {
+			// The variant pool would wrap and earlier variants would hit
+			// the exact tier, corrupting the "zero exact repeats"
+			// premise under go test's adaptive b.N. Restart from a
+			// fresh service (and cursor) outside the timed region.
+			b.StopTimer()
+			account(svc)
+			exactHits -= warmupHits.ExactHits // warm-up drives repeat per service
+			isoHits -= warmupHits.IsoHits
+			svc.Shutdown()
+			svc = newSvc()
+			cursor, start = 0, 0
+			b.StartTimer()
+		}
+		next, _, err := harness.DriveIsoSessions(svc, pool, start, sessions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cursor = next
+	}
+	b.StopTimer()
+	account(svc)
+	exactHits -= warmupHits.ExactHits
+	isoHits -= warmupHits.IsoHits
+	total := float64(b.N * sessions)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "sessions/sec")
+	b.ReportMetric(float64(exactHits)/float64(b.N), "exact-hits/op")
+	b.ReportMetric(float64(isoHits)/float64(b.N), "iso-hits/op")
+	if isoStarts > 0 {
+		b.ReportMetric(float64(remapNS.Nanoseconds())/float64(isoStarts), "remap-ns/hit")
+	}
+}
+
+// BenchmarkServiceIsomorphic measures warm-start throughput when no
+// query ever repeats exactly but every query's shape repeats — the
+// fleet-scale pattern the canonical cache tier exists for (ROADMAP
+// "Cross-shape cache reuse").
+func BenchmarkServiceIsomorphic(b *testing.B) {
+	for _, mode := range []string{"iso", "exact", "cold"} {
+		b.Run(fmt.Sprintf("sessions=64/%s", mode), func(b *testing.B) {
+			benchServiceIsomorphic(b, 64, mode)
+		})
+	}
+}
+
 // benchServiceContention drives the cold-cache session workload through
 // a service with an explicit shard count, reporting throughput plus the
 // scheduler's contention counters. GOMAXPROCS (and with it the worker

@@ -194,6 +194,67 @@ func serviceSessions(sessions int, warm bool) func() (func(map[string]float64) e
 	}
 }
 
+// serviceIsomorphic measures the cross-shape warm-start tier on a
+// zero-exact-repeat, 100%-shape-repeat workload (every session a
+// distinct table-ID-permuted variant of one base block), in three
+// modes: iso (canonical-tier hits restored via snapshot remap), exact
+// (the same variants pre-converged: exact-tier hits, the upper bound)
+// and cold (cache disabled, the lower bound). Reports sessions/sec,
+// the exact/isomorphic hit split, and the average remap time per
+// isomorphic hit.
+func serviceIsomorphic(sessions int, mode string) func() (func(map[string]float64) error, func(), error) {
+	return func() (func(map[string]float64) error, func(), error) {
+		pool, err := harness.ServiceIsoBenchPool()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := harness.ServiceBenchIsoConfig()
+		if mode == "cold" {
+			cfg = harness.ServiceBenchConfig(false)
+		}
+		svc, err := service.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch mode {
+		case "iso":
+			err = harness.ConvergeOnce(svc, pool[0].Query)
+		case "exact":
+			_, _, err = harness.DriveIsoSessions(svc, pool, 0, sessions)
+		case "cold":
+		default:
+			err = fmt.Errorf("unknown isomorphic mode %q", mode)
+		}
+		if err != nil {
+			svc.Shutdown()
+			return nil, nil, err
+		}
+		cursor := 0
+		last := svc.Stats()
+		op := func(metrics map[string]float64) error {
+			start := cursor
+			if mode == "exact" {
+				start = 0 // repeat the pre-converged slice: all exact hits
+			}
+			next, d, err := harness.DriveIsoSessions(svc, pool, start, sessions)
+			if err != nil {
+				return err
+			}
+			cursor = next
+			st := svc.Stats()
+			metrics["sessions_per_sec"] += float64(sessions) / d.Seconds()
+			metrics["exact_hits"] += float64(st.Cache.ExactHits - last.Cache.ExactHits)
+			metrics["iso_hits"] += float64(st.Cache.IsoHits - last.Cache.IsoHits)
+			if iso := st.IsoWarmStarts - last.IsoWarmStarts; iso > 0 {
+				metrics["remap_ns_per_hit"] += float64((st.RemapTotal - last.RemapTotal).Nanoseconds()) / float64(iso)
+			}
+			last = st
+			return nil
+		}
+		return op, svc.Shutdown, nil
+	}
+}
+
 // serviceContention measures the multi-core scaling of the sharded
 // scheduler: the cold-session workload at an explicit GOMAXPROCS and
 // shard count (1 = single-queue control, 0 = one shard per core),
@@ -262,6 +323,10 @@ func main() {
 			setup: serviceContention(2, 1, 16)},
 		{name: "contention/procs=2/shards=auto/sessions=16", iters: 1, smokeOnly: true,
 			setup: serviceContention(2, 0, 16)},
+		{name: "isomorphic/sessions=8/iso", iters: 1, smokeOnly: true,
+			setup: serviceIsomorphic(8, "iso")},
+		{name: "isomorphic/sessions=8/exact", iters: 1, smokeOnly: true,
+			setup: serviceIsomorphic(8, "exact")},
 
 		// Full variants: the acceptance workload.
 		{name: "figure3/levels=20/Q5", iters: 3, fullOnly: true,
@@ -274,6 +339,15 @@ func main() {
 			setup: serviceSessions(64, false)},
 		{name: "service/sessions=64/warm", iters: 5, fullOnly: true,
 			setup: serviceSessions(64, true)},
+		// Cross-shape warm starts: zero exact repeats, 100% shape
+		// repeats. The acceptance comparison is iso within 2x of exact
+		// and ≥5x over cold on the same variant workload.
+		{name: "isomorphic/sessions=64/iso", iters: 5, fullOnly: true,
+			setup: serviceIsomorphic(64, "iso")},
+		{name: "isomorphic/sessions=64/exact", iters: 5, fullOnly: true,
+			setup: serviceIsomorphic(64, "exact")},
+		{name: "isomorphic/sessions=64/cold", iters: 2, fullOnly: true,
+			setup: serviceIsomorphic(64, "cold")},
 		// Multi-core scale-out: the same cold workload against the
 		// single-queue control and the per-core sharded scheduler, at 1
 		// core (no-regression check) and 8 (the acceptance comparison).

@@ -67,6 +67,8 @@ func main() {
 	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
 	sessions := flag.Int("sessions", 64, "loadgen: concurrent sessions to drive")
 	total := flag.Int("requests", 0, "loadgen: total sessions to run (0 = 3× -sessions)")
+	isomorph := flag.Float64("isomorph", 0, "loadgen: fraction of sessions running a table-ID-permuted (isomorphic) variant of their block")
+	aliasCopies := flag.Int("alias-copies", 3, "loadgen: statistically identical copies per base table the -isomorph variants draw from")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -95,7 +97,8 @@ func main() {
 		if n <= 0 {
 			n = 3 * *sessions
 		}
-		if err := runLoadgen(svc, *sessions, n, *sf, *seed); err != nil {
+		mixOpt := workload.MixOptions{IsomorphRate: *isomorph, AliasCopies: *aliasCopies}
+		if err := runLoadgen(svc, *sessions, n, *sf, *seed, mixOpt); err != nil {
 			fail(err)
 		}
 		return
@@ -315,13 +318,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // runLoadgen drives the service with concurrent simulated users and
 // reports throughput and latency percentiles — the paper's interactive
 // regime at service scale.
-func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed int64) error {
+func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed int64, mixOpt workload.MixOptions) error {
 	blocks := workload.MustTPCHBlocks(sf)
-	profiles, err := workload.Mix(blocks, total, rand.New(rand.NewSource(seed)))
+	profiles, err := workload.MixWith(blocks, total, mixOpt, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d sessions, %d concurrent, seed %d\n", total, concurrency, seed)
+	fmt.Printf("loadgen: %d sessions, %d concurrent, seed %d, isomorph rate %g\n",
+		total, concurrency, seed, mixOpt.IsomorphRate)
 
 	work := make(chan workload.SessionProfile)
 	var (
@@ -370,8 +374,9 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 		harness.Percentile(firstLats, 0.50), harness.Percentile(firstLats, 0.95), harness.Percentile(firstLats, 1))
 	fmt.Printf("session duration:       p50=%v p95=%v max=%v\n",
 		harness.Percentile(totalLats, 0.50), harness.Percentile(totalLats, 0.95), harness.Percentile(totalLats, 1))
-	fmt.Printf("warm starts: %d, cache: %d entries, %d hits, %d misses\n",
-		st.WarmStarts, st.Cache.Entries, st.Cache.Hits, st.Cache.Misses)
+	fmt.Printf("warm starts: %d (%d cross-shape, remap total %v), cache: %d entries (%d shapes), %d exact + %d isomorphic hits, %d misses\n",
+		st.WarmStarts, st.IsoWarmStarts, st.RemapTotal.Round(time.Microsecond),
+		st.Cache.Entries, st.Cache.CanonEntries, st.Cache.ExactHits, st.Cache.IsoHits, st.Cache.Misses)
 	var steals, pops uint64
 	for _, ss := range st.Shards {
 		steals += ss.Steals

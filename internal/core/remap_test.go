@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/query"
+	"repro/internal/tableset"
+)
+
+// remapCatalog holds two statistically identical copies of each of
+// three stat profiles, so a query over the even copies is isomorphic
+// to the same shape over the odd copies. IDs follow the sorted names:
+// dim0=0 dim1=1 fact0=2 fact1=3 tiny0=4 tiny1=5.
+func remapCatalog() *catalog.Catalog {
+	mk := func(name string, rows float64, rates []float64, idx bool) catalog.Table {
+		return catalog.Table{Name: name, Rows: rows, RowWidth: 100, HasIndex: idx, SamplingRates: rates}
+	}
+	rich := []float64{0.5, 0.75, 1}
+	return catalog.MustNew([]catalog.Table{
+		mk("fact0", 1e6, rich, true), mk("fact1", 1e6, rich, true),
+		mk("dim0", 1e3, []float64{1}, true), mk("dim1", 1e3, []float64{1}, true),
+		mk("tiny0", 10, nil, false), mk("tiny1", 10, nil, false),
+	})
+}
+
+// remapQueryPair returns two isomorphic three-table queries over
+// disjoint (but statistically identical) tables.
+func remapQueryPair(t *testing.T) (*query.Query, *query.Query, Config) {
+	t.Helper()
+	cat := remapCatalog()
+	build := func(dim, fact, tiny int, name string) *query.Query {
+		return query.MustNew(cat, []int{dim, fact, tiny},
+			[]query.JoinEdge{
+				{A: dim, B: fact, Selectivity: 1e-3},
+				{A: fact, B: tiny, Selectivity: 0.1},
+			},
+			query.WithName(name), query.WithFilter(fact, 0.5))
+	}
+	qa := build(0, 2, 4, "even")
+	qb := build(1, 3, 5, "odd")
+	cfg := Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: 4,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.05,
+	}
+	return qa, qb, cfg
+}
+
+// remapPermBetween composes the two queries' canonical permutations
+// into the src→dst table rewriting.
+func remapPermBetween(t *testing.T, src, dst *query.Query) []int {
+	t.Helper()
+	ds, ps := src.CanonicalFingerprint()
+	dd, pd := dst.CanonicalFingerprint()
+	if ds != dd {
+		t.Fatalf("test queries are not canonically equal: %s vs %s", ds, dd)
+	}
+	perm, err := query.ComposeRemap(ps, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perm
+}
+
+// plansWithCosts renders a result set order-independently including
+// cost vectors, so equality pins cost-identical restores.
+func plansWithCosts(o *Optimizer, r int) []string {
+	var out []string
+	for _, p := range o.Results(nil, r) {
+		out = append(out, p.Signature()+"|"+p.Cost.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSnapshotRemapRestoresCostIdentical is the acceptance pin for
+// cross-shape warm starts: a snapshot converged for one query,
+// remapped onto an isomorphic query's labeling and restored there,
+// must expose exactly the plans (structure AND cost vectors) a fresh
+// optimization of the isomorphic query produces at the same
+// resolution — and must not regenerate any of them.
+func TestSnapshotRemapRestoresCostIdentical(t *testing.T) {
+	qa, qb, cfg := remapQueryPair(t)
+	src := MustNewOptimizer(qa, cfg)
+	for r := 0; r <= cfg.MaxResolution(); r++ {
+		src.Optimize(nil, r)
+	}
+	snap := src.Snapshot()
+
+	remapped, err := snap.Remap(remapPermBetween(t, qa, qb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remapped == snap {
+		t.Fatal("non-identity remap returned the receiver")
+	}
+	restored, err := NewOptimizerFromSnapshot(qb, cfg, remapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNewOptimizer(qb, cfg)
+	for r := 0; r <= cfg.MaxResolution(); r++ {
+		restored.Optimize(nil, r)
+		fresh.Optimize(nil, r)
+	}
+	if n := restored.Stats().PlansGenerated; n != 0 {
+		t.Errorf("remapped restore regenerated %d plans, want 0", n)
+	}
+	got, want := plansWithCosts(restored, cfg.MaxResolution()), plansWithCosts(fresh, cfg.MaxResolution())
+	if len(got) != len(want) {
+		t.Fatalf("remapped restore has %d frontier plans, fresh optimization %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("remapped restore diverges from fresh optimization:\n  %s\nvs\n  %s", got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotRemapPreservesStructure checks the D8-facing invariants:
+// node IDs and the packed pair memo survive the relabeling, the source
+// snapshot is untouched, and sub-plan sharing is not duplicated.
+func TestSnapshotRemapPreservesStructure(t *testing.T) {
+	qa, qb, cfg := remapQueryPair(t)
+	src := MustNewOptimizer(qa, cfg)
+	src.Optimize(nil, 0)
+	snap := src.Snapshot()
+	perm := remapPermBetween(t, qa, qb)
+	remapped, err := snap.Remap(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remapped.nextID != snap.nextID || len(remapped.pairs) != len(snap.pairs) {
+		t.Error("remap changed the node-ID watermark or the pair memo")
+	}
+	if len(remapped.res) != len(snap.res) || len(remapped.cand) != len(snap.cand) {
+		t.Error("remap changed the number of plan-set subsets")
+	}
+	for sub := range snap.res {
+		mapped := sub.Map(perm)
+		if _, ok := remapped.res[mapped]; !ok {
+			t.Errorf("subset %v not found at remapped key %v", sub, mapped)
+		}
+		if mapped == sub {
+			t.Errorf("subset %v unchanged under a table-disjoint permutation", sub)
+		}
+	}
+	// Source entries keep their original labels (snapshots are shared).
+	for sub, entries := range snap.res {
+		for _, e := range entries {
+			if !e.Payload.Tables.SubsetOf(qa.Tables()) {
+				t.Fatalf("source snapshot mutated: %v outside %v (subset %v)", e.Payload.Tables, qa.Tables(), sub)
+			}
+		}
+	}
+}
+
+func TestSnapshotRemapIdentityAndErrors(t *testing.T) {
+	qa, _, cfg := remapQueryPair(t)
+	src := MustNewOptimizer(qa, cfg)
+	src.Optimize(nil, 0)
+	snap := src.Snapshot()
+
+	identity := make([]int, tableset.MaxTables)
+	for i := range identity {
+		identity[i] = i
+	}
+	if got, err := snap.Remap(identity); err != nil || got != snap {
+		t.Errorf("identity remap: got (%p, %v), want the receiver", got, err)
+	}
+	if _, err := snap.Remap([]int{0}); err == nil {
+		t.Error("truncated permutation accepted")
+	}
+	undef := make([]int, tableset.MaxTables)
+	for i := range undef {
+		undef[i] = -1
+	}
+	if _, err := snap.Remap(undef); err == nil {
+		t.Error("undefined permutation accepted")
+	}
+	collapse := make([]int, tableset.MaxTables)
+	for i := range collapse {
+		collapse[i] = 7
+	}
+	if _, err := snap.Remap(collapse); err == nil {
+		t.Error("non-injective permutation accepted")
+	}
+}

@@ -100,6 +100,78 @@ func (o *Optimizer) Snapshot() *Snapshot {
 	return s
 }
 
+// Remap returns a copy of the snapshot rewritten onto a new table
+// labeling: every table ID id that appears in the snapshot's plan state
+// is replaced by perm[id]. Scan table IDs, per-node and per-subset
+// tableset bitmaps, and interesting-order tags move to the new labels;
+// node IDs, sub-plan sharing, the packed pair memo, cost vectors,
+// epochs and the focus echo are preserved unchanged (the D8 invariants
+// are label-free, and costs stay valid because callers only remap onto
+// tables with identical statistics — query.CanonicalFingerprint's
+// equal-digest guarantee). The result restores through
+// NewOptimizerFromSnapshot for a query that is isomorphic to the
+// snapshot's source under perm.
+//
+// perm must injectively map every snapshot table to a valid table ID;
+// violations return an error. The receiver is never mutated (snapshots
+// are shared), and an identity permutation returns the receiver
+// without copying. Remap runs at restore time only — never on the
+// refinement hot path.
+func (s *Snapshot) Remap(perm []int) (*Snapshot, error) {
+	var universe tableset.Set
+	for sub := range s.res {
+		universe = universe.Union(sub)
+	}
+	for sub := range s.cand {
+		universe = universe.Union(sub)
+	}
+	identity := true
+	for _, id := range universe.Indices() {
+		if id >= len(perm) || perm[id] < 0 || perm[id] >= tableset.MaxTables {
+			return nil, fmt.Errorf("core: remap permutation undefined for snapshot table %d", id)
+		}
+		if perm[id] != id {
+			identity = false
+		}
+	}
+	if identity {
+		return s, nil
+	}
+	if universe.Map(perm).Len() != universe.Len() {
+		return nil, fmt.Errorf("core: remap permutation is not injective on snapshot tables %v", universe)
+	}
+	out := &Snapshot{
+		res:  make(map[tableset.Set][]rangeindex.Entry, len(s.res)),
+		cand: make(map[tableset.Set][]rangeindex.Entry, len(s.cand)),
+		// Node IDs are untouched by relabeling, so the packed pair memo
+		// and the numbering watermark carry over verbatim; both slices
+		// are immutable once built and safe to share.
+		pairs:      s.pairs,
+		nextID:     s.nextID,
+		epoch:      s.epoch,
+		prevBounds: s.prevBounds,
+		prevRes:    s.prevRes,
+		cfgEcho:    s.cfgEcho,
+	}
+	// One shared memo keeps sub-plan sharing intact across all plan
+	// sets, exactly like Snapshot's detach pass.
+	memo := map[*plan.Node]*plan.Node{}
+	remap := func(src, dst map[tableset.Set][]rangeindex.Entry) {
+		for sub, entries := range src {
+			es := make([]rangeindex.Entry, len(entries))
+			for i, e := range entries {
+				e.Payload = plan.RemapInto(memo, perm, e.Payload)
+				e.Cost = e.Payload.Cost
+				es[i] = e
+			}
+			dst[sub.Map(perm)] = es
+		}
+	}
+	remap(s.res, out.res)
+	remap(s.cand, out.cand)
+	return out, nil
+}
+
 // PlanCount returns the number of stored result plus candidate entries,
 // a cheap size proxy for cache accounting.
 func (s *Snapshot) PlanCount() int {

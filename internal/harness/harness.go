@@ -181,6 +181,89 @@ func ServiceBenchConfig(warmCache bool) service.Config {
 	return cfg
 }
 
+// ServiceIsoBenchPool is the workload of the cross-shape warm-start
+// benchmark (BenchmarkServiceIsomorphic and benchjson's isomorphic/*
+// records): the 3-table Q3 block plus distinct table-ID-permuted
+// variants of it over an alias catalog, all isomorphic (equal
+// canonical digest) and pairwise distinct in their exact fingerprint.
+// Variant 0 is the base the bench warms the cache with; driving the
+// remaining variants one-per-session yields a workload with zero
+// exact repeats and 100% shape repeats.
+func ServiceIsoBenchPool() ([]workload.Block, error) {
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), "Q3")
+	if !ok {
+		return nil, fmt.Errorf("harness: missing block Q3")
+	}
+	// 12 copies × 3 tables = 36 alias tables (within the 64-ID space),
+	// 12³ = 1728 possible variants; 1024 covers every recorded
+	// benchjson configuration (64 sessions × (iterations+warm-up) ≤
+	// 384) without wrapping. Drivers that cannot bound their iteration
+	// count (go test's adaptive b.N) must restart from a fresh service
+	// before the cursor wraps, or wrapped variants hit the exact tier
+	// and the workload is no longer zero-exact-repeat
+	// (benchServiceIsomorphic does exactly that).
+	return workload.IsoVariants(blk, 12, 1024)
+}
+
+// ServiceBenchIsoConfig is the service configuration of the
+// cross-shape benchmark: the warm-cache config with cache-capacity
+// headroom. Every variant in the iso pool shares one canonical digest
+// and therefore one cache shard, so the per-shard capacity slice
+// (CacheCapacity / GOMAXPROCS shards) must still hold the whole driven
+// variant set on many-core hosts — otherwise the "exact" mode's
+// pre-converged entries evict and its upper bound silently degrades to
+// canonical-tier hits.
+func ServiceBenchIsoConfig() service.Config {
+	cfg := ServiceBenchConfig(true)
+	cfg.CacheCapacity = 8192
+	return cfg
+}
+
+// DriveIsoSessions runs one batch of n concurrent create→converge→
+// close session lifecycles over pool, assigning session i the variant
+// pool[1 + (start+i) mod (len(pool)-1)] — the base variant 0 is
+// reserved for cache warm-up — and returns the advanced cursor with
+// the batch duration. Shared by BenchmarkServiceIsomorphic and the
+// benchjson recorder so both measure the same workload.
+func DriveIsoSessions(svc *service.Service, pool []workload.Block, start, n int) (int, time.Duration, error) {
+	t0 := time.Now()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			q := pool[1+(start+i)%(len(pool)-1)].Query
+			id, err := svc.Create(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := svc.WaitTarget(id); err != nil {
+				errs <- err
+				return
+			}
+			errs <- svc.Close(id)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			return 0, 0, err
+		}
+	}
+	return start + n, time.Since(t0), nil
+}
+
+// ConvergeOnce drives one session for q to target precision and closes
+// it — the cache warm-up step of the service benchmarks.
+func ConvergeOnce(svc *service.Service, q *query.Query) error {
+	id, err := svc.Create(q)
+	if err != nil {
+		return err
+	}
+	if _, err := svc.WaitTarget(id); err != nil {
+		return err
+	}
+	return svc.Close(id)
+}
+
 // ServiceBenchContentionConfig is the configuration of the multi-core
 // contention benchmark (BenchmarkServiceContention and the benchjson
 // recorder): the cold-cache service workload with an explicit shard

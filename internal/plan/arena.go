@@ -127,3 +127,40 @@ func DetachInto(memo map[*Node]*Node, n *Node) *Node {
 	c.Right = DetachInto(memo, n.Right)
 	return c
 }
+
+// RemapInto deep-copies the plan tree rooted at n with every table ID
+// rewritten through perm (old table ID → new table ID): scan TableID,
+// per-node Tables bitmaps, and interesting-order tags all move to the
+// new labeling, while node IDs, cost vectors, cardinalities and
+// sub-plan sharing are preserved (one copy per distinct source node,
+// memoized in memo — pass the same map across trees that share
+// sub-plans). It is the plan-DAG half of rewriting a warm-start
+// snapshot onto an isomorphic query (core.Snapshot.Remap); costs are
+// valid unchanged because the permutation maps each table onto one
+// with identical statistics.
+//
+// The source must already be detached (snapshot copies): cost vectors
+// are shared with the source, which is safe only because detached
+// nodes and their vectors are immutable — remapping arena-backed nodes
+// directly would let the copy's Cost alias a live arena slab.
+func RemapInto(memo map[*Node]*Node, perm []int, n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if c, ok := memo[n]; ok {
+		return c
+	}
+	c := new(Node)
+	*c = *n
+	c.Tables = n.Tables.Map(perm)
+	if n.IsScan() {
+		c.TableID = perm[n.TableID]
+	}
+	if n.Order != OrderNone {
+		c.Order = OrderOn(perm[n.Order.TableID()])
+	}
+	memo[n] = c
+	c.Left = RemapInto(memo, perm, n.Left)
+	c.Right = RemapInto(memo, perm, n.Right)
+	return c
+}

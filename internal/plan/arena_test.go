@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cost"
+	"repro/internal/tableset"
 )
 
 func TestArenaNodeIDsDense(t *testing.T) {
@@ -91,5 +92,50 @@ func TestNilArenaFallback(t *testing.T) {
 	}
 	if v := a.NewVector(4); len(v) != 4 {
 		t.Errorf("nil-arena vector dim %d", len(v))
+	}
+}
+
+// TestRemapInto pins the remap contract: table IDs, tableset bitmaps
+// and order tags move to the new labeling while node IDs, costs, rows
+// and sub-plan sharing stay put — and the source tree is untouched.
+func TestRemapInto(t *testing.T) {
+	a := NewArena()
+	s0 := a.NewNode(Node{Tables: tableset.Singleton(0), TableID: 0, Scan: IndexScan,
+		SampleRate: 1, Rows: 10, Cost: cost.Vector{1, 2}, Order: OrderOn(0)})
+	s1 := a.NewNode(Node{Tables: tableset.Singleton(1), TableID: 1, Scan: SeqScan,
+		SampleRate: 1, Rows: 20, Cost: cost.Vector{3, 4}})
+	join := a.NewNode(Node{Tables: tableset.Of(0, 1), Join: MergeJoin, Degree: 2,
+		Left: s0, Right: s1, Rows: 5, Cost: cost.Vector{9, 9}, Order: OrderOn(1)})
+	join2 := a.NewNode(Node{Tables: tableset.Of(0, 1), Join: HashJoin, Degree: 1,
+		Left: s0, Right: s1, Rows: 5, Cost: cost.Vector{8, 8}})
+
+	perm := []int{4, 2}
+	memo := map[*Node]*Node{}
+	r := RemapInto(memo, perm, join)
+	r2 := RemapInto(memo, perm, join2)
+
+	if r.Tables != tableset.Of(4, 2) || r.Left.TableID != 4 || r.Right.TableID != 2 {
+		t.Errorf("tables not remapped: %v / %d,%d", r.Tables, r.Left.TableID, r.Right.TableID)
+	}
+	if r.Order != OrderOn(2) || r.Left.Order != OrderOn(4) || r2.Order != OrderNone {
+		t.Errorf("order tags not remapped: %v %v %v", r.Order, r.Left.Order, r2.Order)
+	}
+	if r.ID() != join.ID() || r.Left.ID() != s0.ID() || r.Rows != join.Rows {
+		t.Error("remap changed node IDs or rows")
+	}
+	if !r.Cost.Equal(join.Cost) {
+		t.Errorf("remap changed cost: %v vs %v", r.Cost, join.Cost)
+	}
+	if r.Left != r2.Left || r.Right != r2.Right {
+		t.Error("sub-plan sharing lost across trees remapped through one memo")
+	}
+	if r == join || r.Left == s0 {
+		t.Error("remap returned source nodes instead of copies")
+	}
+	if join.Tables != tableset.Of(0, 1) || s0.TableID != 0 || s0.Order != OrderOn(0) {
+		t.Error("remap mutated the source tree")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("remapped tree invalid: %v", err)
 	}
 }

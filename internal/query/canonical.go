@@ -1,0 +1,350 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tableset"
+)
+
+// CanonicalFingerprint returns a digest of the query's isomorphism
+// class together with the table-ID permutation onto its canonical form.
+// Two queries share the digest exactly when a bijection between their
+// table sets exists that preserves per-table planning statistics
+// (catalog cardinality, row width, index availability, sampling rates,
+// filter selectivity) and maps join edges onto join edges with equal
+// selectivities. Under such a bijection every plan's cost vector is
+// unchanged, so optimizer state cached for one query is valid for the
+// other after rewriting its table labels (core.Snapshot.Remap) — the
+// service's cross-shape warm-start tier keys on this digest where the
+// exact tier keys on Fingerprint.
+//
+// The returned permutation perm has length tableset.MaxTables;
+// perm[id] is the canonical position in [0, NumTables) of member table
+// id, and -1 for non-members. Composing one query's permutation with
+// the inverse of another's (equal digests) yields the table-ID
+// rewriting between them.
+//
+// Canonicalization runs iterative color refinement over (per-table
+// stats signature, degree, incident-(selectivity, neighbor-color)
+// multiset) and resolves residual ties — automorphisms or refinement-
+// equivalent vertices — with a bounded individualization search that
+// keeps the lexicographically smallest canonical encoding (DESIGN.md
+// D11). The digest is sound unconditionally: it hashes the fully
+// relabeled query, so equal digests imply a genuine stats-preserving
+// isomorphism even if the tie-break budget is exhausted; exhaustion
+// can only cost completeness (two isomorphic queries hashing apart, a
+// missed cache hit, never a wrong one).
+//
+// Not on any refinement hot path: the service computes it once per
+// session creation.
+func (q *Query) CanonicalFingerprint() (string, []int) {
+	c := newCanonicalizer(q)
+	c.search(c.initial())
+	sum := sha256.Sum256([]byte(c.best))
+	perm := make([]int, tableset.MaxTables)
+	for i := range perm {
+		perm[i] = -1
+	}
+	for m, p := range c.bestPos {
+		perm[c.ids[m]] = p
+	}
+	return hex.EncodeToString(sum[:]), perm
+}
+
+// ComposeRemap combines the canonical permutations of two queries that
+// share a canonical digest into the table-ID rewriting from the first
+// query's labeling to the second's: the result maps srcID → dstID
+// whenever both occupy the same canonical position (and -1 outside the
+// source query's tables). It is the permutation Snapshot.Remap needs to
+// restore state cached under src's labeling into a session for dst.
+// Positions present in src but absent from dst (possible only if the
+// digests differ) return an error.
+func ComposeRemap(src, dst []int) ([]int, error) {
+	inv := make([]int, len(dst)) // canonical position → dst table ID
+	for i := range inv {
+		inv[i] = -1
+	}
+	for id, p := range dst {
+		if p >= 0 {
+			if p >= len(inv) {
+				return nil, fmt.Errorf("query: canonical position %d out of range", p)
+			}
+			inv[p] = id
+		}
+	}
+	out := make([]int, len(src))
+	for id, p := range src {
+		if p < 0 {
+			out[id] = -1
+			continue
+		}
+		if p >= len(inv) || inv[p] < 0 {
+			return nil, fmt.Errorf("query: canonical permutations are incompatible at position %d", p)
+		}
+		out[id] = inv[p]
+	}
+	return out, nil
+}
+
+// tieBreakLeafBudget bounds the individualization-refinement search: at
+// most this many complete canonical labelings are generated before the
+// search keeps the best found so far. Automorphic tie classes (cliques,
+// stars over identical tables) produce identical encodings on every
+// branch, so one leaf suffices for them; the budget only matters for
+// refinement-equivalent but non-automorphic vertices, which need
+// |class|-factorial leaves in the worst case.
+const tieBreakLeafBudget = 64
+
+// canonAdj is one incident edge from a member's adjacency list, in
+// member-index (not table-ID) space.
+type canonAdj struct {
+	other int
+	sel   float64
+}
+
+// canonicalizer carries the refinement state. Member tables are
+// addressed by their index in ids (ascending table ID); colors are
+// dense ranks in [0, len(ids)), derived from invariant hashes so they
+// never depend on the concrete table IDs.
+type canonicalizer struct {
+	q   *Query
+	ids []int
+	pos map[int]int // table ID → member index
+	adj [][]canonAdj
+
+	// statSig is each member's planning-statistics signature. It is
+	// the single source for both the initial refinement coloring
+	// (hashed) and the canonical encoding (verbatim), so the two can
+	// never drift apart.
+	statSig []string
+
+	leaves  int
+	best    string
+	bestPos []int // member index → canonical position
+
+	// scratch reused across refinement rounds and search branches.
+	hashes []uint64
+	pairs  []uint64
+}
+
+func newCanonicalizer(q *Query) *canonicalizer {
+	ids := q.tables.Indices()
+	pos := make(map[int]int, len(ids))
+	for m, id := range ids {
+		pos[id] = m
+	}
+	c := &canonicalizer{
+		q:       q,
+		ids:     ids,
+		pos:     pos,
+		adj:     make([][]canonAdj, len(ids)),
+		statSig: make([]string, len(ids)),
+		hashes:  make([]uint64, len(ids)),
+	}
+	for _, e := range q.edges {
+		a, b := pos[e.A], pos[e.B]
+		c.adj[a] = append(c.adj[a], canonAdj{other: b, sel: e.Selectivity})
+		c.adj[b] = append(c.adj[b], canonAdj{other: a, sel: e.Selectivity})
+	}
+	for m, id := range ids {
+		t := q.catalog.Table(id)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%g:%g:%v:%g:[", t.Rows, t.RowWidth, t.HasIndex, q.FilterSelectivity(id))
+		rates := append([]float64(nil), t.SamplingRates...)
+		sort.Float64s(rates)
+		for _, r := range rates {
+			fmt.Fprintf(&b, "%g,", r)
+		}
+		b.WriteString("]")
+		c.statSig[m] = b.String()
+	}
+	return c
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// initial returns the starting coloring: dense ranks of the per-table
+// stats signatures.
+func (c *canonicalizer) initial() []int {
+	for m, sig := range c.statSig {
+		c.hashes[m] = fnv64(sig)
+	}
+	return c.normalize(c.hashes, make([]int, len(c.ids)))
+}
+
+// normalize converts invariant hash values into dense color ranks
+// 0..k-1 ordered by hash value. Hash values depend only on label-
+// invariant inputs, so the rank order is itself invariant.
+func (c *canonicalizer) normalize(hashes []uint64, dst []int) []int {
+	uniq := append([]uint64(nil), hashes...)
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	n := 0
+	for i, v := range uniq {
+		if i == 0 || uniq[i-1] != v {
+			uniq[n] = v
+			n++
+		}
+	}
+	uniq = uniq[:n]
+	for m, v := range hashes {
+		dst[m] = sort.Search(n, func(i int) bool { return uniq[i] >= v })
+	}
+	return dst
+}
+
+// refine runs color refinement to a fixed point: each round rehashes
+// every member with its current color and the sorted multiset of
+// (edge-selectivity, neighbor-color) pairs, then re-ranks. Including
+// the member's own color makes the partition monotonically finer, so
+// the round count is bounded by the member count.
+func (c *canonicalizer) refine(colors []int) []int {
+	n := len(c.ids)
+	distinct := func(cs []int) int {
+		max := -1
+		for _, v := range cs {
+			if v > max {
+				max = v
+			}
+		}
+		return max + 1
+	}
+	cur := distinct(colors)
+	for round := 0; round < n && cur < n; round++ {
+		for m := range c.ids {
+			c.pairs = c.pairs[:0]
+			for _, a := range c.adj[m] {
+				// Pack (selectivity, neighbor color) so sorting the
+				// packed words sorts the multiset canonically.
+				c.pairs = append(c.pairs, mix64(math.Float64bits(a.sel), uint64(colors[a.other])))
+			}
+			sort.Slice(c.pairs, func(i, j int) bool { return c.pairs[i] < c.pairs[j] })
+			h := mix64(fnv64("r"), uint64(colors[m]))
+			for _, p := range c.pairs {
+				h = mix64(h, p)
+			}
+			c.hashes[m] = h
+		}
+		colors = c.normalize(c.hashes, colors)
+		next := distinct(colors)
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	return colors
+}
+
+// search runs individualization-refinement: refine, and if the coloring
+// is not yet discrete, branch on each member of the smallest ambiguous
+// class (bounded by tieBreakLeafBudget complete labelings), keeping the
+// lexicographically smallest canonical encoding over all leaves.
+func (c *canonicalizer) search(colors []int) {
+	colors = c.refine(colors)
+	n := len(c.ids)
+	counts := make([]int, n+1)
+	for _, v := range colors {
+		counts[v]++
+	}
+	// Discrete coloring: ranks are exactly the canonical positions.
+	discrete := true
+	for _, v := range colors {
+		if counts[v] != 1 {
+			discrete = false
+			break
+		}
+	}
+	if discrete {
+		enc := c.encode(colors)
+		if c.best == "" || enc < c.best {
+			c.best = enc
+			c.bestPos = append([]int(nil), colors...)
+		}
+		c.leaves++
+		return
+	}
+	// Target the smallest ambiguous class (ties broken by color rank —
+	// both invariant choices).
+	target, size := -1, n+1
+	for v, cnt := range counts {
+		if cnt > 1 && cnt < size {
+			target, size = v, cnt
+		}
+	}
+	k := 0
+	for _, v := range colors {
+		if k <= v {
+			k = v + 1
+		}
+	}
+	for m, v := range colors {
+		if v != target {
+			continue
+		}
+		if c.leaves >= tieBreakLeafBudget && c.best != "" {
+			return
+		}
+		child := append([]int(nil), colors...)
+		child[m] = k // individualize: a fresh color splits m off its class
+		c.search(child)
+	}
+}
+
+// encode renders the query relabeled to canonical positions: per
+// position the table's planning statistics and filter, then the sorted
+// canonical edge list. The encoding fully determines the relabeled
+// query, which is what makes the digest sound: equal encodings imply a
+// stats- and edge-preserving bijection through the canonical positions.
+func (c *canonicalizer) encode(pos []int) string {
+	n := len(c.ids)
+	inv := make([]int, n)
+	for m, p := range pos {
+		inv[p] = m
+	}
+	var b strings.Builder
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, "t%d:%s;", p, c.statSig[inv[p]])
+	}
+	type cedge struct {
+		a, b int
+		sel  float64
+	}
+	edges := make([]cedge, 0, len(c.q.edges))
+	for _, e := range c.q.edges {
+		a, b2 := pos[c.pos[e.A]], pos[c.pos[e.B]]
+		if a > b2 {
+			a, b2 = b2, a
+		}
+		edges = append(edges, cedge{a: a, b: b2, sel: e.Selectivity})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		if edges[i].b != edges[j].b {
+			return edges[i].b < edges[j].b
+		}
+		return edges[i].sel < edges[j].sel
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "e%d-%d:%g;", e.a, e.b, e.sel)
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/tableset"
+)
+
+// isoCatalog returns n statistically identical tables — maximal
+// symmetry, the hardest case for canonicalization.
+func isoCatalog(n int) *catalog.Catalog {
+	tables := make([]catalog.Table, n)
+	for i := range tables {
+		tables[i] = catalog.Table{
+			Name:          string(rune('a' + i)),
+			Rows:          5000,
+			RowWidth:      64,
+			HasIndex:      true,
+			SamplingRates: []float64{0.5, 1},
+		}
+	}
+	return catalog.MustNew(tables)
+}
+
+// permute builds the variant of q with table i relabeled to perm[i]
+// (within the same catalog), carrying edges and filters along.
+func permute(t testing.TB, q *Query, perm []int) *Query {
+	t.Helper()
+	ids := make([]int, 0, q.NumTables())
+	q.Tables().ForEach(func(id int) { ids = append(ids, perm[id]) })
+	edges := q.Edges()
+	for i := range edges {
+		edges[i].A, edges[i].B = perm[edges[i].A], perm[edges[i].B]
+	}
+	opts := []Option{WithName(q.Name() + "-perm")}
+	q.Tables().ForEach(func(id int) {
+		if f := q.FilterSelectivity(id); f != 1 {
+			opts = append(opts, WithFilter(perm[id], f))
+		}
+	})
+	out, err := New(q.Catalog(), ids, edges, opts...)
+	if err != nil {
+		t.Fatalf("permute: %v", err)
+	}
+	return out
+}
+
+func digest(t testing.TB, q *Query) string {
+	t.Helper()
+	d, perm := q.CanonicalFingerprint()
+	// The permutation must be a bijection of the member tables onto
+	// [0, n) and -1 elsewhere, whatever else the test checks.
+	seen := make([]bool, q.NumTables())
+	for id := 0; id < tableset.MaxTables; id++ {
+		p := perm[id]
+		if !q.Tables().Contains(id) {
+			if p != -1 {
+				t.Fatalf("perm[%d] = %d for non-member, want -1", id, p)
+			}
+			continue
+		}
+		if p < 0 || p >= q.NumTables() || seen[p] {
+			t.Fatalf("perm[%d] = %d is not a bijection onto [0,%d)", id, p, q.NumTables())
+		}
+		seen[p] = true
+	}
+	return d
+}
+
+func TestCanonicalMatchesPermutedChain(t *testing.T) {
+	cat := isoCatalog(6)
+	base := MustNew(cat, []int{0, 1, 2, 3},
+		[]JoinEdge{
+			{A: 0, B: 1, Selectivity: 0.5},
+			{A: 1, B: 2, Selectivity: 0.25},
+			{A: 2, B: 3, Selectivity: 0.1},
+		},
+		WithFilter(0, 0.3))
+	variant := permute(t, base, []int{5, 2, 0, 4, 1, 3})
+	if base.Fingerprint() == variant.Fingerprint() {
+		t.Fatal("permuted variant shares the exact fingerprint; test is vacuous")
+	}
+	if digest(t, base) != digest(t, variant) {
+		t.Error("isomorphic chains disagree on the canonical digest")
+	}
+}
+
+// TestCanonicalAutomorphic covers fully symmetric graphs where color
+// refinement cannot separate any vertices and the tie-break search does
+// all the work: cliques and stars over identical tables with identical
+// selectivities.
+func TestCanonicalAutomorphic(t *testing.T) {
+	cat := isoCatalog(8)
+	clique := func(ids []int) *Query {
+		var edges []JoinEdge
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				edges = append(edges, JoinEdge{A: ids[i], B: ids[j], Selectivity: 0.2})
+			}
+		}
+		return MustNew(cat, ids, edges)
+	}
+	if digest(t, clique([]int{0, 1, 2, 3, 4})) != digest(t, clique([]int{7, 3, 5, 1, 6})) {
+		t.Error("relabeled cliques disagree on the canonical digest")
+	}
+
+	star := func(center int, leaves []int) *Query {
+		ids := append([]int{center}, leaves...)
+		var edges []JoinEdge
+		for _, l := range leaves {
+			edges = append(edges, JoinEdge{A: center, B: l, Selectivity: 0.05})
+		}
+		return MustNew(cat, ids, edges)
+	}
+	if digest(t, star(0, []int{1, 2, 3, 4})) != digest(t, star(6, []int{5, 0, 7, 2})) {
+		t.Error("relabeled stars disagree on the canonical digest")
+	}
+}
+
+// TestCanonicalNonIsomorphicDistinct: equal table counts, equal stats —
+// but different shape, selectivity, or filters must never collide.
+func TestCanonicalNonIsomorphicDistinct(t *testing.T) {
+	cat := isoCatalog(6)
+	sel := 0.5
+	chain4 := MustNew(cat, []int{0, 1, 2, 3}, []JoinEdge{
+		{A: 0, B: 1, Selectivity: sel}, {A: 1, B: 2, Selectivity: sel}, {A: 2, B: 3, Selectivity: sel}})
+	star4 := MustNew(cat, []int{0, 1, 2, 3}, []JoinEdge{
+		{A: 0, B: 1, Selectivity: sel}, {A: 0, B: 2, Selectivity: sel}, {A: 0, B: 3, Selectivity: sel}})
+	cycle4 := MustNew(cat, []int{0, 1, 2, 3}, []JoinEdge{
+		{A: 0, B: 1, Selectivity: sel}, {A: 1, B: 2, Selectivity: sel},
+		{A: 2, B: 3, Selectivity: sel}, {A: 3, B: 0, Selectivity: sel}})
+	chainSel := MustNew(cat, []int{0, 1, 2, 3}, []JoinEdge{
+		{A: 0, B: 1, Selectivity: sel}, {A: 1, B: 2, Selectivity: sel}, {A: 2, B: 3, Selectivity: 0.1}})
+	chainFilt := MustNew(cat, []int{0, 1, 2, 3}, []JoinEdge{
+		{A: 0, B: 1, Selectivity: sel}, {A: 1, B: 2, Selectivity: sel}, {A: 2, B: 3, Selectivity: sel}},
+		WithFilter(1, 0.2))
+	ds := map[string]string{
+		"chain":        digest(t, chain4),
+		"star":         digest(t, star4),
+		"cycle":        digest(t, cycle4),
+		"chain-sel":    digest(t, chainSel),
+		"chain-filter": digest(t, chainFilt),
+	}
+	seen := map[string]string{}
+	for name, d := range ds {
+		if prev, dup := seen[d]; dup {
+			t.Errorf("non-isomorphic queries %s and %s collide on the canonical digest", prev, name)
+		}
+		seen[d] = name
+	}
+}
+
+// TestCanonicalRespectsStats: a symmetric shape over tables with
+// different statistics is not isomorphic under the swap — cached plan
+// costs would be wrong — so the digest must differ when the filter (the
+// only asymmetry) moves to the other end.
+func TestCanonicalRespectsStats(t *testing.T) {
+	cat := isoCatalog(2)
+	a := MustNew(cat, []int{0, 1}, []JoinEdge{{A: 0, B: 1, Selectivity: 0.5}}, WithFilter(0, 0.1))
+	b := MustNew(cat, []int{0, 1}, []JoinEdge{{A: 0, B: 1, Selectivity: 0.5}}, WithFilter(1, 0.1))
+	// These ARE isomorphic (swap the two tables), so they must agree…
+	if digest(t, a) != digest(t, b) {
+		t.Error("swapping identical tables changed the digest")
+	}
+	// …but with distinct table stats the swap is no longer available.
+	cat2 := catalog.MustNew([]catalog.Table{
+		{Name: "big", Rows: 1e6, RowWidth: 100},
+		{Name: "small", Rows: 10, RowWidth: 100},
+	})
+	c := MustNew(cat2, []int{0, 1}, []JoinEdge{{A: 0, B: 1, Selectivity: 0.5}}, WithFilter(0, 0.1))
+	d := MustNew(cat2, []int{0, 1}, []JoinEdge{{A: 0, B: 1, Selectivity: 0.5}}, WithFilter(1, 0.1))
+	if digest(t, c) == digest(t, d) {
+		t.Error("filter on a different-stats table did not change the digest")
+	}
+}
+
+// TestCanonicalDeterministic: the digest and permutation are stable
+// across calls and across rebuilds (the cache's hit condition).
+func TestCanonicalDeterministic(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q1, err := Synthetic(cat, 6, Cycle, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Synthetic(cat, 6, Cycle, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, p1 := q1.CanonicalFingerprint()
+	d2, p2 := q2.CanonicalFingerprint()
+	if d1 != d2 {
+		t.Error("same query produced different canonical digests")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same query produced different canonical permutations at %d", i)
+		}
+	}
+}
+
+// FuzzCanonicalFingerprint: a random connected graph over identical
+// tables and a random relabeling must agree on the canonical digest —
+// the completeness half of the canonicalization contract (soundness is
+// structural: the digest hashes the full relabeled query).
+func FuzzCanonicalFingerprint(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3))
+	f.Add(int64(7), uint8(8), uint8(1))
+	f.Add(int64(42), uint8(10), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, selsRaw uint8) {
+		n := 2 + int(nRaw)%9      // 2..10 tables
+		nSels := 1 + int(selsRaw)%3 // 1..3 distinct selectivities (1 ⇒ max ties)
+		rng := rand.New(rand.NewSource(seed))
+		cat := isoCatalog(n)
+		selPool := []float64{0.5, 0.25, 0.1}[:nSels]
+
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		// Random spanning tree keeps the graph connected; extra random
+		// edges densify it.
+		var edges []JoinEdge
+		for i := 1; i < n; i++ {
+			edges = append(edges, JoinEdge{A: rng.Intn(i), B: i, Selectivity: selPool[rng.Intn(nSels)]})
+		}
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			dup := false
+			for _, ex := range edges {
+				if (ex.A == a && ex.B == b) || (ex.A == b && ex.B == a) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				edges = append(edges, JoinEdge{A: a, B: b, Selectivity: selPool[rng.Intn(nSels)]})
+			}
+		}
+		var opts []Option
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				opts = append(opts, WithFilter(i, 0.3))
+			}
+		}
+		q, err := New(cat, ids, edges, opts...)
+		if err != nil {
+			t.Fatalf("base query: %v", err)
+		}
+
+		perm := rng.Perm(n)
+		variant := permute(t, q, perm)
+		if digest(t, q) != digest(t, variant) {
+			t.Fatalf("relabeling changed the canonical digest (n=%d sels=%d perm=%v)", n, nSels, perm)
+		}
+	})
+}

@@ -20,7 +20,10 @@ import (
 // The digest deliberately ignores the query name and the declaration
 // order of edges, filters, and tables (none affect planning) but not
 // the table IDs themselves: cached plans carry concrete table IDs, so
-// isomorphic queries over permuted IDs must hash differently.
+// isomorphic queries over permuted IDs must hash differently here.
+// Cross-shape reuse — sharing state between queries that are the same
+// join graph under a table-ID permutation — goes through
+// CanonicalFingerprint plus core.Snapshot.Remap instead.
 func (q *Query) Fingerprint() string {
 	var b strings.Builder
 	q.tables.ForEach(func(id int) {

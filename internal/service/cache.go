@@ -7,29 +7,46 @@ import (
 	"repro/internal/core"
 )
 
-// PlanCache is the warm-start cache: an LRU map from canonical query
-// fingerprints (query.Fingerprint) to optimizer snapshots. A session
-// created for an already-seen query shape restores the cached scan and
-// join plan sets instead of regenerating them, which collapses its
-// first-frontier latency. Safe for concurrent use.
+// PlanCache is the warm-start cache: an LRU map from query fingerprints
+// to optimizer snapshots, with a second lookup tier keyed by canonical
+// digest (query.CanonicalFingerprint). A session created for an
+// already-seen query shape restores the cached scan and join plan sets
+// instead of regenerating them; a session whose exact shape is new but
+// whose join graph is isomorphic to a cached one (same graph under a
+// permutation of table IDs) still hits through the canonical tier —
+// the caller rewrites the snapshot onto its labeling with
+// core.Snapshot.Remap. Safe for concurrent use.
 //
-// The service shards the cache by fingerprint hash — one PlanCache per
-// shard, each owning a slice of the total capacity — so concurrent
-// warm starts on distinct query shapes do not serialize on one mutex;
-// eviction is LRU within each shard.
+// The service shards the cache by canonical digest — one PlanCache per
+// shard, each owning a slice of the total capacity — so isomorphic
+// queries always land on the same shard (their exact fingerprints
+// differ, their digest does not) and concurrent warm starts on
+// unrelated shapes do not serialize on one mutex.
+//
+// Eviction is LRU within a shard over the exact-tier entries; the
+// canonical tier holds no snapshots of its own, only a pointer to the
+// isomorphism class's most recent exact entry, so one snapshot
+// reachable from both tiers is counted once, and evicting the exact
+// entry removes the canonical pointer iff it still refers to it (no
+// double-count, no dangling canonical entry).
 type PlanCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List               // front = most recently used
-	items    map[string]*list.Element // fingerprint → element
-	hits     uint64
-	misses   uint64
-	plans    int // running sum of PlanCount over cached snapshots
+	items    map[string]*list.Element // exact fingerprint → element
+	canon    map[string]*list.Element // canonical digest → class representative
+
+	exactHits uint64
+	isoHits   uint64
+	misses    uint64
+	plans     int // running sum of PlanCount over cached snapshots
 }
 
 type cacheItem struct {
-	fp   string
-	snap *core.Snapshot
+	fp      string
+	canonFp string
+	perm    []int // the source query's table-ID → canonical-position map
+	snap    *core.Snapshot
 }
 
 // NewPlanCache creates a cache holding at most capacity snapshots;
@@ -42,28 +59,39 @@ func NewPlanCache(capacity int) *PlanCache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    map[string]*list.Element{},
+		canon:    map[string]*list.Element{},
 	}
 }
 
-// Get returns the snapshot cached for the fingerprint, recording a hit
-// or miss.
-func (c *PlanCache) Get(fp string) (*core.Snapshot, bool) {
+// Lookup returns the snapshot cached for the exact fingerprint, or —
+// failing that — the representative snapshot of the canonical digest's
+// isomorphism class together with its source permutation (the caller
+// composes it with its own and remaps). exact reports which tier hit;
+// a hit or miss is recorded either way.
+func (c *PlanCache) Lookup(fp, canonFp string) (snap *core.Snapshot, srcPerm []int, exact, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[fp]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, hit := c.items[fp]; hit {
+		c.exactHits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).snap, nil, true, true
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheItem).snap, true
+	if el, hit := c.canon[canonFp]; hit {
+		c.isoHits++
+		c.ll.MoveToFront(el)
+		item := el.Value.(*cacheItem)
+		return item.snap, item.perm, false, true
+	}
+	c.misses++
+	return nil, nil, false, false
 }
 
-// Put stores (or refreshes) the snapshot for the fingerprint, evicting
-// the least recently used entry beyond capacity. Nil snapshots are
-// ignored.
-func (c *PlanCache) Put(fp string, snap *core.Snapshot) {
+// Put stores (or refreshes) the snapshot for the exact fingerprint and
+// makes it the canonical digest's class representative, evicting the
+// least recently used exact entry beyond capacity. perm is the source
+// query's canonical permutation, handed back on isomorphic lookups.
+// Nil snapshots are ignored.
+func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	if snap == nil {
 		return
 	}
@@ -73,26 +101,51 @@ func (c *PlanCache) Put(fp string, snap *core.Snapshot) {
 		item := el.Value.(*cacheItem)
 		c.plans += snap.PlanCount() - item.snap.PlanCount()
 		item.snap = snap
+		item.canonFp = canonFp
+		item.perm = perm
+		if canonFp != "" {
+			c.canon[canonFp] = el // latest convergence represents the class
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[fp] = c.ll.PushFront(&cacheItem{fp: fp, snap: snap})
+	el := c.ll.PushFront(&cacheItem{fp: fp, canonFp: canonFp, perm: perm, snap: snap})
+	c.items[fp] = el
+	if canonFp != "" {
+		c.canon[canonFp] = el
+	}
 	c.plans += snap.PlanCount()
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		evicted := oldest.Value.(*cacheItem)
 		delete(c.items, evicted.fp)
+		// Drop the canonical pointer only if it still names this entry:
+		// a newer isomorph may have taken over the class, and its exact
+		// entry must stay reachable through the canonical tier.
+		if rep, ok := c.canon[evicted.canonFp]; ok && rep == oldest {
+			delete(c.canon, evicted.canonFp)
+		}
 		c.plans -= evicted.snap.PlanCount()
 	}
 }
 
 // CacheStats summarizes cache effectiveness.
 type CacheStats struct {
-	// Entries is the number of cached snapshots.
+	// Entries is the number of cached snapshots (exact-tier entries;
+	// the canonical tier only points into them).
 	Entries int
-	// Hits and Misses count Get outcomes since creation.
+	// CanonEntries is the number of isomorphism classes with a live
+	// representative in the canonical tier.
+	CanonEntries int
+	// Hits and Misses count lookup outcomes since creation;
+	// Hits = ExactHits + IsoHits.
 	Hits, Misses uint64
+	// ExactHits counts lookups satisfied by the exact fingerprint tier.
+	ExactHits uint64
+	// IsoHits counts lookups satisfied by the canonical tier: the query
+	// was new, but an isomorphic shape's snapshot was rewritten for it.
+	IsoHits uint64
 	// Plans is the total number of plan entries across cached snapshots.
 	Plans int
 }
@@ -101,8 +154,11 @@ type CacheStats struct {
 // across cache shards).
 func (cs *CacheStats) add(o CacheStats) {
 	cs.Entries += o.Entries
+	cs.CanonEntries += o.CanonEntries
 	cs.Hits += o.Hits
 	cs.Misses += o.Misses
+	cs.ExactHits += o.ExactHits
+	cs.IsoHits += o.IsoHits
 	cs.Plans += o.Plans
 }
 
@@ -112,5 +168,13 @@ func (cs *CacheStats) add(o CacheStats) {
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses, Plans: c.plans}
+	return CacheStats{
+		Entries:      c.ll.Len(),
+		CanonEntries: len(c.canon),
+		Hits:         c.exactHits + c.isoHits,
+		Misses:       c.misses,
+		ExactHits:    c.exactHits,
+		IsoHits:      c.isoHits,
+		Plans:        c.plans,
+	}
 }

@@ -7,30 +7,40 @@ import (
 	"repro/internal/core"
 )
 
+// getExact is Lookup restricted to the exact tier, the shape most of
+// the LRU assertions need.
+func getExact(c *PlanCache, fp string) (*core.Snapshot, bool) {
+	snap, _, exact, ok := c.Lookup(fp, "")
+	if !ok || !exact {
+		return nil, false
+	}
+	return snap, true
+}
+
 func TestPlanCacheLRU(t *testing.T) {
 	c := NewPlanCache(2)
 	snaps := make([]*core.Snapshot, 3)
 	for i := range snaps {
 		snaps[i] = &core.Snapshot{}
-		c.Put(fmt.Sprintf("fp%d", i), snaps[i])
+		c.Put(fmt.Sprintf("fp%d", i), fmt.Sprintf("c%d", i), nil, snaps[i])
 	}
 	// fp0 is the LRU entry and must have been evicted by fp2.
-	if _, ok := c.Get("fp0"); ok {
+	if _, ok := getExact(c, "fp0"); ok {
 		t.Error("fp0 survived beyond capacity 2")
 	}
-	if s, ok := c.Get("fp1"); !ok || s != snaps[1] {
+	if s, ok := getExact(c, "fp1"); !ok || s != snaps[1] {
 		t.Error("fp1 missing or wrong snapshot")
 	}
-	if s, ok := c.Get("fp2"); !ok || s != snaps[2] {
+	if s, ok := getExact(c, "fp2"); !ok || s != snaps[2] {
 		t.Error("fp2 missing or wrong snapshot")
 	}
 	// Touch fp1, insert fp3: fp2 is now LRU and must go.
-	c.Get("fp1")
-	c.Put("fp3", &core.Snapshot{})
-	if _, ok := c.Get("fp2"); ok {
+	getExact(c, "fp1")
+	c.Put("fp3", "c3", nil, &core.Snapshot{})
+	if _, ok := getExact(c, "fp2"); ok {
 		t.Error("fp2 survived though it was LRU")
 	}
-	if _, ok := c.Get("fp1"); !ok {
+	if _, ok := getExact(c, "fp1"); !ok {
 		t.Error("recently used fp1 evicted")
 	}
 
@@ -41,12 +51,92 @@ func TestPlanCacheLRU(t *testing.T) {
 	if st.Hits != 4 || st.Misses != 2 {
 		t.Errorf("hits/misses = %d/%d, want 4/2", st.Hits, st.Misses)
 	}
+	if st.ExactHits != st.Hits || st.IsoHits != 0 {
+		t.Errorf("exact/iso split = %d/%d, want %d/0", st.ExactHits, st.IsoHits, st.Hits)
+	}
 }
 
 func TestPlanCacheIgnoresNil(t *testing.T) {
 	c := NewPlanCache(4)
-	c.Put("fp", nil)
-	if _, ok := c.Get("fp"); ok {
+	c.Put("fp", "c", nil, nil)
+	if _, ok := getExact(c, "fp"); ok {
 		t.Error("nil snapshot was cached")
+	}
+}
+
+// TestPlanCacheCanonicalTier: a lookup that misses the exact tier hits
+// through the canonical digest and hands back the representative's
+// source permutation; the hit split records it as isomorphic.
+func TestPlanCacheCanonicalTier(t *testing.T) {
+	c := NewPlanCache(4)
+	snap := &core.Snapshot{}
+	perm := []int{2, 0, 1}
+	c.Put("fpA", "shape", perm, snap)
+
+	got, srcPerm, exact, ok := c.Lookup("fpB", "shape")
+	if !ok || exact || got != snap {
+		t.Fatalf("canonical lookup = (%v, exact=%v, ok=%v), want iso hit", got, exact, ok)
+	}
+	if len(srcPerm) != 3 || srcPerm[0] != 2 {
+		t.Errorf("source permutation not returned: %v", srcPerm)
+	}
+	if _, _, exact, ok := c.Lookup("fpA", "shape"); !ok || !exact {
+		t.Error("exact lookup did not hit the exact tier")
+	}
+	st := c.Stats()
+	if st.ExactHits != 1 || st.IsoHits != 1 || st.CanonEntries != 1 {
+		t.Errorf("stats = %+v, want 1 exact, 1 iso, 1 canon entry", st)
+	}
+}
+
+// TestPlanCacheEvictionAccounting pins the two-tier bookkeeping: a
+// snapshot reachable from both tiers is counted once in Plans, a newer
+// isomorph takes over the class representative so evicting an older
+// member leaves the canonical tier intact, and evicting the
+// representative itself removes the canonical entry (no dangling
+// pointer).
+func TestPlanCacheEvictionAccounting(t *testing.T) {
+	c := NewPlanCache(2)
+	// Two isomorphic entries (same canonical digest, different exact
+	// fingerprints): the later Put represents the class.
+	c.Put("fpA", "shape", []int{0}, &core.Snapshot{})
+	c.Put("fpB", "shape", []int{0}, &core.Snapshot{})
+	if st := c.Stats(); st.Entries != 2 || st.CanonEntries != 1 || st.Plans != 0 {
+		t.Fatalf("stats = %+v, want 2 entries, 1 canonical class", st)
+	}
+	// Evict fpA (LRU). fpB still represents "shape": the canonical
+	// tier must keep serving it.
+	c.Put("fpC", "other", []int{0}, &core.Snapshot{})
+	if _, ok := getExact(c, "fpA"); ok {
+		t.Fatal("fpA survived beyond capacity")
+	}
+	if _, _, _, ok := c.Lookup("fpX", "shape"); !ok {
+		t.Error("canonical entry lost although its representative fpB is still cached")
+	}
+	// Now evict fpC's class representative: its canonical entry must
+	// go with it (fpB was just touched by the Lookup above, so fpC is
+	// LRU).
+	c.Put("fpD", "fourth", []int{0}, &core.Snapshot{})
+	if _, ok := getExact(c, "fpC"); ok {
+		t.Fatal("fpC survived though it was LRU")
+	}
+	if _, _, _, ok := c.Lookup("fpY", "other"); ok {
+		t.Error("dangling canonical entry after its representative was evicted")
+	}
+	if st := c.Stats(); st.Entries != 2 || st.CanonEntries != 2 {
+		t.Errorf("stats = %+v, want 2 entries / 2 canonical classes (shape→fpB, fourth→fpD)", st)
+	}
+}
+
+// TestPlanCacheRefreshKeepsPlanTotal: refreshing an entry replaces the
+// plan count delta, and re-putting under the same exact fingerprint
+// does not duplicate canonical entries.
+func TestPlanCacheRefreshKeepsPlanTotal(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("fp", "shape", nil, &core.Snapshot{})
+	c.Put("fp", "shape", nil, &core.Snapshot{})
+	st := c.Stats()
+	if st.Entries != 1 || st.CanonEntries != 1 || st.Plans != 0 {
+		t.Errorf("refresh corrupted accounting: %+v", st)
 	}
 }

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// isoServiceQueries returns two isomorphic queries over disjoint but
+// statistically identical tables: the cross-shape warm-start scenario.
+func isoServiceQueries(t *testing.T) (*query.Query, *query.Query) {
+	t.Helper()
+	mk := func(name string, rows float64, rates []float64, idx bool) catalog.Table {
+		return catalog.Table{Name: name, Rows: rows, RowWidth: 120, HasIndex: idx, SamplingRates: rates}
+	}
+	// Sorted names assign IDs: d0=0 d1=1 f0=2 f1=3.
+	cat := catalog.MustNew([]catalog.Table{
+		mk("f0", 5e5, []float64{0.5, 0.75, 1}, true), mk("f1", 5e5, []float64{0.5, 0.75, 1}, true),
+		mk("d0", 200, []float64{1}, false), mk("d1", 200, []float64{1}, false),
+	})
+	build := func(d, f int, name string) *query.Query {
+		return query.MustNew(cat, []int{d, f},
+			[]query.JoinEdge{{A: d, B: f, Selectivity: 1e-2}},
+			query.WithName(name), query.WithFilter(f, 0.4))
+	}
+	qa, qb := build(0, 2, "even"), build(1, 3, "odd")
+	if qa.Fingerprint() == qb.Fingerprint() {
+		t.Fatal("test queries share the exact fingerprint; cross-shape path untested")
+	}
+	return qa, qb
+}
+
+// frontierSig renders a frontier's cost vectors order-independently.
+func frontierSig(st Status) []string {
+	var out []string
+	for _, p := range st.Frontier {
+		out = append(out, p.Cost.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestServiceIsomorphicWarmStart drives the full cross-shape path:
+// converge one query, then create a session for an isomorphic query
+// with a different exact fingerprint — it must warm-start through the
+// canonical tier, converge to a cost-identical frontier, and the stats
+// must attribute the hit to the isomorphic tier.
+func TestServiceIsomorphicWarmStart(t *testing.T) {
+	qa, qb := isoServiceQueries(t)
+	svc, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	ida, err := svc.Create(qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sta, err := svc.WaitTarget(ida)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sta.WarmStarted {
+		t.Fatal("first session unexpectedly warm-started")
+	}
+	if err := svc.Close(ida); err != nil {
+		t.Fatal(err)
+	}
+
+	idb, err := svc.Create(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stb, err := svc.WaitTarget(idb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stb.WarmStarted {
+		t.Error("isomorphic session did not warm-start")
+	}
+	ga, gb := frontierSig(sta), frontierSig(stb)
+	if len(ga) == 0 || len(ga) != len(gb) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Errorf("isomorphic frontiers differ in cost: %s vs %s", ga[i], gb[i])
+		}
+	}
+	// The restored frontier must carry qb's labels, not qa's.
+	for _, p := range stb.Frontier {
+		if !p.Tables.SubsetOf(qb.Tables()) {
+			t.Errorf("frontier plan %v references tables outside %v", p, qb.Tables())
+		}
+	}
+	if err := svc.Close(idb); err != nil {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	if st.WarmStarts != 1 || st.IsoWarmStarts != 1 {
+		t.Errorf("warm starts = %d (iso %d), want 1 (1)", st.WarmStarts, st.IsoWarmStarts)
+	}
+	if st.Cache.IsoHits != 1 || st.Cache.ExactHits != 0 {
+		t.Errorf("cache split = exact %d / iso %d, want 0/1", st.Cache.ExactHits, st.Cache.IsoHits)
+	}
+	if st.RemapTotal <= 0 {
+		t.Error("remap time not accounted")
+	}
+
+	// A third session on qb's exact shape now hits the exact tier.
+	idc, err := svc.Create(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTarget(idc); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(idc); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Cache.ExactHits != 1 {
+		t.Errorf("exact hits = %d after repeat of qb, want 1", st.Cache.ExactHits)
+	}
+}

@@ -58,9 +58,15 @@ func (s State) Live() bool { return s == Refining || s == AtTarget }
 // shard's scheduler mutex instead (lock order: scheduler.mu is never
 // held while taking m.mu and vice versa; see DESIGN.md D10).
 type managed struct {
-	id    string
-	fp    string // canonical query fingerprint (cache key)
-	shard int    // owning shard index (fixed at create: hash of id)
+	id      string
+	fp      string // exact query fingerprint (exact cache-tier key)
+	canonFp string // canonical digest (cache shard + isomorphism tier key)
+	shard   int    // owning shard index (fixed at create: hash of id)
+
+	// canonPerm maps the session query's table IDs to canonical
+	// positions; exported with snapshots so isomorphic lookups can
+	// compose the rewriting onto their own labeling.
+	canonPerm []int
 
 	mu          sync.Mutex
 	sess        *session.Session

@@ -11,10 +11,14 @@
 //     whose bounds just changed (their resolution resets to 0 per the
 //     paper's regime rule) over idle-refining ones, with bounded work
 //     stealing so an idle shard drains a loaded shard's cold queue, and
-//   - a fingerprint-sharded warm-start plan cache, so a session on an
-//     already-seen query shape restores cached scan and join plan sets
-//     instead of rebuilding them from scratch — without cache hits
-//     serializing either.
+//   - a two-tier warm-start plan cache sharded by canonical query
+//     digest, so a session on an already-seen query shape restores
+//     cached scan and join plan sets instead of rebuilding them from
+//     scratch — and a session on a *new* shape that is isomorphic to a
+//     cached one (the same join graph under a permutation of table
+//     IDs, query.CanonicalFingerprint) restores the cached snapshot
+//     rewritten onto its labeling (core.Snapshot.Remap) — without
+//     cache hits serializing either.
 //
 // The paper's interactive-speed guarantee is per optimizer invocation;
 // this package extends it to many users by making one invocation
@@ -128,8 +132,17 @@ type Stats struct {
 	Rejected uint64
 	// Steps counts scheduler-executed refinement steps.
 	Steps uint64
-	// WarmStarts counts sessions created from a cached snapshot.
+	// WarmStarts counts sessions created from a cached snapshot
+	// (exact and isomorphic combined).
 	WarmStarts uint64
+	// IsoWarmStarts counts the subset of WarmStarts that restored a
+	// snapshot cached under a different table labeling, rewritten via
+	// the canonical tier (cross-shape reuse).
+	IsoWarmStarts uint64
+	// RemapTotal is the cumulative wall time spent rewriting snapshots
+	// for isomorphic restores (at session creation, never on the
+	// refinement hot path).
+	RemapTotal time.Duration
 	// Active is the current number of live sessions.
 	Active int
 	// Queued is the current combined scheduler run-queue length.
@@ -205,16 +218,18 @@ type Service struct {
 	quantum    int
 	shardSizes []int // workers per shard (ShardStats)
 
-	nextID      atomic.Uint64
-	created     atomic.Uint64
-	selected    atomic.Uint64
-	closed      atomic.Uint64
-	expired     atomic.Uint64
-	rejected    atomic.Uint64
-	steps       atomic.Uint64
-	warmStarts  atomic.Uint64
-	stopping    atomic.Bool
-	janitorStop chan struct{}
+	nextID        atomic.Uint64
+	created       atomic.Uint64
+	selected      atomic.Uint64
+	closed        atomic.Uint64
+	expired       atomic.Uint64
+	rejected      atomic.Uint64
+	steps         atomic.Uint64
+	warmStarts    atomic.Uint64
+	isoWarmStarts atomic.Uint64
+	remapNS       atomic.Uint64
+	stopping      atomic.Bool
+	janitorStop   chan struct{}
 }
 
 // New validates the configuration, starts the sharded worker pools and
@@ -321,13 +336,15 @@ func (s *Service) shardFor(id string) *shard {
 	return s.shards[shardIndex(id, len(s.shards))]
 }
 
-// cacheFor returns the cache shard owning the query fingerprint, or nil
-// when the cache is disabled.
-func (s *Service) cacheFor(fp string) *PlanCache {
+// cacheFor returns the cache shard owning the query's canonical
+// digest, or nil when the cache is disabled. Sharding by canonical
+// digest (not exact fingerprint) puts every member of an isomorphism
+// class on the same shard, so cross-shape lookups stay shard-local.
+func (s *Service) cacheFor(canonFp string) *PlanCache {
 	if s.caches == nil {
 		return nil
 	}
-	return s.caches[shardIndex(fp, len(s.caches))]
+	return s.caches[shardIndex(canonFp, len(s.caches))]
 }
 
 // ErrShutdown reports that the service stopped while the call was in
@@ -397,9 +414,12 @@ func (s *Service) queuedSessions() int {
 
 // Create registers a new session for q and schedules its first
 // refinement step at hot priority on its shard. If the warm-start cache
-// holds a snapshot for q's fingerprint, the session resumes from it.
-// At MaxActiveSessions or MaxQueueDepth, Create fails with
-// ErrOverloaded before any optimizer state is built.
+// holds a snapshot for q's exact fingerprint the session resumes from
+// it verbatim; if it only holds one for an isomorphic query (equal
+// canonical digest, different table labeling) the snapshot is rewritten
+// onto q's labels (Snapshot.Remap) and the session resumes from the
+// rewritten copy. At MaxActiveSessions or MaxQueueDepth, Create fails
+// with ErrOverloaded before any optimizer state is built.
 func (s *Service) Create(q *query.Query) (string, error) {
 	if q == nil {
 		return "", fmt.Errorf("service: nil query")
@@ -417,21 +437,48 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		}
 	}
 	fp := q.Fingerprint()
+	var canonFp string
+	var canonPerm []int
+	if s.caches != nil {
+		// One canonicalization per session creation; the digest also
+		// picks the cache shard, so isomorphic queries meet there.
+		canonFp, canonPerm = q.CanonicalFingerprint()
+	}
 	var sess *session.Session
 	warm := false
-	if cache := s.cacheFor(fp); cache != nil {
-		if snap, ok := cache.Get(fp); ok {
+	if cache := s.cacheFor(canonFp); cache != nil {
+		if snap, srcPerm, exact, ok := cache.Lookup(fp, canonFp); ok {
+			if !exact {
+				// Cross-shape hit: rewrite the cached snapshot from its
+				// source labeling onto q's. Failures (which would take a
+				// digest collision) just degrade to a cold start.
+				src := snap
+				snap = nil
+				if perm, err := query.ComposeRemap(srcPerm, canonPerm); err == nil {
+					t0 := time.Now()
+					remapped, err := src.Remap(perm)
+					s.remapNS.Add(uint64(time.Since(t0)))
+					if err == nil {
+						snap = remapped
+					}
+				}
+			}
 			// A refused restore (config drift, node-ID numbering near
 			// exhaustion) falls back to a cold start instead of
 			// failing the session; the next convergence re-exports a
 			// fresh snapshot, resetting the lineage.
-			if opt, err := core.NewOptimizerFromSnapshot(q, s.cfg.Opt, snap); err == nil {
-				sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
-				if err != nil {
-					return "", err
+			if snap != nil {
+				if opt, err := core.NewOptimizerFromSnapshot(q, s.cfg.Opt, snap); err == nil {
+					sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
+					if err != nil {
+						return "", err
+					}
+					warm = true
+					s.warmStarts.Add(1)
+					if !exact {
+						s.isoWarmStarts.Add(1)
+					}
 				}
-				warm = true
-				s.warmStarts.Add(1)
 			}
 		}
 	}
@@ -447,6 +494,8 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	m := &managed{
 		id:        id,
 		fp:        fp,
+		canonFp:   canonFp,
+		canonPerm: canonPerm,
 		shard:     shardIndex(id, len(s.shards)),
 		sess:      sess,
 		state:     Refining,
@@ -498,8 +547,11 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 		}
 		if m.sess.AtMaxResolution() {
 			m.setState(AtTarget)
-			if cache := s.cacheFor(m.fp); cache != nil && !m.snapshotted {
-				cache.Put(m.fp, m.sess.Optimizer().Snapshot())
+			if cache := s.cacheFor(m.canonFp); cache != nil && !m.snapshotted {
+				// The export also makes this session the representative
+				// of its isomorphism class, so later isomorphic queries
+				// warm-start from it via remap.
+				cache.Put(m.fp, m.canonFp, m.canonPerm, m.sess.Optimizer().Snapshot())
 				m.snapshotted = true
 			}
 			m.mu.Unlock()
@@ -709,14 +761,16 @@ func (s *Service) Close(id string) error {
 // per-shard breakdown and the starvation-audit percentile.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Created:    s.created.Load(),
-		Selected:   s.selected.Load(),
-		Closed:     s.closed.Load(),
-		Expired:    s.expired.Load(),
-		Rejected:   s.rejected.Load(),
-		Steps:      s.steps.Load(),
-		WarmStarts: s.warmStarts.Load(),
-		Shards:     make([]ShardStats, len(s.shards)),
+		Created:       s.created.Load(),
+		Selected:      s.selected.Load(),
+		Closed:        s.closed.Load(),
+		Expired:       s.expired.Load(),
+		Rejected:      s.rejected.Load(),
+		Steps:         s.steps.Load(),
+		WarmStarts:    s.warmStarts.Load(),
+		IsoWarmStarts: s.isoWarmStarts.Load(),
+		RemapTotal:    time.Duration(s.remapNS.Load()),
+		Shards:        make([]ShardStats, len(s.shards)),
 	}
 	var gaps []time.Duration
 	for i, sh := range s.shards {

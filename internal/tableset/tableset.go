@@ -138,6 +138,21 @@ func (s Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Map returns the set with every member i replaced by perm[i] — the
+// image of s under a table-ID permutation, used when rewriting cached
+// plan state onto an isomorphic query's labeling. It panics if perm is
+// too short for a member or maps one outside [0, MaxTables). Callers
+// needing injectivity (snapshot remapping does) check that the result's
+// Len equals s's: a collapsed image means perm mapped two members to
+// the same table.
+func (s Set) Map(perm []int) Set {
+	var out Set
+	s.ForEach(func(i int) {
+		out = out.Add(perm[i])
+	})
+	return out
+}
+
 // String renders the set as "{0,3,5}".
 func (s Set) String() string {
 	var b strings.Builder

@@ -395,3 +395,23 @@ func BenchmarkSplits12(b *testing.B) {
 		}
 	}
 }
+
+func TestMap(t *testing.T) {
+	perm := []int{3, 0, 2, 1, 5, 4}
+	if got, want := Of(0, 2, 4).Map(perm), Of(3, 2, 5); got != want {
+		t.Errorf("Map = %v, want %v", got, want)
+	}
+	if got := Empty().Map(nil); !got.IsEmpty() {
+		t.Errorf("Map of empty set = %v, want empty", got)
+	}
+	// A non-injective mapping collapses members; callers detect it via Len.
+	if got := Of(0, 1).Map([]int{2, 2}); got.Len() != 1 {
+		t.Errorf("collapsed image has Len %d, want 1", got.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Map with an out-of-range target did not panic")
+		}
+	}()
+	Of(0).Map([]int{-1})
+}

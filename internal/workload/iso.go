@@ -1,0 +1,194 @@
+// Isomorphic-workload generation: fleets rarely repeat a query
+// byte-for-byte, but they constantly repeat its *shape* — the same join
+// graph over different (per-tenant, per-partition, per-alias) tables
+// with identical statistics. This file models that: alias catalogs with
+// statistically identical table copies, and table-ID-permuted variants
+// of base blocks that are isomorphic to them (equal
+// query.CanonicalFingerprint, distinct query.Fingerprint), so benches
+// and the moqod load generator can exercise the service's cross-shape
+// warm-start tier.
+
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+	"repro/internal/tableset"
+)
+
+// aliasName names the c-th statistical copy of a base table; copy 0
+// keeps the base name.
+func aliasName(base string, c int) string {
+	if c == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s~%d", base, c)
+}
+
+// aliasCatalog builds a catalog holding `copies` statistically
+// identical instances of each of the named tables from cat (copy 0
+// keeps the original name). The copy count is bounded by the tableset
+// width: queries address tables by dense ID < tableset.MaxTables.
+func aliasCatalog(cat *catalog.Catalog, names []string, copies int) (*catalog.Catalog, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("workload: alias copies %d < 1", copies)
+	}
+	if len(names)*copies > tableset.MaxTables {
+		return nil, fmt.Errorf("workload: %d tables × %d copies exceeds the %d-table ID space",
+			len(names), copies, tableset.MaxTables)
+	}
+	tables := make([]catalog.Table, 0, len(names)*copies)
+	for _, name := range names {
+		id, ok := cat.ID(name)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown table %q", name)
+		}
+		t := cat.Table(id)
+		for c := 0; c < copies; c++ {
+			ct := t
+			ct.Name = aliasName(name, c)
+			tables = append(tables, ct)
+		}
+	}
+	return catalog.New(tables)
+}
+
+// relabel rebuilds q over aliasCat with each table mapped to the copy
+// chosen by pick (base table name → copy index), carrying edges and
+// filters along. The result is isomorphic to q: every target table has
+// identical statistics, so canonical digests agree while exact
+// fingerprints differ whenever pick is not identically zero.
+func relabel(q *query.Query, aliasCat *catalog.Catalog, pick func(name string) int, name string) (*query.Query, error) {
+	srcCat := q.Catalog()
+	idFor := func(id int) (int, error) {
+		base := srcCat.Table(id).Name
+		nid, ok := aliasCat.ID(aliasName(base, pick(base)))
+		if !ok {
+			return 0, fmt.Errorf("workload: alias catalog misses copy %d of %q", pick(base), base)
+		}
+		return nid, nil
+	}
+	var ids []int
+	var firstErr error
+	q.Tables().ForEach(func(id int) {
+		nid, err := idFor(id)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ids = append(ids, nid)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	edges := q.Edges()
+	for i := range edges {
+		a, err := idFor(edges[i].A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := idFor(edges[i].B)
+		if err != nil {
+			return nil, err
+		}
+		edges[i].A, edges[i].B = a, b
+	}
+	opts := []query.Option{query.WithName(name)}
+	q.Tables().ForEach(func(id int) {
+		if f := q.FilterSelectivity(id); f != 1 {
+			nid, err := idFor(id)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			opts = append(opts, query.WithFilter(nid, f))
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return query.New(aliasCat, ids, edges, opts...)
+}
+
+// IsoVariants returns n deterministic table-ID-permuted variants of
+// block, all isomorphic to it and pairwise distinct in their exact
+// fingerprint, over an alias catalog with `copies` statistically
+// identical instances of each of the block's tables. Variant 0 is the
+// identity relabeling onto the alias catalog (the "base"); variant v
+// assigns table j its (v / copies^j) mod copies-th copy, so n is
+// bounded by copies^tables (and by the tableset ID space via the alias
+// catalog). Benches warm the cache with variant 0 and drive the rest
+// for a zero-exact-repeat, 100%-shape-repeat workload.
+func IsoVariants(block Block, copies, n int) ([]Block, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("workload: alias copies %d < 1", copies)
+	}
+	cat := block.Query.Catalog()
+	names := make([]string, 0, block.Query.NumTables())
+	block.Query.Tables().ForEach(func(id int) {
+		names = append(names, cat.Table(id).Name)
+	})
+	total := 1
+	for range names {
+		if total > 1<<30/copies {
+			total = 1 << 30 // saturate; enough for any realistic n
+			break
+		}
+		total *= copies
+	}
+	if n < 1 || n > total {
+		return nil, fmt.Errorf("workload: %d variants requested, %d tables × %d copies support %d", n, len(names), copies, total)
+	}
+	aliasCat, err := aliasCatalog(cat, names, copies)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Block, n)
+	for v := 0; v < n; v++ {
+		picks := make(map[string]int, len(names))
+		x := v
+		for _, name := range names {
+			picks[name] = x % copies
+			x /= copies
+		}
+		name := fmt.Sprintf("%s~iso%d", block.Name, v)
+		q, err := relabel(block.Query, aliasCat, func(n string) int { return picks[n] }, name)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = Block{Name: name, Query: q}
+	}
+	return out, nil
+}
+
+// MustIsoVariants is IsoVariants but panics on error.
+func MustIsoVariants(block Block, copies, n int) []Block {
+	out, err := IsoVariants(block, copies, n)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// sharedCatalog returns the single catalog all blocks are built over,
+// or an error if they disagree (alias relabeling needs one universe).
+func sharedCatalog(blocks []Block) (*catalog.Catalog, error) {
+	cat := blocks[0].Query.Catalog()
+	for _, b := range blocks {
+		if b.Query.Catalog() != cat {
+			return nil, fmt.Errorf("workload: blocks %s and %s use different catalogs", blocks[0].Name, b.Name)
+		}
+	}
+	return cat, nil
+}
+
+// isoSuffix tags relabeled session queries in reports.
+const isoSuffix = "~iso"
+
+// IsIsomorphName reports whether a query name was produced by the
+// isomorphic relabeling (Mix's IsomorphRate or IsoVariants).
+func IsIsomorphName(name string) bool { return strings.Contains(name, isoSuffix) }

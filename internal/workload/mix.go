@@ -3,6 +3,9 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
 )
 
 // SessionProfile scripts one simulated interactive user for the service
@@ -22,23 +25,79 @@ type SessionProfile struct {
 	Selects bool
 }
 
+// MixOptions tunes Mix beyond the default interactive population.
+type MixOptions struct {
+	// IsomorphRate is the fraction of sessions (in [0,1]) that run a
+	// table-ID-permuted variant of their base block instead of the
+	// block itself: the same join graph over statistically identical
+	// alias tables, so its exact fingerprint is (almost always) new
+	// while its canonical digest repeats — the cross-shape traffic
+	// pattern of real fleets (per-tenant tables, partition aliases).
+	// 0 reproduces the exact-repeat-only mix.
+	IsomorphRate float64
+
+	// AliasCopies is the number of statistically identical instances
+	// of each base table the permuted variants draw from; 0 defaults
+	// to 3. Bounded by the tableset ID space: copies × catalog tables
+	// must stay within tableset.MaxTables.
+	AliasCopies int
+}
+
 // Mix generates a deterministic stream of n session profiles over the
 // given blocks, approximating an interactive population: most users
 // optimize small blocks (ad-hoc queries skew simple), drag bounds zero
 // to two times, and four in five select a plan. Deterministic for a
 // fixed rng state, so experiments are reproducible seed-for-seed.
 func Mix(blocks []Block, n int, rng *rand.Rand) ([]SessionProfile, error) {
+	return MixWith(blocks, n, MixOptions{}, rng)
+}
+
+// MixWith is Mix with options; see MixOptions. With a zero IsomorphRate
+// it consumes exactly the random stream Mix does, so existing seeds
+// reproduce unchanged.
+func MixWith(blocks []Block, n int, opt MixOptions, rng *rand.Rand) ([]SessionProfile, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("workload: Mix needs at least one block")
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("workload: Mix n=%d < 1", n)
 	}
+	if opt.IsomorphRate < 0 || opt.IsomorphRate > 1 {
+		return nil, fmt.Errorf("workload: IsomorphRate %g outside [0,1]", opt.IsomorphRate)
+	}
+	base := blocks
+	var aliasCat *catalog.Catalog
+	if opt.IsomorphRate > 0 {
+		copies := opt.AliasCopies
+		if copies == 0 {
+			copies = 3
+		}
+		cat, err := sharedCatalog(blocks)
+		if err != nil {
+			return nil, err
+		}
+		if aliasCat, err = aliasCatalog(cat, cat.Names(), copies); err != nil {
+			return nil, err
+		}
+		// Rebuild the base blocks over the alias catalog (identity
+		// copies) so permuted and unpermuted sessions share one table
+		// universe — and exact repeats among the unpermuted ones still
+		// hit the exact cache tier.
+		base = make([]Block, len(blocks))
+		for i, b := range blocks {
+			q, err := relabel(b.Query, aliasCat, func(string) int { return 0 }, b.Name)
+			if err != nil {
+				return nil, fmt.Errorf("workload: block %s: %w", b.Name, err)
+			}
+			base[i] = Block{Name: b.Name, Query: q}
+		}
+		opt.AliasCopies = copies
+	}
 	// Weight blocks inversely by table count so the mix skews small the
 	// way interactive traffic does, while still exercising large blocks.
-	weights := make([]float64, len(blocks))
+	weights := make([]float64, len(base))
 	total := 0.0
-	for i, b := range blocks {
+	for i, b := range base {
 		weights[i] = 1 / float64(b.Query.NumTables())
 		total += weights[i]
 	}
@@ -47,10 +106,10 @@ func Mix(blocks []Block, n int, rng *rand.Rand) ([]SessionProfile, error) {
 		for i, w := range weights {
 			x -= w
 			if x < 0 {
-				return blocks[i]
+				return base[i]
 			}
 		}
-		return blocks[len(blocks)-1]
+		return base[len(base)-1]
 	}
 	out := make([]SessionProfile, n)
 	for i := range out {
@@ -59,6 +118,25 @@ func Mix(blocks []Block, n int, rng *rand.Rand) ([]SessionProfile, error) {
 			BoundsResets: rng.Intn(3),
 			BoundsScale:  1.5 + 2*rng.Float64(),
 			Selects:      rng.Float64() < 0.8,
+		}
+		if opt.IsomorphRate > 0 && rng.Float64() < opt.IsomorphRate {
+			b := out[i].Block
+			picks := map[string]int{}
+			srcCat := b.Query.Catalog()
+			b.Query.Tables().ForEach(func(id int) {
+				name := srcCat.Table(id).Name
+				// Alias-catalog names are base~c; strip back to base.
+				if j := strings.IndexByte(name, '~'); j >= 0 {
+					name = name[:j]
+				}
+				picks[name] = rng.Intn(opt.AliasCopies)
+			})
+			q, err := relabel(b.Query, aliasCat, func(n string) int { return picks[n] },
+				fmt.Sprintf("%s%s", b.Name, isoSuffix))
+			if err != nil {
+				return nil, fmt.Errorf("workload: permuting %s: %w", b.Name, err)
+			}
+			out[i].Block = Block{Name: q.Name(), Query: q}
 		}
 	}
 	return out, nil
