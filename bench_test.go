@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -484,6 +485,101 @@ func BenchmarkServiceIsomorphic(b *testing.B) {
 	for _, mode := range []string{"iso", "exact", "cold"} {
 		b.Run(fmt.Sprintf("sessions=64/%s", mode), func(b *testing.B) {
 			benchServiceIsomorphic(b, 64, mode)
+		})
+	}
+}
+
+// benchServiceRestart measures the restart-heavy scenario the snapshot
+// store exists for: every iteration tears the service down and
+// rebuilds it before driving a batch of sessions. Three modes bound
+// the result:
+//
+//	cold  rebuilt with no store — every restart pays the cold-start
+//	      cliff (the lower bound);
+//	disk  rebuilt on a pre-warmed store directory — the replay
+//	      pre-populates the cache, so sessions warm-start across the
+//	      restart;
+//	mem   never restarted, cache in memory (the upper bound).
+//
+// The acceptance target is disk first-frontier p95 within 2x of mem
+// and ≥5x better than cold.
+func benchServiceRestart(b *testing.B, sessions int, mode string) {
+	b.Helper()
+	b.ReportAllocs()
+	blocks := workload.MustTPCHBlocks(1)
+	names := harness.ServiceBenchNames()
+	var dir string
+	newSvc := func() *service.Service {
+		cfg := harness.ServiceBenchConfig(mode == "mem")
+		if mode == "disk" {
+			cfg = harness.ServiceBenchPersistConfig(dir)
+		}
+		svc, err := service.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
+	var memSvc *service.Service
+	switch mode {
+	case "disk":
+		dir = b.TempDir()
+		if err := harness.WarmPersistStore(dir); err != nil {
+			b.Fatal(err)
+		}
+	case "mem":
+		memSvc = newSvc()
+		defer memSvc.Shutdown()
+		for _, name := range names {
+			blk, _ := workload.Find(blocks, name)
+			if err := harness.ConvergeOnce(memSvc, blk.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	case "cold":
+	default:
+		b.Fatalf("unknown mode %q", mode)
+	}
+	var firstLats []time.Duration
+	var replayed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := memSvc
+		if svc == nil {
+			svc = newSvc() // the restart under measurement (incl. replay)
+		}
+		// Collect the previous iteration's garbage (torn-down service,
+		// replay buffers, finished sessions) before the drive, so the
+		// latency percentiles measure serving, not a GC sweep landing
+		// mid-batch on a single-core host and smearing the tail. All
+		// three modes pay the same collection point.
+		runtime.GC()
+		_, firsts, err := harness.DriveSessionsFF(svc, blocks, names, sessions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstLats = append(firstLats, firsts...)
+		if svc != memSvc {
+			replayed += svc.Stats().Store.Loaded
+			svc.Shutdown()
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N * sessions)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "sessions/sec")
+	b.ReportMetric(float64(harness.Percentile(firstLats, 0.95).Nanoseconds()), "p95-first-frontier-ns")
+	b.ReportMetric(float64(replayed)/float64(b.N), "replayed/op")
+}
+
+// BenchmarkServiceRestart measures first-frontier latency and
+// throughput when the service restarts between session batches, with
+// the warm-start cache rebuilt from the persistent snapshot store
+// versus cold restarts and a never-restarted in-memory-warm control
+// (ROADMAP "Persistent warm-start cache").
+func BenchmarkServiceRestart(b *testing.B) {
+	for _, mode := range []string{"cold", "disk", "mem"} {
+		b.Run(fmt.Sprintf("sessions=64/%s", mode), func(b *testing.B) {
+			benchServiceRestart(b, 64, mode)
 		})
 	}
 }

@@ -255,6 +255,90 @@ func serviceIsomorphic(sessions int, mode string) func() (func(map[string]float6
 	}
 }
 
+// serviceRestart measures the restart-heavy scenario of the persistent
+// snapshot store: every iteration tears the service down and rebuilds
+// it before driving a batch of sessions, in three modes — cold (no
+// store: the cold-start cliff), disk (rebuilt on a pre-warmed store
+// directory: replay pre-populates the cache) and mem (never restarted:
+// the in-memory upper bound). Reports sessions/sec, the p95
+// first-frontier latency, and the records replayed per rebuild. The
+// acceptance comparison is disk p95 within 2x of mem and ≥5x better
+// than cold.
+func serviceRestart(sessions int, mode string) func() (func(map[string]float64) error, func(), error) {
+	return func() (func(map[string]float64) error, func(), error) {
+		blocks := workload.MustTPCHBlocks(1)
+		names := harness.ServiceBenchNames()
+		var dir string
+		var memSvc *service.Service
+		teardown := func() {
+			if memSvc != nil {
+				memSvc.Shutdown()
+			}
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+		}
+		newSvc := func() (*service.Service, error) {
+			cfg := harness.ServiceBenchConfig(mode == "mem")
+			if mode == "disk" {
+				cfg = harness.ServiceBenchPersistConfig(dir)
+			}
+			return service.New(cfg)
+		}
+		switch mode {
+		case "disk":
+			var err error
+			if dir, err = os.MkdirTemp("", "moqod-bench-store-"); err != nil {
+				return nil, nil, err
+			}
+			if err := harness.WarmPersistStore(dir); err != nil {
+				teardown()
+				return nil, nil, err
+			}
+		case "mem":
+			var err error
+			if memSvc, err = newSvc(); err != nil {
+				return nil, nil, err
+			}
+			for _, name := range names {
+				blk, _ := workload.Find(blocks, name)
+				if err := harness.ConvergeOnce(memSvc, blk.Query); err != nil {
+					teardown()
+					return nil, nil, err
+				}
+			}
+		case "cold":
+		default:
+			return nil, nil, fmt.Errorf("unknown restart mode %q", mode)
+		}
+		op := func(metrics map[string]float64) error {
+			svc := memSvc
+			if svc == nil {
+				var err error
+				if svc, err = newSvc(); err != nil {
+					return err
+				}
+			}
+			// Same collection point as BenchmarkServiceRestart: keep a
+			// GC sweep paying off the rebuild from smearing the
+			// latency tail mid-batch.
+			runtime.GC()
+			d, firsts, err := harness.DriveSessionsFF(svc, blocks, names, sessions)
+			if err != nil {
+				return err
+			}
+			metrics["sessions_per_sec"] += float64(sessions) / d.Seconds()
+			metrics["p95_first_frontier_ns"] += float64(harness.Percentile(firsts, 0.95).Nanoseconds())
+			if svc != memSvc {
+				metrics["replayed_records"] += float64(svc.Stats().Store.Loaded)
+				svc.Shutdown()
+			}
+			return nil
+		}
+		return op, teardown, nil
+	}
+}
+
 // serviceContention measures the multi-core scaling of the sharded
 // scheduler: the cold-session workload at an explicit GOMAXPROCS and
 // shard count (1 = single-queue control, 0 = one shard per core),
@@ -327,6 +411,10 @@ func main() {
 			setup: serviceIsomorphic(8, "iso")},
 		{name: "isomorphic/sessions=8/exact", iters: 1, smokeOnly: true,
 			setup: serviceIsomorphic(8, "exact")},
+		{name: "persist/sessions=8/disk", iters: 1, smokeOnly: true,
+			setup: serviceRestart(8, "disk")},
+		{name: "persist/sessions=8/mem", iters: 1, smokeOnly: true,
+			setup: serviceRestart(8, "mem")},
 
 		// Full variants: the acceptance workload.
 		{name: "figure3/levels=20/Q5", iters: 3, fullOnly: true,
@@ -348,6 +436,17 @@ func main() {
 			setup: serviceIsomorphic(64, "exact")},
 		{name: "isomorphic/sessions=64/cold", iters: 2, fullOnly: true,
 			setup: serviceIsomorphic(64, "cold")},
+		// Restart-heavy fleet scenario: the service is rebuilt before
+		// every batch, from the persistent store (disk) or from nothing
+		// (cold), against the never-restarted control (mem). The
+		// acceptance comparison is disk first-frontier p95 within 2x
+		// of mem and ≥5x better than cold.
+		{name: "persist/sessions=64/cold", iters: 3, fullOnly: true,
+			setup: serviceRestart(64, "cold")},
+		{name: "persist/sessions=64/disk", iters: 5, fullOnly: true,
+			setup: serviceRestart(64, "disk")},
+		{name: "persist/sessions=64/mem", iters: 5, fullOnly: true,
+			setup: serviceRestart(64, "mem")},
 		// Multi-core scale-out: the same cold workload against the
 		// single-queue control and the per-core sharded scheduler, at 1
 		// core (no-regression check) and 8 (the acceptance comparison).

@@ -6,10 +6,16 @@
 // manager/scheduler shards with work stealing; see -shards and
 // -quantum); repeated query shapes warm-start from a plan-set cache.
 // Admission control (-max-sessions, -max-queue) sheds load with
-// HTTP 429 + Retry-After instead of queueing without bound.
+// HTTP 429 + Retry-After instead of queueing without bound. With
+// -cache-dir the warm-start cache is backed by a persistent snapshot
+// store: restarts (and other moqod processes pointed at a copy of the
+// directory) replay the persisted plan state instead of paying the
+// cold-start cliff, and SIGINT/SIGTERM trigger a graceful shutdown
+// that drains HTTP and flushes the store before exit.
 //
-//	moqod -addr :8080                 # serve the JSON API
-//	moqod -loadgen -sessions 64       # drive 64 concurrent sessions in-process
+//	moqod -addr :8080                     # serve the JSON API
+//	moqod -addr :8080 -cache-dir /var/moqod  # …with warm starts surviving restarts
+//	moqod -loadgen -sessions 64           # drive 64 concurrent sessions in-process
 //
 // API sketch (all JSON):
 //
@@ -29,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,7 +44,9 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/catalog"
@@ -62,6 +71,8 @@ func main() {
 	alphaS := flag.Float64("step", 0.05, "precision step αS")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "expire sessions idle this long")
 	cacheCap := flag.Int("cache", 256, "warm-start cache capacity (-1 disables)")
+	cacheDir := flag.String("cache-dir", "", "persist warm-start snapshots under this directory (survives restarts; empty disables)")
+	persistOnEvict := flag.Bool("persist-on-evict", false, "persist snapshots on cache eviction + shutdown sweep instead of write-through")
 	seed := flag.Int64("seed", 1, "seed for synthetic queries and the load-generator mix")
 	sf := flag.Float64("sf", 1, "TPC-H scale factor for -block queries")
 	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
@@ -71,6 +82,9 @@ func main() {
 	aliasCopies := flag.Int("alias-copies", 3, "loadgen: statistically identical copies per base table the -isomorph variants draw from")
 	flag.Parse()
 
+	if *persistOnEvict && *cacheDir == "" {
+		fail(fmt.Errorf("-persist-on-evict requires -cache-dir (no store to persist into)"))
+	}
 	cfg := service.Config{
 		Opt: core.Config{
 			Model:            costmodel.Default(),
@@ -85,6 +99,10 @@ func main() {
 		MaxQueueDepth:     *maxQueue,
 		IdleTimeout:       *idle,
 		CacheCapacity:     *cacheCap,
+		StoreDir:          *cacheDir,
+	}
+	if *persistOnEvict {
+		cfg.StorePolicy = service.PersistOnEvict
 	}
 	svc, err := service.New(cfg)
 	if err != nil {
@@ -105,11 +123,37 @@ func main() {
 	}
 
 	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(*sf), seed: *seed, dim: cfg.Opt.Model.Space().Dim()}
-	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d max-sessions=%d max-queue=%d)",
-		*addr, cfg.Workers, len(svc.Stats().Shards), cfg.Quantum, *levels, *alphaT, *alphaS,
-		cfg.CacheCapacity, cfg.MaxActiveSessions, cfg.MaxQueueDepth)
-	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+	st := svc.Stats()
+	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d cache-dir=%q max-sessions=%d max-queue=%d)",
+		*addr, cfg.Workers, len(st.Shards), cfg.Quantum, *levels, *alphaT, *alphaS,
+		cfg.CacheCapacity, *cacheDir, cfg.MaxActiveSessions, cfg.MaxQueueDepth)
+	if *cacheDir != "" {
+		log.Printf("moqod: snapshot store replayed %d records (%d rejected, %d corrupted) into %d cache entries",
+			st.Store.Loaded, st.Store.Rejected, st.Store.Corrupted, st.Cache.Entries)
+	}
+
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
+	// accepting, drain in-flight requests, and let svc.Shutdown flush
+	// the snapshot store — killing the process outright would lose any
+	// snapshots the background writer has not reached yet.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
 		fail(err)
+	case sig := <-sigCh:
+		log.Printf("moqod: %v: draining and flushing the snapshot store", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("moqod: http shutdown: %v", err)
+		}
+		// The deferred svc.Shutdown runs next: it stops the workers,
+		// sweeps the cache under persist-on-evict, and flushes the
+		// store to disk.
 	}
 }
 
@@ -388,6 +432,11 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 	}
 	fmt.Printf("shards: %d, steals: %d, steps/pop: %.2f, p99 inter-step gap: %v\n",
 		len(st.Shards), steals, stepsPerPop, st.StepGapP99.Round(time.Microsecond))
+	if st.Store.Persisted+st.Store.Loaded > 0 {
+		fmt.Printf("store: %d persisted, %d loaded, %d rejected, %d segments (%d live / %d dead bytes), %d compactions\n",
+			st.Store.Persisted, st.Store.Loaded, st.Store.Rejected,
+			st.Store.Segments, st.Store.LiveBytes, st.Store.DeadBytes, st.Store.Compactions)
+	}
 	return nil
 }
 

@@ -264,6 +264,74 @@ func ConvergeOnce(svc *service.Service, q *query.Query) error {
 	return svc.Close(id)
 }
 
+// ServiceBenchPersistConfig is the service configuration of the
+// restart benchmark's persisted modes: the warm-cache bench config
+// backed by the snapshot store at dir (write-through persistence).
+func ServiceBenchPersistConfig(dir string) service.Config {
+	cfg := ServiceBenchConfig(true)
+	cfg.StoreDir = dir
+	return cfg
+}
+
+// WarmPersistStore converges every shape of the shared service bench
+// mix against a store-backed service and shuts it down (flushing the
+// store), leaving dir populated — the setup step of the restart
+// benchmark's persisted-warm mode.
+func WarmPersistStore(dir string) error {
+	svc, err := service.New(ServiceBenchPersistConfig(dir))
+	if err != nil {
+		return err
+	}
+	defer svc.Shutdown()
+	blocks := workload.MustTPCHBlocks(1)
+	for _, name := range ServiceBenchNames() {
+		blk, ok := workload.Find(blocks, name)
+		if !ok {
+			return fmt.Errorf("harness: missing block %s", name)
+		}
+		if err := ConvergeOnce(svc, blk.Query); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DriveSessionsFF runs one batch of n concurrent create→converge→close
+// session lifecycles over the shared bench mix and returns the batch
+// duration plus every session's first-frontier latency. It is the
+// timed loop of the restart benchmark (BenchmarkServiceRestart and
+// benchjson's persist/* records), which compares first-frontier
+// latency — not just throughput — across cold, persisted-warm and
+// in-memory-warm services.
+func DriveSessionsFF(svc *service.Service, blocks []workload.Block, names []string, n int) (time.Duration, []time.Duration, error) {
+	t0 := time.Now()
+	firsts := make([]time.Duration, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			blk, _ := workload.Find(blocks, names[i%len(names)])
+			id, err := svc.Create(blk.Query)
+			if err != nil {
+				errs <- err
+				return
+			}
+			st, err := svc.WaitTarget(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			firsts[i] = st.FirstFrontier
+			errs <- svc.Close(id)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			return 0, nil, err
+		}
+	}
+	return time.Since(t0), firsts, nil
+}
+
 // ServiceBenchContentionConfig is the configuration of the multi-core
 // contention benchmark (BenchmarkServiceContention and the benchjson
 // recorder): the cold-cache service workload with an explicit shard

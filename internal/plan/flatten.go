@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/tableset"
+)
+
+// Flat is the dense-ID wire form of one plan node: the same fields as
+// Node, but with the sub-plans replaced by their arena IDs. A detached
+// snapshot DAG flattens losslessly because arena IDs are unique per
+// optimizer lineage (DESIGN.md D8) and assigned in allocation order,
+// which is a topological order of every plan tree — a node's children
+// always carry strictly smaller IDs.
+type Flat struct {
+	ID         uint32
+	Tables     tableset.Set
+	TableID    int32
+	Scan       ScanOp
+	SampleRate float64
+	Join       JoinOp
+	Degree     int32
+	// Left and Right are the sub-plan IDs; meaningless for scans
+	// (discriminated, like Node, by IsScan).
+	Left, Right uint32
+	Rows        float64
+	Cost        cost.Vector
+	Order       Order
+}
+
+// IsScan reports whether the flat node is a leaf (scan) node.
+func (f *Flat) IsScan() bool { return f.Tables.Len() == 1 }
+
+// Flattener collects the distinct nodes of detached plan DAGs into a
+// flat node table for serialization. Add every root (the shared memo
+// preserves sub-plan sharing across roots, exactly like DetachInto),
+// then read Nodes for the ID-sorted table.
+type Flattener struct {
+	seen  map[uint32]struct{}
+	nodes []Flat
+}
+
+// NewFlattener returns an empty flattener.
+func NewFlattener() *Flattener {
+	return &Flattener{seen: map[uint32]struct{}{}}
+}
+
+// Add records the DAG rooted at n (deduplicated by node ID against
+// everything added before) and returns n's ID.
+func (f *Flattener) Add(n *Node) uint32 {
+	if _, ok := f.seen[n.id]; ok {
+		return n.id
+	}
+	f.seen[n.id] = struct{}{}
+	fl := Flat{
+		ID:         n.id,
+		Tables:     n.Tables,
+		Rows:       n.Rows,
+		Cost:       n.Cost,
+		Order:      n.Order,
+		TableID:    int32(n.TableID),
+		Scan:       n.Scan,
+		SampleRate: n.SampleRate,
+		Join:       n.Join,
+		Degree:     int32(n.Degree),
+	}
+	if !n.IsScan() {
+		fl.Left = f.Add(n.Left)
+		fl.Right = f.Add(n.Right)
+	}
+	f.nodes = append(f.nodes, fl)
+	return n.id
+}
+
+// Nodes returns the collected node table sorted by ID (children before
+// parents — the order Unflatten requires).
+func (f *Flattener) Nodes() []Flat {
+	sort.Slice(f.nodes, func(i, j int) bool { return f.nodes[i].ID < f.nodes[j].ID })
+	return f.nodes
+}
+
+// Unflatten rebuilds the shared node DAG from its flat form: one
+// individually allocated Node per Flat entry, children resolved by ID,
+// sub-plan sharing restored exactly. flat must be sorted by strictly
+// increasing ID with every join's children present at smaller IDs;
+// every structural invariant of Node.Validate is re-checked per node,
+// so corrupted input yields an error, never an inconsistent DAG. The
+// rebuilt nodes own their Flat's cost vectors (the caller must not
+// reuse them) and are immutable from here on, like any detached
+// snapshot node.
+func Unflatten(flat []Flat) (map[uint32]*Node, error) {
+	nodes := make(map[uint32]*Node, len(flat))
+	prevID, first := uint32(0), true
+	for i := range flat {
+		f := &flat[i]
+		if !first && f.ID <= prevID {
+			return nil, fmt.Errorf("plan: flat node IDs not strictly increasing at %d", f.ID)
+		}
+		prevID, first = f.ID, false
+		if f.Cost == nil || !f.Cost.IsFinite() {
+			return nil, fmt.Errorf("plan: flat node %d with non-finite cost %v", f.ID, f.Cost)
+		}
+		if f.Rows < 0 {
+			return nil, fmt.Errorf("plan: flat node %d with negative rows %g", f.ID, f.Rows)
+		}
+		if f.Order != OrderNone {
+			if t := int(f.Order) - 1; t < 0 || t >= tableset.MaxTables || !f.Tables.Contains(t) {
+				return nil, fmt.Errorf("plan: flat node %d ordered on table outside its set", f.ID)
+			}
+		}
+		n := &Node{
+			Tables: f.Tables,
+			Rows:   f.Rows,
+			Cost:   f.Cost,
+			Order:  f.Order,
+			id:     f.ID,
+		}
+		if f.IsScan() {
+			n.TableID = int(f.TableID)
+			n.Scan = f.Scan
+			n.SampleRate = f.SampleRate
+			if n.TableID < 0 || n.TableID >= tableset.MaxTables ||
+				f.Tables != tableset.Singleton(n.TableID) {
+				return nil, fmt.Errorf("plan: flat scan %d tables %v != {%d}", f.ID, f.Tables, n.TableID)
+			}
+			if n.SampleRate <= 0 || n.SampleRate > 1 {
+				return nil, fmt.Errorf("plan: flat scan %d sample rate %g outside (0,1]", f.ID, n.SampleRate)
+			}
+		} else {
+			if f.Tables.IsEmpty() {
+				return nil, fmt.Errorf("plan: flat node %d with empty table set", f.ID)
+			}
+			n.Join = f.Join
+			n.Degree = int(f.Degree)
+			if n.Degree < 1 {
+				return nil, fmt.Errorf("plan: flat join %d degree %d < 1", f.ID, n.Degree)
+			}
+			l, lok := nodes[f.Left]
+			r, rok := nodes[f.Right]
+			if !lok || !rok {
+				return nil, fmt.Errorf("plan: flat join %d references missing child", f.ID)
+			}
+			if !l.Tables.Disjoint(r.Tables) || l.Tables.Union(r.Tables) != f.Tables {
+				return nil, fmt.Errorf("plan: flat join %d children %v ∪ %v != %v",
+					f.ID, l.Tables, r.Tables, f.Tables)
+			}
+			n.Left, n.Right = l, r
+		}
+		nodes[f.ID] = n
+	}
+	return nodes, nil
+}

@@ -39,7 +39,14 @@ type PlanCache struct {
 	exactHits uint64
 	isoHits   uint64
 	misses    uint64
+	puts      uint64
+	evictions uint64
 	plans     int // running sum of PlanCount over cached snapshots
+
+	// onEvict, when set, receives every LRU-evicted entry after the
+	// cache mutex is released — the persist-on-evict hook of the
+	// snapshot store. Set it before the cache sees concurrent use.
+	onEvict func(fp, canonFp string, perm []int, snap *core.Snapshot)
 }
 
 type cacheItem struct {
@@ -47,6 +54,14 @@ type cacheItem struct {
 	canonFp string
 	perm    []int // the source query's table-ID → canonical-position map
 	snap    *core.Snapshot
+
+	// clean marks an entry whose snapshot is already on disk (replayed
+	// from the snapshot store at startup and not refreshed since). The
+	// eviction hook and the shutdown sweep skip clean entries — re-
+	// persisting them would just supersede their own records, turning
+	// every restart cycle into store churn; any Put dirties the entry
+	// again.
+	clean bool
 }
 
 // NewPlanCache creates a cache holding at most capacity snapshots;
@@ -86,6 +101,16 @@ func (c *PlanCache) Lookup(fp, canonFp string) (snap *core.Snapshot, srcPerm []i
 	return nil, nil, false, false
 }
 
+// OnEvict registers fn to receive every entry the LRU evicts (invoked
+// outside the cache mutex). The snapshot store uses it for the
+// persist-on-evict policy. Must be set before the cache sees
+// concurrent use (the service installs it during New, after replay).
+func (c *PlanCache) OnEvict(fn func(fp, canonFp string, perm []int, snap *core.Snapshot)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
 // Put stores (or refreshes) the snapshot for the exact fingerprint and
 // makes it the canonical digest's class representative, evicting the
 // least recently used exact entry beyond capacity. perm is the source
@@ -95,18 +120,21 @@ func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	if snap == nil {
 		return
 	}
+	var evicted []*cacheItem
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.puts++
 	if el, ok := c.items[fp]; ok {
 		item := el.Value.(*cacheItem)
 		c.plans += snap.PlanCount() - item.snap.PlanCount()
 		item.snap = snap
 		item.canonFp = canonFp
 		item.perm = perm
+		item.clean = false
 		if canonFp != "" {
 			c.canon[canonFp] = el // latest convergence represents the class
 		}
 		c.ll.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	el := c.ll.PushFront(&cacheItem{fp: fp, canonFp: canonFp, perm: perm, snap: snap})
@@ -118,15 +146,67 @@ func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		evicted := oldest.Value.(*cacheItem)
-		delete(c.items, evicted.fp)
+		item := oldest.Value.(*cacheItem)
+		delete(c.items, item.fp)
 		// Drop the canonical pointer only if it still names this entry:
 		// a newer isomorph may have taken over the class, and its exact
 		// entry must stay reachable through the canonical tier.
-		if rep, ok := c.canon[evicted.canonFp]; ok && rep == oldest {
-			delete(c.canon, evicted.canonFp)
+		if rep, ok := c.canon[item.canonFp]; ok && rep == oldest {
+			delete(c.canon, item.canonFp)
 		}
-		c.plans -= evicted.snap.PlanCount()
+		c.plans -= item.snap.PlanCount()
+		c.evictions++
+		// Clean entries are already on disk; the hook exists to save
+		// snapshots whose only copy is the one being evicted.
+		if c.onEvict != nil && !item.clean {
+			evicted = append(evicted, item)
+		}
+	}
+	hook := c.onEvict
+	c.mu.Unlock()
+	for _, item := range evicted {
+		hook(item.fp, item.canonFp, item.perm, item.snap)
+	}
+}
+
+// MarkClean flags fp's entry as already persisted. The service marks
+// each entry it replays from the snapshot store, so eviction and the
+// shutdown sweep do not write records straight back to the store they
+// came from.
+func (c *PlanCache) MarkClean(fp string) {
+	c.mu.Lock()
+	if el, ok := c.items[fp]; ok {
+		el.Value.(*cacheItem).clean = true
+	}
+	c.mu.Unlock()
+}
+
+// Each calls fn for every cached entry, most recently used first,
+// outside the cache mutex (the entries are copied under it).
+func (c *PlanCache) Each(fn func(fp, canonFp string, perm []int, snap *core.Snapshot)) {
+	c.each(fn, false)
+}
+
+// EachDirty is Each restricted to entries not marked clean — the
+// shutdown sweep's enumerator for the persist-on-evict store policy
+// (clean entries are already on disk).
+func (c *PlanCache) EachDirty(fn func(fp, canonFp string, perm []int, snap *core.Snapshot)) {
+	c.each(fn, true)
+}
+
+func (c *PlanCache) each(fn func(fp, canonFp string, perm []int, snap *core.Snapshot), dirtyOnly bool) {
+	// Copy values, not item pointers: a concurrent Put may refresh a
+	// live item's fields under the mutex while fn runs outside it.
+	c.mu.Lock()
+	items := make([]cacheItem, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if item := el.Value.(*cacheItem); !dirtyOnly || !item.clean {
+			items = append(items, *item)
+		}
+	}
+	c.mu.Unlock()
+	for i := range items {
+		fn(items[i].fp, items[i].canonFp, items[i].perm, items[i].snap)
 	}
 }
 
@@ -146,6 +226,12 @@ type CacheStats struct {
 	// IsoHits counts lookups satisfied by the canonical tier: the query
 	// was new, but an isomorphic shape's snapshot was rewritten for it.
 	IsoHits uint64
+	// Puts counts snapshot admissions (inserts and refreshes) since
+	// creation; Evictions counts LRU removals. Unlike the Entries
+	// gauge, the pair is monotonic, so deltas over time distinguish a
+	// stable cache from one churning at capacity — and size the write
+	// load of the persist-on-evict store policy.
+	Puts, Evictions uint64
 	// Plans is the total number of plan entries across cached snapshots.
 	Plans int
 }
@@ -159,6 +245,8 @@ func (cs *CacheStats) add(o CacheStats) {
 	cs.Misses += o.Misses
 	cs.ExactHits += o.ExactHits
 	cs.IsoHits += o.IsoHits
+	cs.Puts += o.Puts
+	cs.Evictions += o.Evictions
 	cs.Plans += o.Plans
 }
 
@@ -175,6 +263,8 @@ func (c *PlanCache) Stats() CacheStats {
 		Misses:       c.misses,
 		ExactHits:    c.exactHits,
 		IsoHits:      c.isoHits,
+		Puts:         c.puts,
+		Evictions:    c.evictions,
 		Plans:        c.plans,
 	}
 }

@@ -140,3 +140,60 @@ func TestPlanCacheRefreshKeepsPlanTotal(t *testing.T) {
 		t.Errorf("refresh corrupted accounting: %+v", st)
 	}
 }
+
+// TestPlanCachePutEvictCounters pins the monotonic put/evict pair: the
+// Entries gauge alone cannot distinguish a stable cache from one
+// churning at capacity, and the eviction count sizes the write load of
+// the persist-on-evict store policy.
+func TestPlanCachePutEvictCounters(t *testing.T) {
+	c := NewPlanCache(2)
+	var hooked []string
+	c.OnEvict(func(fp, canonFp string, perm []int, snap *core.Snapshot) {
+		hooked = append(hooked, fp)
+		if snap == nil {
+			t.Errorf("eviction hook for %s without snapshot", fp)
+		}
+	})
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("fp%d", i), fmt.Sprintf("c%d", i), nil, &core.Snapshot{})
+	}
+	c.Put("fp3", "c3", nil, &core.Snapshot{}) // refresh: a put, not an eviction
+	st := c.Stats()
+	if st.Puts != 5 {
+		t.Errorf("puts = %d, want 5", st.Puts)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if len(hooked) != 2 || hooked[0] != "fp0" || hooked[1] != "fp1" {
+		t.Errorf("eviction hook saw %v, want [fp0 fp1] in LRU order", hooked)
+	}
+}
+
+// TestPlanCacheEach checks the shutdown-sweep enumerator: every live
+// entry exactly once, most recently used first.
+func TestPlanCacheEach(t *testing.T) {
+	c := NewPlanCache(4)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("fp%d", i), "", nil, &core.Snapshot{})
+	}
+	var got []string
+	c.Each(func(fp, canonFp string, perm []int, snap *core.Snapshot) {
+		got = append(got, fp)
+		if snap == nil {
+			t.Errorf("Each handed out a nil snapshot for %s", fp)
+		}
+	})
+	want := []string{"fp2", "fp1", "fp0"}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v", got, want)
+		}
+	}
+}

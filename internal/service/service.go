@@ -18,7 +18,11 @@
 //     cached one (the same join graph under a permutation of table
 //     IDs, query.CanonicalFingerprint) restores the cached snapshot
 //     rewritten onto its labeling (core.Snapshot.Remap) — without
-//     cache hits serializing either.
+//     cache hits serializing either. With Config.StoreDir set, the
+//     cache is backed by a persistent snapshot store (internal/store):
+//     admitted snapshots are written to disk off the hot path and
+//     replayed into both tiers at the next New on the same directory,
+//     so warm starts survive process restarts (DESIGN.md D12).
 //
 // The paper's interactive-speed guarantee is per optimizer invocation;
 // this package extends it to many users by making one invocation
@@ -43,6 +47,23 @@ import (
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/session"
+	"repro/internal/store"
+)
+
+// PersistPolicy selects when the snapshot store (Config.StoreDir)
+// receives cache-admitted snapshots.
+type PersistPolicy int
+
+const (
+	// PersistOnPut (the default) writes through on every cache
+	// admission: a snapshot survives even a hard kill once the
+	// background writer has flushed it.
+	PersistOnPut PersistPolicy = iota
+	// PersistOnEvict defers persistence to LRU eviction plus a full
+	// cache sweep at Shutdown: fewer disk writes while the service
+	// runs, but snapshots are lost if the process dies without a
+	// graceful shutdown.
+	PersistOnEvict
 )
 
 // Config configures a Service. Opt is required; zero values elsewhere
@@ -96,6 +117,22 @@ type Config struct {
 	// CacheCapacity bounds the warm-start cache (snapshots) across all
 	// cache shards; 0 defaults to 256, negative disables the cache.
 	CacheCapacity int
+
+	// StoreDir, when non-empty, enables the persistent snapshot store
+	// (internal/store) rooted at this directory: cache-admitted
+	// snapshots are written to disk off the hot path per StorePolicy,
+	// and New replays the surviving records into both cache tiers, so
+	// a restarted service (or a fresh process on the same directory)
+	// keeps its warm starts. Requires the cache (CacheCapacity >= 0).
+	StoreDir string
+
+	// StorePolicy selects the persistence trigger; see PersistPolicy.
+	StorePolicy PersistPolicy
+
+	// StoreOptions tunes the store's segment size, compaction
+	// threshold and writer queue; Dir and CfgEcho are set by the
+	// service. Zero values take the store's defaults.
+	StoreOptions store.Options
 
 	// DefaultBounds are the initial cost bounds of new sessions; nil
 	// means unbounded.
@@ -155,6 +192,14 @@ type Stats struct {
 	// Cache summarizes the warm-start cache across its shards (zero
 	// value if disabled).
 	Cache CacheStats
+	// CacheShards holds the per-cache-shard breakdown (cache shards
+	// are keyed by canonical digest and independent of the
+	// scheduler shards in Shards). The monotonic Puts/Evictions split
+	// per shard shows which digest ranges churn at capacity.
+	CacheShards []CacheStats
+	// Store summarizes the persistent snapshot store (zero value when
+	// StoreDir is unset).
+	Store store.Stats
 	// Shards holds the per-shard breakdown.
 	Shards []ShardStats
 }
@@ -215,6 +260,7 @@ type Service struct {
 	cfg        Config
 	shards     []*shard
 	caches     []*PlanCache // fingerprint-sharded; nil when disabled
+	store      *store.Store // persistent snapshot store; nil when disabled
 	quantum    int
 	shardSizes []int // workers per shard (ShardStats)
 
@@ -291,6 +337,50 @@ func New(cfg Config) (*Service, error) {
 			s.caches[i] = NewPlanCache(c)
 		}
 	}
+	if cfg.StoreDir != "" {
+		if s.caches == nil {
+			return nil, fmt.Errorf("service: StoreDir requires the warm-start cache (CacheCapacity >= 0)")
+		}
+		echo, err := core.ConfigFingerprint(cfg.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("service: StoreDir needs a valid optimizer config: %w", err)
+		}
+		so := cfg.StoreOptions
+		so.Dir = cfg.StoreDir
+		so.CfgEcho = echo
+		st, err := store.Open(so)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// Pre-populate both cache tiers from the records that survived
+		// the scan, in write order, so the canonical tier ends up with
+		// each class's most recently persisted representative — the
+		// same state live Puts would have left behind. Decode failures
+		// are skipped inside Replay (degrade to cold, never fail
+		// startup). The eviction hook is installed only afterwards:
+		// replay evicting past capacity must not re-persist records
+		// that are already on disk.
+		_ = st.Replay(func(r store.Record) bool {
+			if c := s.cacheFor(r.CanonFP); c != nil {
+				c.Put(r.FP, r.CanonFP, r.Perm, r.Snap)
+				// Replayed entries are on disk by definition; marking
+				// them clean keeps eviction and the shutdown sweep
+				// from writing them straight back.
+				c.MarkClean(r.FP)
+			}
+			return true
+		})
+		if cfg.StorePolicy == PersistOnEvict {
+			for _, c := range s.caches {
+				// Blocking on a backlogged writer (bounded by its queue
+				// draining) beats the non-blocking Put here: an evicted
+				// entry's snapshot exists nowhere else, so shedding it
+				// would lose the very state this policy exists to keep.
+				c.OnEvict(st.PutBlocking)
+			}
+		}
+	}
 	// Build every shard's scheduler and link the peer set before any
 	// worker starts, so stealing never observes a partial peer slice.
 	scheds := make([]*scheduler, cfg.Shards)
@@ -362,7 +452,7 @@ func (s *Service) Shutdown() {
 	default:
 		close(s.janitorStop)
 	}
-	s.stopping.Store(true)
+	first := !s.stopping.Swap(true)
 	// Wake blocked WaitTarget callers: with the workers stopping, a
 	// Refining session may never transition again.
 	for _, sh := range s.shards {
@@ -376,6 +466,21 @@ func (s *Service) Shutdown() {
 	}
 	for _, sh := range s.shards {
 		sh.sched.stop()
+	}
+	if s.store != nil && first {
+		// Workers are stopped: no further cache puts can race the
+		// sweep. Under persist-on-evict, entries still in the cache
+		// were never written; persist them now, then flush and close
+		// (a graceful moqod shutdown must not lose warm state).
+		if s.cfg.StorePolicy == PersistOnEvict {
+			for _, c := range s.caches {
+				c.EachDirty(s.store.PutBlocking)
+			}
+		}
+		// Close flushes the writer queue; errors are best effort — the
+		// snapshots still live in this process's cache, only restart
+		// durability degraded.
+		_ = s.store.Close()
 	}
 }
 
@@ -445,7 +550,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		canonFp, canonPerm = q.CanonicalFingerprint()
 	}
 	var sess *session.Session
-	warm := false
+	warm, warmExact := false, false
 	if cache := s.cacheFor(canonFp); cache != nil {
 		if snap, srcPerm, exact, ok := cache.Lookup(fp, canonFp); ok {
 			if !exact {
@@ -474,6 +579,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 						return "", err
 					}
 					warm = true
+					warmExact = exact
 					s.warmStarts.Add(1)
 					if !exact {
 						s.isoWarmStarts.Add(1)
@@ -502,6 +608,14 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		lastTouch: now,
 		created:   now,
 		warm:      warm,
+		// An exact warm restore re-converging under the default bounds
+		// ends in the very state the cached snapshot holds, so
+		// re-exporting (a full deep copy, plus a store write under
+		// persist-on-put) buys nothing; skip it. Isomorphic restores
+		// still export — they seed the exact tier for their own
+		// labeling — and SetBounds clears the flag, so a new regime's
+		// convergence always refreshes the cache.
+		snapshotted: warmExact,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	sh := s.shards[m.shard]
@@ -551,7 +665,14 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 				// The export also makes this session the representative
 				// of its isomorphism class, so later isomorphic queries
 				// warm-start from it via remap.
-				cache.Put(m.fp, m.canonFp, m.canonPerm, m.sess.Optimizer().Snapshot())
+				snap := m.sess.Optimizer().Snapshot()
+				cache.Put(m.fp, m.canonFp, m.canonPerm, snap)
+				if s.store != nil && s.cfg.StorePolicy == PersistOnPut {
+					// Write-through, off the hot path: Put only hands
+					// the (immutable) snapshot to the store's
+					// background writer.
+					s.store.Put(m.fp, m.canonFp, m.canonPerm, snap)
+				}
 				m.snapshotted = true
 			}
 			m.mu.Unlock()
@@ -790,8 +911,15 @@ func (s *Service) Stats() Stats {
 		gaps = sh.mgr.appendGaps(gaps)
 	}
 	st.StepGapP99 = percentileDur(gaps, 0.99)
-	for _, c := range s.caches {
-		st.Cache.add(c.Stats())
+	if s.caches != nil {
+		st.CacheShards = make([]CacheStats, len(s.caches))
+		for i, c := range s.caches {
+			st.CacheShards[i] = c.Stats()
+			st.Cache.add(st.CacheShards[i])
+		}
+	}
+	if s.store != nil {
+		st.Store = s.store.Stats()
 	}
 	return st
 }

@@ -1,0 +1,499 @@
+// Package snapcodec serializes core.Snapshot values to a stable,
+// versioned, checksummed binary format — the wire half of the
+// persistent warm-start store (internal/store). A snapshot encoded by
+// one moqod process restores in another (or in the same binary after a
+// restart) as long as the format version and the optimizer
+// configuration echo match; everything else refuses cleanly.
+//
+// Format (all integers unsigned varints unless noted, floats as
+// IEEE-754 bits in little-endian uint64s):
+//
+//	magic "MOQS" | version uint16 LE | dim uint8
+//	cfgEcho string | nextID | epoch | prevRes | prevBounds (0 or dim floats)
+//	node table: count, then per node sorted by ID:
+//	    ID | tables bitmask | kind byte (0 scan, 1 join)
+//	    scan: tableID | scan op | sampleRate     join: op | degree | leftID | rightID
+//	    rows | cost (dim floats) | order
+//	res plan sets, then cand plan sets: subset count, then per subset
+//	    sorted by bitmask: subset | entry count, then per entry:
+//	    resolution | epoch | payload node ID
+//	pair memo: count, then sorted packed pairs delta-encoded
+//	crc32c uint32 LE over everything above
+//
+// Plan DAGs flatten to the node table through the arena's dense uint32
+// IDs (DESIGN.md D8): IDs are unique across a snapshot and allocation-
+// ordered, so children always precede parents and sub-plan sharing is
+// an ID reference, not a copy. Entry cost vectors are not encoded —
+// they alias their payload's vector in every snapshot (Snapshot's
+// detach pass sets e.Cost = e.Payload.Cost), and the decoder restores
+// that aliasing.
+//
+// The CRC32C trailer makes any truncation or single-byte corruption a
+// clean decode error; the version header rejects snapshots from a
+// different wire format; the cfgEcho (validated again by
+// core.NewOptimizerFromSnapshot) rejects snapshots from a different
+// optimizer configuration or cost model.
+package snapcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/rangeindex"
+	"repro/internal/tableset"
+)
+
+// Version is the wire-format version this package encodes and the only
+// one it decodes. Bump it on any layout change: a moqod running a
+// different binary then refuses persisted snapshots instead of
+// restoring garbage.
+const Version = 1
+
+var magic = [4]byte{'M', 'O', 'Q', 'S'}
+
+// Sentinel decode errors, distinguishable with errors.Is.
+var (
+	// ErrTooShort reports input shorter than the fixed header+trailer.
+	ErrTooShort = errors.New("snapcodec: input too short")
+	// ErrMagic reports input that is not a snapshot record at all.
+	ErrMagic = errors.New("snapcodec: bad magic")
+	// ErrChecksum reports a CRC32C mismatch (truncation or corruption).
+	ErrChecksum = errors.New("snapcodec: checksum mismatch")
+	// ErrVersion reports a record from a different wire-format version.
+	ErrVersion = errors.New("snapcodec: unsupported format version")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// headerLen is magic + version + dim; trailerLen the CRC32C.
+const (
+	headerLen  = 4 + 2 + 1
+	trailerLen = 4
+)
+
+// CompatibleHeader reports whether data begins with this package's
+// magic and format version. It is the cheap pre-check the store's
+// startup scan applies to each record's snapshot blob, so records
+// written by a different wire format are dead on arrival (rejected,
+// compactable) instead of being indexed as live and then failing at
+// every replay.
+func CompatibleHeader(data []byte) bool {
+	return len(data) >= headerLen && [4]byte(data[:4]) == magic &&
+		binary.LittleEndian.Uint16(data[4:]) == Version
+}
+
+// Encode appends the wire form of s to dst and returns the extended
+// slice. Encoding is deterministic for a given snapshot (maps are
+// walked in sorted order), so byte-equal output means state-equal
+// snapshots of the same provenance.
+func Encode(dst []byte, s *core.Snapshot) ([]byte, error) {
+	if s == nil {
+		return dst, fmt.Errorf("snapcodec: nil snapshot")
+	}
+	w := s.Wire()
+	dim, err := wireDim(w)
+	if err != nil {
+		return dst, err
+	}
+
+	start := len(dst)
+	dst = append(dst, magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, Version)
+	dst = append(dst, byte(dim))
+
+	dst = appendString(dst, w.CfgEcho)
+	dst = binary.AppendUvarint(dst, uint64(w.NextID))
+	dst = binary.AppendUvarint(dst, w.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(w.PrevRes))
+	dst = binary.AppendUvarint(dst, uint64(len(w.PrevBounds)))
+	for _, v := range w.PrevBounds {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+
+	// Flatten every plan DAG reachable from either plan set into one
+	// shared node table (one entry per distinct node, like the
+	// snapshot's own detach memo).
+	fl := plan.NewFlattener()
+	for _, entries := range w.Res {
+		for i := range entries {
+			fl.Add(entries[i].Payload)
+		}
+	}
+	for _, entries := range w.Cand {
+		for i := range entries {
+			fl.Add(entries[i].Payload)
+		}
+	}
+	nodes := fl.Nodes()
+	dst = binary.AppendUvarint(dst, uint64(len(nodes)))
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Cost.Dim() != dim {
+			return dst[:start], fmt.Errorf("snapcodec: node %d cost dim %d, space dim %d", n.ID, n.Cost.Dim(), dim)
+		}
+		dst = binary.AppendUvarint(dst, uint64(n.ID))
+		dst = binary.AppendUvarint(dst, uint64(n.Tables))
+		if n.IsScan() {
+			dst = append(dst, 0)
+			dst = binary.AppendUvarint(dst, uint64(n.TableID))
+			dst = append(dst, byte(n.Scan))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(n.SampleRate))
+		} else {
+			dst = append(dst, 1)
+			dst = append(dst, byte(n.Join))
+			dst = binary.AppendUvarint(dst, uint64(n.Degree))
+			dst = binary.AppendUvarint(dst, uint64(n.Left))
+			dst = binary.AppendUvarint(dst, uint64(n.Right))
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(n.Rows))
+		for _, v := range n.Cost {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		dst = binary.AppendUvarint(dst, uint64(n.Order))
+	}
+
+	for _, set := range []map[tableset.Set][]rangeindex.Entry{w.Res, w.Cand} {
+		dst, err = appendPlanSets(dst, set)
+		if err != nil {
+			return dst[:start], err
+		}
+	}
+
+	pairs := append([]uint64(nil), w.Pairs...)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	prev := uint64(0)
+	for _, p := range pairs {
+		dst = binary.AppendUvarint(dst, p-prev)
+		prev = p
+	}
+
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	return dst, nil
+}
+
+// wireDim determines the cost-space dimensionality of the snapshot (0
+// for a snapshot with no vectors at all, which round-trips as such).
+func wireDim(w core.SnapshotWire) (int, error) {
+	dim := len(w.PrevBounds)
+	if dim == 0 {
+		for _, set := range []map[tableset.Set][]rangeindex.Entry{w.Res, w.Cand} {
+			for _, entries := range set {
+				for i := range entries {
+					dim = entries[i].Payload.Cost.Dim()
+					break
+				}
+				if dim != 0 {
+					break
+				}
+			}
+			if dim != 0 {
+				break
+			}
+		}
+	}
+	if dim > 255 {
+		return 0, fmt.Errorf("snapcodec: cost dimension %d exceeds format limit 255", dim)
+	}
+	return dim, nil
+}
+
+// appendPlanSets encodes one plan-set map with subsets sorted by
+// bitmask, so encoding does not depend on map iteration order.
+func appendPlanSets(dst []byte, sets map[tableset.Set][]rangeindex.Entry) ([]byte, error) {
+	subsets := make([]tableset.Set, 0, len(sets))
+	for sub := range sets {
+		subsets = append(subsets, sub)
+	}
+	sort.Slice(subsets, func(i, j int) bool { return subsets[i] < subsets[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(subsets)))
+	for _, sub := range subsets {
+		entries := sets[sub]
+		dst = binary.AppendUvarint(dst, uint64(sub))
+		dst = binary.AppendUvarint(dst, uint64(len(entries)))
+		for i := range entries {
+			e := &entries[i]
+			if e.Payload == nil {
+				return dst, fmt.Errorf("snapcodec: entry without payload in subset %v", sub)
+			}
+			dst = binary.AppendUvarint(dst, uint64(e.Resolution))
+			dst = binary.AppendUvarint(dst, e.Epoch)
+			dst = binary.AppendUvarint(dst, uint64(e.Payload.ID()))
+		}
+	}
+	return dst, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a sticky-error cursor over the record payload.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("snapcodec: truncated varint at offset %d", r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a length prefix and bounds it by the bytes remaining
+// (every counted element occupies at least one byte), so corrupted
+// counts cannot trigger huge allocations.
+func (r *reader) count() int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.data)-r.off) {
+		r.fail(fmt.Errorf("snapcodec: count %d exceeds remaining input", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail(fmt.Errorf("snapcodec: truncated at offset %d", r.off))
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail(fmt.Errorf("snapcodec: truncated float at offset %d", r.off))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) string() string {
+	n := r.count()
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) vector(dim int) cost.Vector {
+	v := make(cost.Vector, dim)
+	for i := range v {
+		v[i] = r.float()
+	}
+	return v
+}
+
+// Decode parses one encoded snapshot record. It returns ErrTooShort,
+// ErrMagic, ErrVersion or ErrChecksum (wrapped) for the corresponding
+// envelope failures, and a descriptive error for any structural
+// violation behind a valid checksum; it never panics on arbitrary
+// input and never returns a snapshot that violates the plan-DAG
+// invariants (plan.Unflatten re-checks them node by node).
+func Decode(data []byte) (*core.Snapshot, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(data))
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if [4]byte(body[:4]) != magic {
+		return nil, ErrMagic
+	}
+	if got := crc32.Checksum(body, castagnoli); got != binary.LittleEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != Version {
+		return nil, fmt.Errorf("%w: record version %d, binary speaks %d", ErrVersion, v, Version)
+	}
+	dim := int(body[6])
+
+	r := &reader{data: body, off: headerLen}
+	var w core.SnapshotWire
+	w.CfgEcho = r.string()
+	// The cfgEcho's "<dim>x<levels>|" prefix pins the cost dimension
+	// and resolution range the restoring optimizer will enforce
+	// (rangeindex.Insert panics on violations); a record whose header
+	// disagrees with its own echo must fail here, not at restore.
+	var echoDim, echoLevels int
+	if r.err == nil {
+		if _, err := fmt.Sscanf(w.CfgEcho, "%dx%d", &echoDim, &echoLevels); err != nil || echoLevels < 1 {
+			r.fail(fmt.Errorf("snapcodec: malformed config echo %q", w.CfgEcho))
+		} else if echoDim != dim {
+			r.fail(fmt.Errorf("snapcodec: header dim %d, config echo dim %d", dim, echoDim))
+		}
+	}
+	nextID := r.uvarint()
+	if nextID > math.MaxUint32 {
+		r.fail(fmt.Errorf("snapcodec: nextID %d exceeds uint32", nextID))
+	}
+	w.NextID = uint32(nextID)
+	w.Epoch = r.uvarint()
+	prevRes := r.uvarint()
+	if prevRes >= uint64(echoLevels) {
+		r.fail(fmt.Errorf("snapcodec: prevRes %d outside [0,%d)", prevRes, echoLevels))
+	}
+	w.PrevRes = int(prevRes)
+	switch nb := r.count(); {
+	case nb == 0:
+	case nb == dim:
+		w.PrevBounds = r.vector(dim)
+	default:
+		r.fail(fmt.Errorf("snapcodec: prevBounds dim %d, space dim %d", nb, dim))
+	}
+
+	nNodes := r.count()
+	flat := make([]plan.Flat, 0, nNodes)
+	for i := 0; i < nNodes && r.err == nil; i++ {
+		var f plan.Flat
+		id := r.uvarint()
+		if id >= math.MaxUint32 {
+			r.fail(fmt.Errorf("snapcodec: node ID %d out of range", id))
+			break
+		}
+		f.ID = uint32(id)
+		f.Tables = tableset.Set(r.uvarint())
+		switch kind := r.byte(); kind {
+		case 0:
+			f.TableID = int32(r.uvarint())
+			f.Scan = plan.ScanOp(r.byte())
+			f.SampleRate = r.float()
+			if f.Scan > plan.SampleScan {
+				r.fail(fmt.Errorf("snapcodec: node %d with unknown scan op %d", f.ID, f.Scan))
+			}
+		case 1:
+			f.Join = plan.JoinOp(r.byte())
+			f.Degree = int32(r.uvarint())
+			f.Left = uint32(r.uvarint())
+			f.Right = uint32(r.uvarint())
+			if f.Join > plan.NestLoopJoin {
+				r.fail(fmt.Errorf("snapcodec: node %d with unknown join op %d", f.ID, f.Join))
+			}
+		default:
+			r.fail(fmt.Errorf("snapcodec: node %d with unknown kind %d", f.ID, kind))
+		}
+		f.Rows = r.float()
+		f.Cost = r.vector(dim)
+		f.Order = plan.Order(r.uvarint())
+		// The kind byte and the table-set cardinality must agree, or
+		// Unflatten's scan/join discrimination would misparse the node.
+		if r.err == nil && (f.Tables.Len() == 1) != f.IsScan() {
+			r.fail(fmt.Errorf("snapcodec: node %d kind disagrees with its table set", f.ID))
+		}
+		flat = append(flat, f)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	nodes, err := plan.Unflatten(flat)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range nodes {
+		if uint64(n.ID()) >= nextID {
+			return nil, fmt.Errorf("snapcodec: node ID %d at or above nextID %d", n.ID(), nextID)
+		}
+	}
+
+	if w.Res, err = readPlanSets(r, nodes, echoLevels); err != nil {
+		return nil, err
+	}
+	if w.Cand, err = readPlanSets(r, nodes, echoLevels); err != nil {
+		return nil, err
+	}
+
+	nPairs := r.count()
+	w.Pairs = make([]uint64, 0, nPairs)
+	prev := uint64(0)
+	for i := 0; i < nPairs && r.err == nil; i++ {
+		prev += r.uvarint()
+		w.Pairs = append(w.Pairs, prev)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("snapcodec: %d trailing bytes after record", len(r.data)-r.off)
+	}
+	return core.SnapshotFromWire(w)
+}
+
+// readPlanSets decodes one plan-set map, resolving entry payloads
+// through the node table and restoring the cost aliasing invariant
+// (Entry.Cost == Entry.Payload.Cost).
+func readPlanSets(r *reader, nodes map[uint32]*plan.Node, levels int) (map[tableset.Set][]rangeindex.Entry, error) {
+	nSets := r.count()
+	sets := make(map[tableset.Set][]rangeindex.Entry, nSets)
+	for i := 0; i < nSets && r.err == nil; i++ {
+		sub := tableset.Set(r.uvarint())
+		if sub.IsEmpty() {
+			r.fail(fmt.Errorf("snapcodec: empty plan-set subset"))
+			break
+		}
+		if _, dup := sets[sub]; dup {
+			r.fail(fmt.Errorf("snapcodec: duplicate plan-set subset %v", sub))
+			break
+		}
+		nEntries := r.count()
+		entries := make([]rangeindex.Entry, 0, nEntries)
+		for j := 0; j < nEntries && r.err == nil; j++ {
+			res := r.uvarint()
+			if res >= uint64(levels) {
+				r.fail(fmt.Errorf("snapcodec: resolution %d outside [0,%d)", res, levels))
+				break
+			}
+			epoch := r.uvarint()
+			id := uint32(r.uvarint())
+			n, ok := nodes[id]
+			if !ok {
+				r.fail(fmt.Errorf("snapcodec: entry references missing node %d", id))
+				break
+			}
+			if n.Tables != sub {
+				r.fail(fmt.Errorf("snapcodec: node %d tables %v stored under subset %v", id, n.Tables, sub))
+				break
+			}
+			entries = append(entries, rangeindex.Entry{
+				Cost:       n.Cost,
+				Resolution: int(res),
+				Epoch:      epoch,
+				Payload:    n,
+			})
+		}
+		sets[sub] = entries
+	}
+	return sets, r.err
+}

@@ -1,0 +1,267 @@
+package snapcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func testConfig(levels int) core.Config {
+	return core.Config{
+		Model:            costmodel.Default(),
+		ResolutionLevels: levels,
+		TargetPrecision:  1.01,
+		PrecisionStep:    0.05,
+	}
+}
+
+// convergedSnapshot optimizes block name to target precision and
+// exports the snapshot.
+func convergedSnapshot(t testing.TB, name string, cfg core.Config) (*query.Query, *core.Snapshot) {
+	t.Helper()
+	blk, ok := workload.Find(workload.MustTPCHBlocks(1), name)
+	if !ok {
+		t.Fatalf("unknown block %s", name)
+	}
+	opt := core.MustNewOptimizer(blk.Query, cfg)
+	for r := 0; r <= cfg.MaxResolution(); r++ {
+		opt.Optimize(nil, r)
+	}
+	snap := opt.Snapshot()
+	if snap == nil {
+		t.Fatal("nil snapshot after convergence")
+	}
+	return blk.Query, snap
+}
+
+// frontier renders a result set order-independently including cost
+// vectors, mirroring core's remap acceptance pin: equality means a
+// cost-identical restore.
+func frontier(o *core.Optimizer, r int) []string {
+	var out []string
+	for _, p := range o.Results(nil, r) {
+		out = append(out, p.Signature()+"|"+p.Cost.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// restoreAndConverge restores q from snap and drives it through a full
+// resolution sweep, returning the final frontier and the number of
+// plans the restored optimizer had to regenerate.
+func restoreAndConverge(t testing.TB, q *query.Query, cfg core.Config, snap *core.Snapshot) ([]string, int) {
+	t.Helper()
+	opt, err := core.NewOptimizerFromSnapshot(q, cfg, snap)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for r := 0; r <= cfg.MaxResolution(); r++ {
+		opt.Optimize(nil, r)
+	}
+	return frontier(opt, cfg.MaxResolution()), opt.Stats().PlansGenerated
+}
+
+// TestCodecRoundTripCostIdentical is the acceptance pin for the wire
+// format, mirroring TestSnapshotRemapRestoresCostIdentical: a snapshot
+// that went through encode→decode must restore into an optimizer that
+// exposes exactly the plans (structure AND cost vectors) the original
+// snapshot's restore exposes, regenerating none of them.
+func TestCodecRoundTripCostIdentical(t *testing.T) {
+	for _, name := range []string{"Q4", "Q3", "Q10"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(4)
+			q, snap := convergedSnapshot(t, name, cfg)
+			data, err := Encode(nil, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantGen := restoreAndConverge(t, q, cfg, snap)
+			got, gotGen := restoreAndConverge(t, q, cfg, decoded)
+			if wantGen != 0 || gotGen != 0 {
+				t.Errorf("regenerated plans: original restore %d, decoded restore %d, want 0/0", wantGen, gotGen)
+			}
+			if len(want) == 0 {
+				t.Fatal("empty frontier")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("decoded restore has %d frontier plans, original %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("decoded restore diverges:\n  %s\nvs\n  %s", got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	cfg := testConfig(3)
+	_, snap := convergedSnapshot(t, "Q3", cfg)
+	a, err := Encode(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of one snapshot differ (map-order leak)")
+	}
+}
+
+// reseal recomputes the CRC trailer after a deliberate header edit, so
+// the test reaches the check behind the checksum.
+func reseal(data []byte) {
+	crc := crc32.Checksum(data[:len(data)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc)
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	cfg := testConfig(2)
+	_, snap := convergedSnapshot(t, "Q4", cfg)
+	data, err := Encode(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(data[4:], Version+1)
+	reseal(data)
+	if _, err := Decode(data); !errors.Is(err, ErrVersion) {
+		t.Errorf("future-version record: got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsBadMagicAndShortInput(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTooShort) {
+		t.Errorf("nil input: got %v, want ErrTooShort", err)
+	}
+	if _, err := Decode(make([]byte, 64)); !errors.Is(err, ErrMagic) {
+		t.Errorf("zero input: got %v, want ErrMagic", err)
+	}
+}
+
+func TestDecodeRejectsTruncationAndCorruption(t *testing.T) {
+	cfg := testConfig(2)
+	_, snap := convergedSnapshot(t, "Q4", cfg)
+	data, err := Encode(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("control decode failed: %v", err)
+	}
+	// Every truncation must fail (the trailer CRC no longer matches, or
+	// the envelope is too short).
+	for n := 0; n < len(data); n += 97 {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Every single-byte flip must fail: CRC32C detects all of them, and
+	// flips inside the envelope fail their own checks first.
+	for i := 0; i < len(data); i += 13 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("byte flip at %d accepted", i)
+		}
+	}
+}
+
+// TestRestoreRejectsConfigMismatch pins the config gate behind the
+// codec: a decoded snapshot carries its cfgEcho, and restoring it
+// under any other optimizer configuration must refuse.
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	cfg := testConfig(3)
+	q, snap := convergedSnapshot(t, "Q4", cfg)
+	data, err := Encode(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.TargetPrecision = 1.02
+	if _, err := core.NewOptimizerFromSnapshot(q, other, decoded); err == nil {
+		t.Error("restore under a different config accepted")
+	}
+	if echo, err := core.ConfigFingerprint(cfg); err != nil || decoded.CfgEcho() != echo {
+		t.Errorf("decoded cfgEcho %q does not match source config (%v)", decoded.CfgEcho(), err)
+	}
+}
+
+// FuzzSnapshotCodec drives the round-trip invariant over randomized
+// synthetic queries (topology, size, seed, refinement depth all drawn
+// from the fuzz input): encode→decode→restore must be cost-identical
+// to restoring the original snapshot with zero regenerated plans, and
+// any single-byte corruption of the encoding must fail to decode.
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(0), uint8(2), uint16(7))
+	f.Add(int64(7), uint8(4), uint8(1), uint8(3), uint16(101))
+	f.Add(int64(42), uint8(2), uint8(3), uint8(1), uint16(9999))
+	f.Fuzz(func(t *testing.T, seed int64, tables, topology, levels uint8, flip uint16) {
+		nTables := 2 + int(tables)%3 // 2..4
+		nLevels := 1 + int(levels)%3 // 1..3
+		tp := query.Topology(int(topology) % 4)
+		rng := rand.New(rand.NewSource(seed))
+		cat := catalog.Random(rng, nTables, 100, 1e6)
+		q, err := query.Synthetic(cat, nTables, tp, rng)
+		if err != nil {
+			t.Skip() // e.g. a topology/size combination Synthetic refuses
+		}
+		cfg := testConfig(nLevels)
+		opt, err := core.NewOptimizer(q, cfg)
+		if err != nil {
+			t.Skip()
+		}
+		for r := 0; r <= cfg.MaxResolution(); r++ {
+			opt.Optimize(nil, r)
+		}
+		snap := opt.Snapshot()
+		data, err := Encode(nil, snap)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		decoded, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		want, wantGen := restoreAndConverge(t, q, cfg, snap)
+		got, gotGen := restoreAndConverge(t, q, cfg, decoded)
+		if wantGen != 0 || gotGen != 0 {
+			t.Fatalf("regenerated plans: original %d, decoded %d", wantGen, gotGen)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("decoded restore has %d frontier plans, original %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("decoded restore diverges at %d:\n  %s\nvs\n  %s", i, got[i], want[i])
+			}
+		}
+		// Corruption must never decode (CRC32C catches any single-byte
+		// error); it must error out, not panic.
+		mut := append([]byte(nil), data...)
+		mut[int(flip)%len(mut)] ^= 1 + byte(flip>>8)
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("single-byte corruption at %d accepted", int(flip)%len(mut))
+		}
+	})
+}

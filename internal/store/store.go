@@ -1,0 +1,746 @@
+// Package store persists warm-start snapshots across process restarts:
+// a disk-backed, append-only companion to the service's in-memory plan
+// cache (service.PlanCache). Records — (exact fingerprint, canonical
+// digest, canonical permutation, snapcodec-encoded snapshot) — are
+// appended to numbered segment files by a background writer, so
+// persistence never blocks the refinement or session-creation paths; a
+// startup scan rebuilds the live-record index, truncating each segment
+// at its first corrupt record (a crash mid-append, a torn page), and
+// Replay streams the surviving records in write order so the service
+// can pre-populate both cache tiers. Records whose configuration echo
+// does not match the restoring service are dead on arrival: config
+// drift degrades to a cold start, never to a wrong restore.
+//
+// Re-persisting a fingerprint supersedes its previous record; the
+// superseded bytes are dead. When dead bytes exceed
+// Options.CompactFraction of the store, the writer compacts: live
+// records are copied in index order into a fresh segment and the old
+// segments are deleted. The active segment also rolls over at
+// Options.MaxSegmentBytes, bounding the damage radius of any single
+// truncation.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/snapcodec"
+)
+
+// Options configures a Store; Dir and CfgEcho are required.
+type Options struct {
+	// Dir is the store's root directory, created if missing. One store
+	// (one moqod process) owns a directory at a time; the store does
+	// no cross-process locking.
+	Dir string
+
+	// CfgEcho is the restoring service's configuration fingerprint
+	// (core.ConfigFingerprint of its optimizer config). Scanned records
+	// carrying a different echo are counted as rejected and treated as
+	// dead bytes.
+	CfgEcho string
+
+	// MaxSegmentBytes rolls the active segment once it exceeds this
+	// size; defaults to 64 MiB.
+	MaxSegmentBytes int64
+
+	// CompactFraction triggers compaction when dead bytes exceed this
+	// fraction of total record bytes (and MinCompactBytes); defaults
+	// to 0.5.
+	CompactFraction float64
+
+	// MinCompactBytes is the dead-byte floor below which compaction is
+	// never worth the rewrite; defaults to 1 MiB.
+	MinCompactBytes int64
+
+	// QueueDepth bounds the background writer's backlog; a Put against
+	// a full queue is dropped (and counted) rather than blocking the
+	// caller — persistence is best-effort cache warming. Defaults to
+	// 256.
+	QueueDepth int
+}
+
+func (o *Options) defaults() error {
+	if o.Dir == "" {
+		return fmt.Errorf("store: Options.Dir is required")
+	}
+	if o.CfgEcho == "" {
+		return fmt.Errorf("store: Options.CfgEcho is required")
+	}
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+	if o.CompactFraction <= 0 {
+		o.CompactFraction = 0.5
+	}
+	if o.MinCompactBytes <= 0 {
+		o.MinCompactBytes = 1 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return nil
+}
+
+// Record is one persisted snapshot with its cache keys: everything a
+// service needs to re-admit the snapshot into both tiers of its plan
+// cache.
+type Record struct {
+	// FP is the exact query fingerprint (the exact cache-tier key and
+	// the store's dedup key).
+	FP string
+	// CanonFP is the canonical digest (the isomorphism-tier key).
+	CanonFP string
+	// Perm is the source query's table→canonical-position permutation,
+	// needed to rewrite the snapshot for isomorphic queries.
+	Perm []int
+	// Snap is the snapshot itself.
+	Snap *core.Snapshot
+}
+
+// Stats are the store's counters and gauges.
+type Stats struct {
+	// Segments is the number of segment files on disk.
+	Segments int
+	// LiveRecords is the number of distinct fingerprints with a live
+	// record.
+	LiveRecords int
+	// LiveBytes and DeadBytes split the on-disk record bytes into
+	// restorable records and superseded/rejected/corrupt ones.
+	LiveBytes, DeadBytes int64
+	// Persisted counts records appended since open.
+	Persisted uint64
+	// Loaded counts records accepted by the startup scan.
+	Loaded uint64
+	// Rejected counts scanned records refused for a configuration-echo
+	// mismatch (a different binary build or optimizer config).
+	Rejected uint64
+	// Corrupted counts scan truncations (bad checksum or torn record)
+	// and replay-time decode failures.
+	Corrupted uint64
+	// Dropped counts Puts shed because the writer queue was full.
+	Dropped uint64
+	// WriteErrors counts failed appends (the record is lost; the store
+	// keeps serving).
+	WriteErrors uint64
+	// Compactions counts segment compactions since open.
+	Compactions uint64
+	// Pending is the writer queue's current backlog.
+	Pending int
+}
+
+// location addresses one record's frame inside a segment.
+type location struct {
+	seg   int64  // segment sequence number
+	off   int64  // frame offset within the segment
+	size  int64  // frame length in bytes
+	order uint64 // monotonic (re)write stamp; Replay streams ascending
+}
+
+// Store is the disk-backed snapshot store. Open one per directory;
+// Put/Flush/Stats are safe for concurrent use. Replay must complete
+// before the first Put: a Put-triggered compaction could otherwise
+// delete segment files out from under Replay's reads (the service
+// replays inside New, before any session exists, so this holds
+// structurally there). Close flushes and stops the writer.
+type Store struct {
+	opts Options
+
+	mu        sync.Mutex
+	index     map[string]location // fingerprint → live record
+	nextOrder uint64              // next (re)write stamp
+	segments  map[int64]int64     // segment seq → byte size
+	active    int64               // active segment seq
+	file      *os.File            // active segment, owned by the writer
+	stats     Stats
+	closed    bool
+
+	queue chan writeReq
+	done  chan struct{}
+}
+
+// writeReq is one queued append; flush requests carry only ack.
+type writeReq struct {
+	rec Record
+	ack chan error
+}
+
+// frame layout: u32 payload length | u32 CRC32C of payload | payload.
+// payload: fp string | canonFp string | cfgEcho string | perm count +
+// signed varints | snapshot blob (length-prefixed snapcodec record).
+// The cfgEcho is duplicated out of the snapshot blob so the startup
+// scan can reject config drift without decoding plan state.
+const frameHeaderLen = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Open scans the directory's segments, rebuilds the live-record index
+// and starts the background writer. Corrupt segment tails are
+// truncated in place; a corrupt or unreadable directory entry is never
+// fatal (the contract is "degrade to cold start, never fail startup").
+func Open(opts Options) (*Store, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		opts:     opts,
+		index:    map[string]location{},
+		segments: map[int64]int64{},
+		queue:    make(chan writeReq, opts.QueueDepth),
+		done:     make(chan struct{}),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	go s.writer()
+	return s, nil
+}
+
+func segName(seq int64) string { return fmt.Sprintf("seg-%08d.moqs", seq) }
+
+// segSeq parses a segment file name, reporting whether it is one.
+func segSeq(name string) (int64, bool) {
+	var seq int64
+	if _, err := fmt.Sscanf(name, "seg-%d.moqs", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// scan reads every segment in sequence order, validating frames and
+// building the index. The first bad frame of a segment truncates the
+// file there; later segments still load (each record is
+// self-contained, and later segments hold strictly newer records).
+func (s *Store) scan() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var seqs []int64
+	for _, e := range entries {
+		if seq, ok := segSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		s.scanSegment(seq)
+	}
+	if len(seqs) > 0 {
+		s.active = seqs[len(seqs)-1]
+	} else {
+		s.active = 1
+	}
+	return nil
+}
+
+// scanSegment indexes one segment file, truncating it at the first
+// corrupt frame. Read errors drop the rest of the segment but never
+// fail the open.
+func (s *Store) scanSegment(seq int64) {
+	path := filepath.Join(s.opts.Dir, segName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.stats.Corrupted++
+		return
+	}
+	off := int64(0)
+	for int64(len(data))-off >= frameHeaderLen {
+		payloadLen := int64(binary.LittleEndian.Uint32(data[off:]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + frameHeaderLen + payloadLen
+		if end > int64(len(data)) {
+			break // torn tail
+		}
+		payload := data[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			break
+		}
+		fp, cfgEcho, blob, ok := peekFrame(payload)
+		if !ok {
+			break
+		}
+		size := end - off
+		if cfgEcho != s.opts.CfgEcho || !snapcodec.CompatibleHeader(blob) {
+			// A different optimizer configuration or a different
+			// binary's wire format wrote this record; it can never
+			// restore here. Marking it dead (not live) keeps the
+			// Loaded count honest and lets compaction reclaim it.
+			s.stats.Rejected++
+			s.stats.DeadBytes += size
+		} else {
+			s.indexRecord(fp, location{seg: seq, off: off, size: size})
+			s.stats.Loaded++
+		}
+		off = end
+	}
+	if off < int64(len(data)) {
+		// Corruption-tolerant replay: keep the valid prefix, drop the
+		// rest. Truncating on disk keeps future scans (and appends, if
+		// this is the active segment) consistent with the index.
+		s.stats.Corrupted++
+		if err := os.Truncate(path, off); err != nil {
+			s.stats.WriteErrors++
+		}
+	}
+	s.segments[seq] = off
+}
+
+// indexRecord records fp's newest location, marking any superseded
+// record's bytes dead and stamping the record with the next write
+// order (a re-persist moves the fingerprint to the end of the replay
+// order, exactly like a live Put sequence would). Callers hold mu (or
+// run before the writer starts).
+func (s *Store) indexRecord(fp string, loc location) {
+	if old, ok := s.index[fp]; ok {
+		s.stats.DeadBytes += old.size
+		s.stats.LiveBytes -= old.size
+	}
+	loc.order = s.nextOrder
+	s.nextOrder++
+	s.index[fp] = loc
+	s.stats.LiveBytes += loc.size
+}
+
+// liveInOrder returns the live records as (fingerprint, location)
+// pairs sorted by write stamp. Callers hold mu.
+func (s *Store) liveInOrder() ([]string, []location) {
+	fps := make([]string, 0, len(s.index))
+	for fp := range s.index {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return s.index[fps[i]].order < s.index[fps[j]].order })
+	locs := make([]location, len(fps))
+	for i, fp := range fps {
+		locs[i] = s.index[fp]
+	}
+	return fps, locs
+}
+
+// peekFrame extracts the fingerprint, config echo and the raw
+// snapshot blob from a frame payload without decoding plan state.
+func peekFrame(payload []byte) (fp, cfgEcho string, blob []byte, ok bool) {
+	fp, rest, ok := readString(payload)
+	if !ok {
+		return "", "", nil, false
+	}
+	_, rest, ok = readString(rest) // canonFp
+	if !ok {
+		return "", "", nil, false
+	}
+	cfgEcho, rest, ok = readString(rest)
+	if !ok {
+		return "", "", nil, false
+	}
+	nPerm, sz := binary.Uvarint(rest)
+	if sz <= 0 || nPerm > uint64(len(rest)) {
+		return "", "", nil, false
+	}
+	rest = rest[sz:]
+	for i := uint64(0); i < nPerm; i++ {
+		_, sz := binary.Varint(rest)
+		if sz <= 0 {
+			return "", "", nil, false
+		}
+		rest = rest[sz:]
+	}
+	nSnap, sz := binary.Uvarint(rest)
+	if sz <= 0 || nSnap != uint64(len(rest)-sz) {
+		return "", "", nil, false
+	}
+	return fp, cfgEcho, rest[sz:], true
+}
+
+func readString(b []byte) (string, []byte, bool) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, false
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], true
+}
+
+// encodeFrame builds the frame payload for a record.
+func encodeFrame(rec Record) ([]byte, error) {
+	snap, err := snapcodec.Encode(nil, rec.Snap)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	payload = appendString(payload, rec.FP)
+	payload = appendString(payload, rec.CanonFP)
+	payload = appendString(payload, rec.Snap.CfgEcho())
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Perm)))
+	for _, p := range rec.Perm {
+		payload = binary.AppendVarint(payload, int64(p))
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(snap)))
+	payload = append(payload, snap...)
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	return append(frame, payload...), nil
+}
+
+// decodeFrame parses a frame payload back into a Record.
+func decodeFrame(payload []byte) (Record, error) {
+	var rec Record
+	var ok bool
+	var rest []byte
+	if rec.FP, rest, ok = readString(payload); !ok {
+		return rec, fmt.Errorf("store: bad frame fingerprint")
+	}
+	if rec.CanonFP, rest, ok = readString(rest); !ok {
+		return rec, fmt.Errorf("store: bad frame canonical digest")
+	}
+	if _, rest, ok = readString(rest); !ok { // cfgEcho, validated at scan
+		return rec, fmt.Errorf("store: bad frame config echo")
+	}
+	nPerm, sz := binary.Uvarint(rest)
+	if sz <= 0 || nPerm > uint64(len(rest)) {
+		return rec, fmt.Errorf("store: bad frame permutation length")
+	}
+	rest = rest[sz:]
+	if nPerm > 0 {
+		rec.Perm = make([]int, nPerm)
+		for i := range rec.Perm {
+			v, sz := binary.Varint(rest)
+			if sz <= 0 {
+				return rec, fmt.Errorf("store: truncated frame permutation")
+			}
+			rec.Perm[i] = int(v)
+			rest = rest[sz:]
+		}
+	}
+	nSnap, sz := binary.Uvarint(rest)
+	if sz <= 0 || nSnap != uint64(len(rest)-sz) {
+		return rec, fmt.Errorf("store: bad frame snapshot length")
+	}
+	snap, err := snapcodec.Decode(rest[sz:])
+	if err != nil {
+		return rec, err
+	}
+	rec.Snap = snap
+	return rec, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Replay streams the live records in write order (so a later record
+// for the same canonical digest overwrites an earlier class
+// representative, exactly as live Puts would have). Records that fail
+// to decode are counted as corrupted and skipped — replay degrades,
+// never fails. fn returning false stops the replay early.
+func (s *Store) Replay(fn func(Record) bool) error {
+	s.mu.Lock()
+	order, locs := s.liveInOrder()
+	s.mu.Unlock()
+
+	files := map[int64]*os.File{}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for i := range order {
+		loc := locs[i]
+		f, ok := files[loc.seg]
+		if !ok {
+			var err error
+			f, err = os.Open(filepath.Join(s.opts.Dir, segName(loc.seg)))
+			if err != nil {
+				s.noteCorrupt()
+				continue
+			}
+			files[loc.seg] = f
+		}
+		buf := make([]byte, loc.size-frameHeaderLen)
+		if _, err := f.ReadAt(buf, loc.off+frameHeaderLen); err != nil {
+			s.noteCorrupt()
+			continue
+		}
+		rec, err := decodeFrame(buf)
+		if err != nil {
+			s.noteCorrupt()
+			continue
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Store) noteCorrupt() {
+	s.mu.Lock()
+	s.stats.Corrupted++
+	s.mu.Unlock()
+}
+
+// Put queues the record for an asynchronous append. It never blocks:
+// with the writer backlogged past QueueDepth the record is dropped and
+// counted (the snapshot still lives in the in-memory cache; only its
+// restart durability is lost). Nil snapshots are ignored.
+func (s *Store) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
+	if snap == nil {
+		return
+	}
+	select {
+	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, Perm: perm, Snap: snap}}:
+	default:
+		s.mu.Lock()
+		if !s.closed {
+			s.stats.Dropped++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// PutBlocking is Put for callers that must not shed: it blocks until
+// the record is enqueued (or the store is closed). The shutdown sweep
+// of the persist-on-evict policy uses it — dropping records there
+// would silently lose warm state the sweep exists to save.
+func (s *Store) PutBlocking(fp, canonFp string, perm []int, snap *core.Snapshot) {
+	if snap == nil {
+		return
+	}
+	select {
+	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, Perm: perm, Snap: snap}}:
+	case <-s.done:
+	}
+}
+
+// Flush blocks until every record queued before the call is on disk
+// and the active segment is synced. Used by graceful shutdown.
+func (s *Store) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case s.queue <- writeReq{ack: ack}:
+		return <-ack
+	case <-s.done:
+		return fmt.Errorf("store: closed")
+	}
+}
+
+// Close flushes pending writes and stops the writer. The store is
+// unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.Flush()
+	close(s.done)
+	s.mu.Lock()
+	if s.file != nil {
+		if cerr := s.file.Close(); err == nil {
+			err = cerr
+		}
+		s.file = nil
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Stats returns a consistent snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Segments = len(s.segments)
+	st.LiveRecords = len(s.index)
+	st.Pending = len(s.queue)
+	return st
+}
+
+// writer is the background append loop: it owns the active segment
+// file, applies appends and flush acks in arrival order, rolls
+// segments past MaxSegmentBytes and compacts when the dead fraction
+// crosses the threshold.
+func (s *Store) writer() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case req := <-s.queue:
+			if req.ack != nil {
+				req.ack <- s.sync()
+				continue
+			}
+			s.append(req.rec)
+		}
+	}
+}
+
+// append writes one record frame to the active segment and updates the
+// index. Failures are counted, not propagated: the caller already has
+// the snapshot in memory.
+func (s *Store) append(rec Record) {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.WriteErrors++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureActiveLocked(int64(len(frame))); err != nil {
+		s.stats.WriteErrors++
+		return
+	}
+	off := s.segments[s.active]
+	if _, err := s.file.Write(frame); err != nil {
+		s.stats.WriteErrors++
+		// The segment tail may now hold a torn frame. The next startup
+		// scan truncates a segment at its first bad CRC, so appending
+		// more records after the tear would doom them all; retire the
+		// segment and continue in a fresh one (only the torn frame is
+		// lost).
+		if st, serr := s.file.Stat(); serr == nil {
+			s.segments[s.active] = st.Size()
+		}
+		s.file.Close()
+		s.file = nil
+		s.active++
+		return
+	}
+	s.segments[s.active] = off + int64(len(frame))
+	s.indexRecord(rec.FP, location{seg: s.active, off: off, size: int64(len(frame))})
+	s.stats.Persisted++
+	s.maybeCompactLocked()
+}
+
+// ensureActiveLocked opens the active segment, rolling to a new one if
+// the next frame would push it past MaxSegmentBytes.
+func (s *Store) ensureActiveLocked(next int64) error {
+	if s.file != nil && s.segments[s.active]+next > s.opts.MaxSegmentBytes && s.segments[s.active] > 0 {
+		// Sync before retiring the segment: Flush only ever syncs the
+		// active file, so without this a rolled segment's frames could
+		// sit in the page cache past a flush ack and be lost to a
+		// crash the caller was told they survived.
+		if err := s.file.Sync(); err != nil {
+			s.stats.WriteErrors++
+		}
+		s.file.Close()
+		s.file = nil
+		s.active++
+	}
+	if s.file == nil {
+		f, err := os.OpenFile(filepath.Join(s.opts.Dir, segName(s.active)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.file = f
+		if _, ok := s.segments[s.active]; !ok {
+			s.segments[s.active] = 0
+		}
+	}
+	return nil
+}
+
+func (s *Store) sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	return s.file.Sync()
+}
+
+// maybeCompactLocked rewrites the live records into a fresh segment
+// once dead bytes exceed the configured fraction, deleting the old
+// segments. Runs on the writer goroutine with mu held; Puts queue up
+// behind it (compaction is rare and bounded by live bytes).
+func (s *Store) maybeCompactLocked() {
+	dead := s.stats.DeadBytes
+	total := dead + s.stats.LiveBytes
+	if dead < s.opts.MinCompactBytes || total == 0 ||
+		float64(dead)/float64(total) < s.opts.CompactFraction {
+		return
+	}
+	oldSegs := make([]int64, 0, len(s.segments))
+	for seq := range s.segments {
+		oldSegs = append(oldSegs, seq)
+	}
+	newSeq := s.active + 1
+	path := filepath.Join(s.opts.Dir, segName(newSeq))
+	out, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		s.stats.WriteErrors++
+		return
+	}
+	// Copy raw frames in write order; no decode needed. Reads go
+	// through ReadAt on freshly opened handles (the active segment's
+	// write handle is append-only).
+	readers := map[int64]*os.File{}
+	defer func() {
+		for _, f := range readers {
+			f.Close()
+		}
+	}()
+	newIndex := make(map[string]location, len(s.index))
+	newOff := int64(0)
+	fps, locs := s.liveInOrder()
+	for i, fp := range fps {
+		loc := locs[i]
+		f, ok := readers[loc.seg]
+		if !ok {
+			f, err = os.Open(filepath.Join(s.opts.Dir, segName(loc.seg)))
+			if err != nil {
+				break
+			}
+			readers[loc.seg] = f
+		}
+		if _, err = io.Copy(out, io.NewSectionReader(f, loc.off, loc.size)); err != nil {
+			break
+		}
+		// Write stamps carry over so the relative replay order is
+		// unchanged by compaction.
+		newIndex[fp] = location{seg: newSeq, off: newOff, size: loc.size, order: loc.order}
+		newOff += loc.size
+	}
+	if err == nil {
+		err = out.Sync()
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Abandon the partial compaction; the old segments are intact.
+		s.stats.WriteErrors++
+		os.Remove(path)
+		return
+	}
+	if s.file != nil {
+		s.file.Close()
+		s.file = nil
+	}
+	s.index = newIndex
+	s.segments = map[int64]int64{newSeq: newOff}
+	s.active = newSeq
+	s.stats.LiveBytes = newOff
+	s.stats.DeadBytes = 0
+	s.stats.Compactions++
+	for _, seq := range oldSegs {
+		if err := os.Remove(filepath.Join(s.opts.Dir, segName(seq))); err != nil {
+			s.stats.WriteErrors++
+		}
+	}
+}
