@@ -30,6 +30,18 @@
 //	GET    /statz                   → service counters, incl. per-shard
 //	                                  queue/steal/preempt breakdown and
 //	                                  the p99 inter-step starvation gap
+//	GET    /metrics                 → Prometheus text exposition (lifecycle
+//	                                  counters, latency histograms,
+//	                                  per-shard queue gauges)
+//	GET    /debug/sessions/{id}/trace → the session's lifecycle trace
+//	                                  (live sessions and the recent-
+//	                                  traces archive)
+//	GET    /debug/traces            → recently finished sessions' traces
+//	                                  (?n= caps the count)
+//	GET    /debug/pprof/...         → runtime profiles (only with -pprof)
+//
+// -slow-session logs the full lifecycle trace of any session whose
+// end-to-end time reaches the threshold, e.g. -slow-session 100ms.
 //
 // All randomness is seeded by -seed (default 1) so runs reproduce.
 package main
@@ -43,8 +55,10 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -56,6 +70,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/query"
 	"repro/internal/service"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -80,6 +95,8 @@ func main() {
 	total := flag.Int("requests", 0, "loadgen: total sessions to run (0 = 3× -sessions)")
 	isomorph := flag.Float64("isomorph", 0, "loadgen: fraction of sessions running a table-ID-permuted (isomorphic) variant of their block")
 	aliasCopies := flag.Int("alias-copies", 3, "loadgen: statistically identical copies per base table the -isomorph variants draw from")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
+	slowSession := flag.Duration("slow-session", 0, "log the lifecycle trace of sessions slower than this end to end (0 disables)")
 	flag.Parse()
 
 	if *persistOnEvict && *cacheDir == "" {
@@ -104,6 +121,14 @@ func main() {
 	if *persistOnEvict {
 		cfg.StorePolicy = service.PersistOnEvict
 	}
+	if *slowSession > 0 {
+		threshold := *slowSession
+		cfg.SlowSession = threshold
+		cfg.SlowSessionLog = func(total time.Duration, d trace.Data) {
+			log.Printf("moqod: slow session (%v >= %v): %s",
+				total.Round(time.Millisecond), threshold, d.Format())
+		}
+	}
 	svc, err := service.New(cfg)
 	if err != nil {
 		fail(err)
@@ -122,7 +147,8 @@ func main() {
 		return
 	}
 
-	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(*sf), seed: *seed, dim: cfg.Opt.Model.Space().Dim()}
+	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(*sf), seed: *seed,
+		dim: cfg.Opt.Model.Space().Dim(), pprof: *pprofOn}
 	st := svc.Stats()
 	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d cache-dir=%q max-sessions=%d max-queue=%d)",
 		*addr, cfg.Workers, len(st.Shards), cfg.Quantum, *levels, *alphaT, *alphaS,
@@ -167,6 +193,7 @@ type server struct {
 	svc    *service.Service
 	blocks []workload.Block
 	dim    int
+	pprof  bool // expose /debug/pprof/ (off by default: profiles leak internals)
 
 	mu   sync.Mutex
 	seed int64 // per-request synthetic-query seeds derive from this
@@ -180,6 +207,18 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /sessions/{id}/select", s.handleSelect)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleClose)
 	mux.HandleFunc("GET /statz", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/sessions/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if s.pprof {
+		// Wired explicitly instead of importing for the DefaultServeMux
+		// side effect, so the profiles only exist behind the flag.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -359,6 +398,35 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// WriteText renders into one buffer and writes once; a failed write
+	// means the client went away, which a scrape endpoint can ignore.
+	_ = s.svc.Registry().WriteText(w)
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	d, err := s.svc.SessionTrace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	max := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		max = n
+	}
+	writeJSON(w, http.StatusOK, s.svc.RecentTraces(max))
+}
+
 // runLoadgen drives the service with concurrent simulated users and
 // reports throughput and latency percentiles — the paper's interactive
 // regime at service scale.
@@ -414,10 +482,24 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 	st := svc.Stats()
 	fmt.Printf("completed %d sessions in %v (%.1f sessions/sec, %d refinement steps)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), st.Steps)
-	fmt.Printf("first-frontier latency: p50=%v p95=%v max=%v\n",
-		harness.Percentile(firstLats, 0.50), harness.Percentile(firstLats, 0.95), harness.Percentile(firstLats, 1))
-	fmt.Printf("session duration:       p50=%v p95=%v max=%v\n",
-		harness.Percentile(totalLats, 0.50), harness.Percentile(totalLats, 0.95), harness.Percentile(totalLats, 1))
+	fmt.Printf("first-frontier latency: p50=%v p95=%v p99=%v max=%v\n",
+		harness.Percentile(firstLats, 0.50), harness.Percentile(firstLats, 0.95),
+		harness.Percentile(firstLats, 0.99), harness.Percentile(firstLats, 1))
+	fmt.Printf("session duration:       p50=%v p95=%v p99=%v max=%v\n",
+		harness.Percentile(totalLats, 0.50), harness.Percentile(totalLats, 0.95),
+		harness.Percentile(totalLats, 0.99), harness.Percentile(totalLats, 1))
+	// The same two distributions as the service's own histograms record
+	// them (/metrics methodology): first-frontier is stamped inside the
+	// step that produced the frontier, end-to-end at the terminal
+	// transition, so these exclude the loadgen's client-side overhead
+	// that the lines above include.
+	obs := svc.Observability()
+	ff, ee := obs.FirstFrontier.Snapshot(), obs.EndToEnd.Snapshot()
+	fmt.Printf("service histograms:     first-frontier p50=%v p95=%v p99=%v (n=%d), end-to-end p50=%v p95=%v p99=%v (n=%d)\n",
+		ff.QuantileDuration(0.50).Round(time.Microsecond), ff.QuantileDuration(0.95).Round(time.Microsecond),
+		ff.QuantileDuration(0.99).Round(time.Microsecond), ff.Count,
+		ee.QuantileDuration(0.50).Round(time.Microsecond), ee.QuantileDuration(0.95).Round(time.Microsecond),
+		ee.QuantileDuration(0.99).Round(time.Microsecond), ee.Count)
 	fmt.Printf("warm starts: %d (%d cross-shape, remap total %v), cache: %d entries (%d shapes), %d exact + %d isomorphic hits, %d misses\n",
 		st.WarmStarts, st.IsoWarmStarts, st.RemapTotal.Round(time.Microsecond),
 		st.Cache.Entries, st.Cache.CanonEntries, st.Cache.ExactHits, st.Cache.IsoHits, st.Cache.Misses)

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// newTestServer boots a small sharded service (warm-start cache on, so
+// the cache metric families register) behind the real mux.
+func newTestServer(t *testing.T, pprofOn bool) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc, err := service.New(service.Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 3,
+			TargetPrecision:  1.05,
+			PrecisionStep:    0.1,
+		},
+		Workers:       2,
+		Shards:        2,
+		CacheCapacity: 16,
+		IdleTimeout:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(1), seed: 1,
+		dim: costmodel.Default().Space().Dim(), pprof: pprofOn}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown()
+	})
+	return ts, svc
+}
+
+// driveOne runs one session over the HTTP API — create, poll to
+// at-target, select — and returns its id.
+func driveOne(t *testing.T, ts *httptest.Server, block string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/sessions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"block":%q}`, block)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("create: status %d, id %q", resp.StatusCode, created.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st struct {
+			State string `json:"state"`
+			Steps int    `json:"steps"`
+		}
+		getJSON(t, ts.URL+"/sessions/"+created.ID, &st)
+		if st.State == "at-target" {
+			body := fmt.Sprintf(`{"index":0,"steps":%d}`, st.Steps)
+			resp, err := http.Post(ts.URL+"/sessions/"+created.ID+"/select",
+				"application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("select: status %d", resp.StatusCode)
+			}
+			return created.ID
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s stuck in %q", created.ID, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// TestMetricsEndpoint scrapes /metrics after a full session and checks
+// the exposition is structurally well-formed (via the same grammar
+// checker that pins WriteText) and that the lifecycle families carry
+// real samples — an empty histogram would mean the instrumentation came
+// unwired from the hot path.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	driveOne(t, ts, "Q4")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if err := metrics.CheckExposition(text); err != nil {
+		t.Fatalf("malformed exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"moqod_sessions_created_total 1\n",
+		"moqod_sessions_selected_total 1\n",
+		`moqod_shard_sessions{shard="0"}`,
+		`moqod_shard_sessions{shard="1"}`,
+		`moqod_cache_hits_total{tier="exact"}`,
+		"moqod_cache_misses_total 1\n",
+		"moqod_active_sessions 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The step-path histograms must have accumulated samples.
+	for _, fam := range []string{
+		"moqod_first_frontier_seconds",
+		"moqod_queue_wait_seconds",
+		"moqod_quantum_steps",
+		"moqod_session_duration_seconds",
+	} {
+		if strings.Contains(text, fam+"_count 0\n") || !strings.Contains(text, fam+"_count") {
+			t.Errorf("histogram %s has no samples:\n%s", fam, grepFam(text, fam))
+		}
+	}
+}
+
+// grepFam extracts one family's lines for a focused failure message.
+func grepFam(text, fam string) string {
+	var b bytes.Buffer
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, fam) {
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String()
+}
+
+// TestTraceEndpoints checks the per-session trace endpoint for live and
+// archived sessions, the recent-traces listing, and its error paths.
+func TestTraceEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	id := driveOne(t, ts, "Q12")
+
+	var d struct {
+		ID    string `json:"id"`
+		Spans []struct {
+			Kind string `json:"kind"`
+		} `json:"spans"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/sessions/"+id+"/trace", &d); code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	if d.ID != id || len(d.Spans) == 0 {
+		t.Fatalf("trace %q has %d spans", d.ID, len(d.Spans))
+	}
+	kinds := map[string]bool{}
+	for _, sp := range d.Spans {
+		kinds[sp.Kind] = true
+	}
+	for _, k := range []string{"admit", "steps", "selected"} {
+		if !kinds[k] {
+			t.Errorf("trace missing %q span: %v", k, kinds)
+		}
+	}
+
+	if code := getJSON(t, ts.URL+"/debug/sessions/nope/trace", nil); code != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d, want 404", code)
+	}
+	var recent []json.RawMessage
+	if code := getJSON(t, ts.URL+"/debug/traces?n=8", &recent); code != http.StatusOK || len(recent) != 1 {
+		t.Errorf("recent traces: status %d, %d entries", code, len(recent))
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces?n=bogus", nil); code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", code)
+	}
+}
+
+// TestPprofGating checks the profile endpoints exist exactly when the
+// flag is on — they leak stacks and heap internals, so off by default.
+func TestPprofGating(t *testing.T) {
+	off, _ := newTestServer(t, false)
+	if code := getJSON(t, off.URL+"/debug/pprof/", nil); code != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", code)
+	}
+	on, _ := newTestServer(t, true)
+	if code := getJSON(t, on.URL+"/debug/pprof/", nil); code != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", code)
+	}
+}
+
+// TestScrapeDuringLoad hammers /metrics and the trace endpoints while
+// sessions run — under -race this pins scrape-time reads against the
+// lock-free record paths end to end (histogram stripes, atomic
+// counters, the trace ring and archive).
+func TestScrapeDuringLoad(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				getJSON(t, ts.URL+"/metrics", nil)
+				getJSON(t, ts.URL+"/debug/traces", nil)
+			}
+		}
+	}()
+	blocks := []string{"Q4", "Q12", "Q13", "Q14"}
+	for i := 0; i < 8; i++ {
+		driveOne(t, ts, blocks[i%len(blocks)])
+	}
+	close(stop)
+	wg.Wait()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := metrics.CheckExposition(string(body)); err != nil {
+		t.Fatalf("malformed exposition under load: %v", err)
+	}
+	if !strings.Contains(string(body), "moqod_sessions_selected_total 8\n") {
+		t.Errorf("expected 8 selected sessions in final scrape")
+	}
+}

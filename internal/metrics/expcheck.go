@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text-exposition output against
+// the format's structural rules: every line parses, each family's HELP
+// precedes its TYPE and both precede its samples, histogram buckets are
+// cumulative and terminated by an le="+Inf" bucket that matches the
+// series' _count. It returns the first violation found (nil for
+// well-formed text). Tests — this package's and moqod's scrape test —
+// use it to pin WriteText's grammar without a real Prometheus parser
+// dependency.
+func CheckExposition(text string) error {
+	type hist struct {
+		lastCum  float64
+		infSeen  bool
+		count    float64
+		countSet bool
+	}
+	typeOf := map[string]string{}
+	helpSeen := map[string]bool{}
+	hists := map[string]*hist{} // per labeled series (name+labels sans le)
+	baseName := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok {
+				if typeOf[b] == "histogram" {
+					return b
+				}
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[0] == "" {
+				return fmt.Errorf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helpSeen[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q", ln+1, parts[1])
+			}
+			if !helpSeen[parts[0]] {
+				return fmt.Errorf("line %d: TYPE %s before its HELP", ln+1, parts[0])
+			}
+			typeOf[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, ok := parseSampleLine(line)
+		if !ok {
+			return fmt.Errorf("line %d: unparseable sample: %q", ln+1, line)
+		}
+		fam := baseName(name)
+		if typeOf[fam] == "" {
+			return fmt.Errorf("line %d: sample %s before its TYPE", ln+1, name)
+		}
+		if typeOf[fam] == "histogram" {
+			series := fam + "|" + stripLabel(labels, "le")
+			h := hists[series]
+			if h == nil {
+				h = &hist{}
+				hists[series] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if h.infSeen {
+					return fmt.Errorf("line %d: bucket after le=\"+Inf\" in %s", ln+1, series)
+				}
+				if value < h.lastCum {
+					return fmt.Errorf("line %d: non-cumulative bucket in %s: %g < %g", ln+1, series, value, h.lastCum)
+				}
+				h.lastCum = value
+				if labelValue(labels, "le") == "+Inf" {
+					h.infSeen = true
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.count, h.countSet = value, true
+			}
+		}
+	}
+	for series, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s not +Inf-terminated", series)
+		}
+		if h.countSet && h.count != h.lastCum {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", series, h.count, h.lastCum)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits one `name[{labels}] value` sample line.
+func parseSampleLine(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, false
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, false
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	if name == "" {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+// labelValue returns the (unquoted) value of key in a raw label-pair
+// string, or "".
+func labelValue(labels, key string) string {
+	for _, pair := range strings.Split(labels, ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == key {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+// stripLabel removes key's pair from a raw label-pair string (used to
+// group a histogram's bucket lines into one series regardless of le).
+func stripLabel(labels, key string) string {
+	var kept []string
+	for _, pair := range strings.Split(labels, ",") {
+		if k, _, ok := strings.Cut(pair, "="); !ok || k != key {
+			if pair != "" {
+				kept = append(kept, pair)
+			}
+		}
+	}
+	return strings.Join(kept, ",")
+}

@@ -1,0 +1,466 @@
+// Package metrics is the service's dependency-free metrics layer: a
+// registry of atomic counters, gauges and fixed-bucket log-scale
+// histograms, rendered in the Prometheus text exposition format.
+//
+// The package exists because the refinement step path (DESIGN.md D9)
+// cannot afford a general-purpose metrics dependency: recording a
+// sample must not allocate and must not take a lock. Every instrument
+// here is built on sync/atomic only —
+//
+//   - Counter and Gauge are single atomic words;
+//   - Histogram holds a fixed, sorted bound slice chosen at
+//     construction (log-scale for durations) and one atomic bucket
+//     array per stripe. Observe is a bounded binary search plus two
+//     atomic adds: zero allocation, no lock, safe under any number of
+//     concurrent recorders. Stripes let shard-local writers (the
+//     service's per-shard scheduler workers) record into disjoint
+//     cache lines; scrapes sum across stripes.
+//
+// The Registry groups samples into named families (one HELP/TYPE
+// header per family, any number of labeled samples under it) and
+// writes the whole set with WriteText. Registration is startup-time
+// and may allocate; scraping allocates only in the writer, never in
+// recorders.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// stripeStride rounds a histogram's bucket count up to a multiple of
+// eight uint64s (one cache line), so concurrent stripes never share a
+// line through the bucket array.
+func stripeStride(buckets int) int { return (buckets + 7) &^ 7 }
+
+// Histogram is a fixed-bucket histogram safe for concurrent recording:
+// bounds are chosen once at construction (ascending, the implicit last
+// bucket is +Inf) and each observation is a binary search plus two
+// atomic adds — no lock, no allocation. Values are recorded in base
+// units (nanoseconds for durations); the scale factor converts bounds
+// to exposition units (seconds) at scrape time only.
+//
+// A histogram built with more than one stripe spreads recorders across
+// independent bucket arrays: ObserveShard(i, v) records into stripe
+// i%stripes, so per-shard scheduler workers never contend on one
+// cache line. Scrapes and quantiles sum across stripes.
+type Histogram struct {
+	bounds  []int64 // ascending upper bounds (le), base units
+	scale   float64 // base unit → exposition unit (1e-9 for ns → s)
+	stripes int
+	stride  int             // padded per-stripe slot count
+	counts  []atomic.Uint64 // stripes × stride, stripe-major
+	sums    []atomic.Int64  // per stripe, index i*8 (line-padded)
+}
+
+// NewHistogram builds a histogram over the given ascending bounds in
+// base units, with the exposition scale factor and stripe count
+// (clamped to at least 1). Panics on unsorted or empty bounds.
+func NewHistogram(stripes int, scale float64, bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	stride := stripeStride(len(b) + 1) // +1: the +Inf bucket
+	return &Histogram{
+		bounds:  b,
+		scale:   scale,
+		stripes: stripes,
+		stride:  stride,
+		counts:  make([]atomic.Uint64, stripes*stride),
+		sums:    make([]atomic.Int64, stripes*8),
+	}
+}
+
+// DurationBounds returns the default log-scale latency bounds: powers
+// of two from 1µs to ~34s (26 buckets before +Inf). The range covers
+// everything from a single refinement step's inter-step gap to a
+// pathological multi-minute session.
+func DurationBounds() []int64 {
+	bounds := make([]int64, 26)
+	for i := range bounds {
+		bounds[i] = int64(time.Microsecond) << i
+	}
+	return bounds
+}
+
+// NewDuration builds a striped duration histogram over DurationBounds,
+// recording nanoseconds and exposing seconds.
+func NewDuration(stripes int) *Histogram {
+	return NewHistogram(stripes, 1e-9, DurationBounds())
+}
+
+// NewValues builds a striped unit-less histogram over explicit bounds.
+func NewValues(stripes int, bounds ...int64) *Histogram {
+	return NewHistogram(stripes, 1, bounds)
+}
+
+// bucketIndex returns the index of the first bound >= v, or
+// len(bounds) for the +Inf bucket. Branch-free of allocation; the
+// search is over a fixed small slice.
+func (h *Histogram) bucketIndex(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Observe records v (base units) into stripe 0. Zero allocation; safe
+// for any number of concurrent callers.
+func (h *Histogram) Observe(v int64) { h.ObserveShard(0, v) }
+
+// ObserveDuration records a duration into stripe 0.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.ObserveShard(0, int64(d)) }
+
+// ObserveShard records v (base units) into stripe shard%stripes —
+// the shard-friendly form for per-shard writers. Zero allocation.
+func (h *Histogram) ObserveShard(shard int, v int64) {
+	s := shard
+	if s >= h.stripes || s < 0 {
+		s = s % h.stripes
+		if s < 0 {
+			s += h.stripes
+		}
+	}
+	h.counts[s*h.stride+h.bucketIndex(v)].Add(1)
+	h.sums[s*8].Add(v)
+}
+
+// Snapshot is a scrape-time copy of a histogram's state, summed across
+// stripes. Counts are per-bucket (not cumulative); Count is the total.
+type Snapshot struct {
+	Bounds []int64  // upper bounds, base units; implicit +Inf last
+	Counts []uint64 // len(Bounds)+1 per-bucket counts
+	Sum    int64    // base units
+	Count  uint64
+}
+
+// Snapshot sums the stripes into a consistent-enough copy (concurrent
+// records may land between bucket reads; each bucket is individually
+// exact). Allocates; call from scrape/report paths only.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for st := 0; st < h.stripes; st++ {
+		base := st * h.stride
+		for i := range s.Counts {
+			s.Counts[i] += h.counts[base+i].Load()
+		}
+		s.Sum += h.sums[st*8].Load()
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) in base units by
+// linear interpolation inside the covering bucket; the +Inf bucket
+// reports the last finite bound. Returns 0 on an empty histogram.
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i == len(s.Bounds) { // +Inf bucket: no finite upper edge
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := int64(0)
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + int64(frac*float64(s.Bounds[i]-lower))
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// QuantileDuration is Quantile for duration histograms.
+func (s Snapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}
+
+// sample kinds inside a family.
+const (
+	kindCounterFunc = iota
+	kindGaugeFunc
+	kindHistogram
+)
+
+type sample struct {
+	labels    string // raw label pairs, e.g. `shard="0"`; may be empty
+	kind      int
+	counterFn func() uint64
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family is one metric name: a HELP/TYPE header plus its samples.
+type family struct {
+	name, help, typ string
+	samples         []sample
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition (version 0.0.4). Registration methods panic on invalid
+// or conflicting names — metrics are wired at startup, and a typo
+// should fail loudly there, not corrupt a scrape.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*family{}}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register appends a sample to name's family, creating it on first
+// use; re-registrations must agree on type and help, and a (name,
+// labels) pair may only be registered once.
+func (r *Registry) register(name, help, typ string, s sample) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.index[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.index[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, old := range f.samples {
+		if old.labels == s.labels {
+			panic(fmt.Sprintf("metrics: duplicate sample %s{%s}", name, s.labels))
+		}
+	}
+	f.samples = append(f.samples, s)
+}
+
+// Counter creates, registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, help, "", c.Value)
+	return c
+}
+
+// CounterFunc registers a counter sample read from fn at scrape time
+// (the bridge for counters that already live elsewhere as atomics).
+// labels is a raw label-pair string like `shard="0"`, or empty.
+func (r *Registry) CounterFunc(name, help, labels string, fn func() uint64) {
+	r.register(name, help, "counter", sample{labels: labels, kind: kindCounterFunc, counterFn: fn})
+}
+
+// Gauge creates, registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.GaugeFunc(name, help, "", func() float64 { return float64(g.Value()) })
+	return g
+}
+
+// GaugeFunc registers a gauge sample read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.register(name, help, "gauge", sample{labels: labels, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// Histogram registers an existing histogram under name (with optional
+// labels), so one histogram can be constructed where it is recorded
+// (e.g. inside the store) and exposed here.
+func (r *Registry) Histogram(name, help, labels string, h *Histogram) {
+	r.register(name, help, "histogram", sample{labels: labels, kind: kindHistogram, hist: h})
+}
+
+// NewDurationHistogram creates, registers and returns an unlabeled
+// striped duration histogram (ns recorded, seconds exposed).
+func (r *Registry) NewDurationHistogram(name, help string, stripes int) *Histogram {
+	h := NewDuration(stripes)
+	r.Histogram(name, help, "", h)
+	return h
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format: one # HELP and # TYPE line per family, then its samples
+// (histograms expand to cumulative _bucket lines terminated by
+// le="+Inf", plus _sum and _count). Families appear in registration
+// order; a scrape allocates only here, never in recorders.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	buf := make([]byte, 0, 4096)
+	for _, f := range fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, '\n')
+		buf = append(buf, "# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		for _, s := range f.samples {
+			switch s.kind {
+			case kindCounterFunc:
+				buf = appendSample(buf, f.name, "", s.labels, "", float64(s.counterFn()))
+			case kindGaugeFunc:
+				buf = appendSample(buf, f.name, "", s.labels, "", s.gaugeFn())
+			case kindHistogram:
+				buf = appendHistogram(buf, f.name, s.labels, s.hist)
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendEscapedHelp escapes backslashes and newlines per the
+// exposition format's HELP rules.
+func appendEscapedHelp(buf []byte, help string) []byte {
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, help[i])
+		}
+	}
+	return buf
+}
+
+// appendSample renders one `name[suffix]{labels[,extra]} value` line.
+func appendSample(buf []byte, name, suffix, labels, extra string, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if labels != "" || extra != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		if labels != "" && extra != "" {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, extra...)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = appendValue(buf, v)
+	return append(buf, '\n')
+}
+
+// appendValue renders a float sample value (integers without a point,
+// matching common exposition output).
+func appendValue(buf []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendHistogram renders one histogram sample: cumulative _bucket
+// lines (le in exposition units, ascending, +Inf-terminated), _sum and
+// _count.
+func appendHistogram(buf []byte, name, labels string, h *Histogram) []byte {
+	snap := h.Snapshot()
+	cum := uint64(0)
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := `le="` + strconv.FormatFloat(float64(b)*h.scale, 'g', -1, 64) + `"`
+		buf = appendSample(buf, name, "_bucket", labels, le, float64(cum))
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	buf = appendSample(buf, name, "_bucket", labels, `le="+Inf"`, float64(cum))
+	buf = appendSample(buf, name, "_sum", labels, "", float64(snap.Sum)*h.scale)
+	buf = appendSample(buf, name, "_count", labels, "", float64(cum))
+	return buf
+}
+
+// Bounds returns the histogram's upper bounds in base units (shared;
+// callers must not mutate). Exposed for tests and reporting.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Stripes returns the stripe count.
+func (h *Histogram) Stripes() int { return h.stripes }

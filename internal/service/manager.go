@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/session"
+	"repro/internal/trace"
 )
 
 // State is a managed session's lifecycle state.
@@ -90,6 +91,18 @@ type managed struct {
 	lastStep   time.Time
 	maxStepGap time.Duration
 
+	// trace is the session's lifecycle span ring (DESIGN.md D13). It has
+	// no lock of its own: appends and snapshots happen under mu, the
+	// lock the step path already holds. Nil for bare test fixtures.
+	trace *trace.Trace
+
+	// enqueuedNS is the wall-clock stamp (UnixNano) of the session's
+	// latest (re-)enqueue, taken by scheduler.enqueue before it acquires
+	// the scheduler lock and claimed (Swap(0)) by the first step of the
+	// servicing pop — the queue-wait metric rides these two reads
+	// without extending any shard lock's critical section.
+	enqueuedNS atomic.Int64
+
 	// cond (on mu) is broadcast on every state transition; WaitTarget
 	// blocks on it instead of polling. Nil for bare test fixtures.
 	cond *sync.Cond
@@ -119,15 +132,21 @@ func (m *managed) setState(s State) {
 // Callers hold m.mu.
 func (m *managed) touch() { m.lastTouch = time.Now() }
 
-// noteStep updates the starvation-audit bookkeeping at a step start.
-// Callers hold m.mu.
-func (m *managed) noteStep(now time.Time) {
+// noteStep updates the starvation-audit bookkeeping at a step start
+// and returns the start-to-start gap since the previous step (0 for
+// the regime's first step), so the caller can feed the step-gap
+// histogram from the timestamp this method already consumed. Callers
+// hold m.mu.
+func (m *managed) noteStep(now time.Time) time.Duration {
+	var gap time.Duration
 	if !m.lastStep.IsZero() {
-		if gap := now.Sub(m.lastStep); gap > m.maxStepGap {
+		gap = now.Sub(m.lastStep)
+		if gap > m.maxStepGap {
 			m.maxStepGap = gap
 		}
 	}
 	m.lastStep = now
+	return gap
 }
 
 // gapRingSize bounds the per-shard ring of finished sessions' max
@@ -152,6 +171,12 @@ type manager struct {
 	gaps   [gapRingSize]time.Duration
 	gapN   int // total recorded (ring occupancy = min(gapN, gapRingSize))
 	gapIdx int
+
+	// liveScratch is appendGaps' reusable snapshot of the live sessions.
+	// It is serialized by the service's statsMu (appendGaps is only
+	// reached from Stats), so the stats path settles into zero
+	// steady-state allocation without widening any shard lock.
+	liveScratch []*managed
 }
 
 func newManager() *manager {
@@ -181,7 +206,7 @@ func (mg *manager) appendGaps(dst []time.Duration) []time.Duration {
 		n = gapRingSize
 	}
 	dst = append(dst, mg.gaps[:n]...)
-	live := make([]*managed, 0, len(mg.sessions))
+	live := mg.liveScratch[:0]
 	for _, m := range mg.sessions {
 		live = append(live, m)
 	}
@@ -193,6 +218,13 @@ func (mg *manager) appendGaps(dst []time.Duration) []time.Duration {
 		}
 		m.mu.Unlock()
 	}
+	// Clear the references before parking the scratch: a stale pointer
+	// here would pin a finished session's optimizer arena until the next
+	// Stats call.
+	for i := range live {
+		live[i] = nil
+	}
+	mg.liveScratch = live[:0]
 	return dst
 }
 
@@ -231,10 +263,11 @@ func (mg *manager) all() []*managed {
 }
 
 // expireIdle transitions every live session untouched for at least ttl
-// to Expired, removes it from the registry, and returns the number
-// reclaimed. Sessions mid-step simply expire once the worker releases
-// the lock.
-func (mg *manager) expireIdle(ttl time.Duration) int {
+// to Expired, removes it from the registry, and returns the sessions
+// reclaimed (so the caller can record their terminal observability —
+// end-to-end latency, trace archive — outside the registry lock).
+// Sessions mid-step simply expire once the worker releases the lock.
+func (mg *manager) expireIdle(ttl time.Duration) []*managed {
 	mg.mu.Lock()
 	var stale []*managed
 	now := time.Now()
@@ -243,7 +276,7 @@ func (mg *manager) expireIdle(ttl time.Duration) int {
 	}
 	mg.mu.Unlock()
 
-	expired := 0
+	var expired []*managed
 	for _, m := range stale {
 		m.mu.Lock()
 		kill := m.state.Live() && m.waiters == 0 && now.Sub(m.lastTouch) >= ttl
@@ -256,7 +289,7 @@ func (mg *manager) expireIdle(ttl time.Duration) int {
 		if kill {
 			mg.remove(m.id)
 			mg.recordGap(gap)
-			expired++
+			expired = append(expired, m)
 		}
 	}
 	return expired

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Observability bundles the service's metric instruments and the
+// finished-session trace archive. The histograms are recorded on hot
+// paths (zero allocation, atomics only — DESIGN.md D13) and exposed by
+// moqod's GET /metrics via Registry; the archive backs the trace
+// endpoint and the slow-session log.
+type Observability struct {
+	// Registry holds every registered metric family; moqod renders it
+	// in Prometheus text exposition at GET /metrics.
+	Registry *metrics.Registry
+
+	// FirstFrontier is the creation → first-non-empty-frontier latency
+	// distribution — the interactive metric the warm-start cache exists
+	// to improve.
+	FirstFrontier *metrics.Histogram
+	// StepGap is the distribution of start-to-start intervals between a
+	// session's consecutive refinement steps (the per-step view of the
+	// starvation audit whose p99 Stats reports).
+	StepGap *metrics.Histogram
+	// QueueWait is the time between a session's (re-)enqueue and the
+	// first step of the pop that serviced it, striped by the executing
+	// shard.
+	QueueWait *metrics.Histogram
+	// QuantumSteps is the steps-per-pop distribution (how much of the
+	// configured quantum batches actually use before convergence or a
+	// hot preemption).
+	QuantumSteps *metrics.Histogram
+	// EndToEnd is the creation → terminal-transition wall time of
+	// finished sessions.
+	EndToEnd *metrics.Histogram
+	// Remap is the isomorphic snapshot-rewrite latency (session-creation
+	// path only).
+	Remap *metrics.Histogram
+
+	archive *trace.Archive
+}
+
+// archiveCap bounds the recent-traces archive: 256 traces × up to 2 KiB
+// of spans each ≈ 0.5 MiB, the finished-session analogue of the
+// per-shard step-gap rings.
+const archiveCap = 256
+
+// newObservability builds the instruments. Striped histograms use one
+// stripe per scheduler shard so concurrent workers never contend on a
+// bucket cache line.
+func newObservability(shards int) *Observability {
+	return &Observability{
+		Registry:      metrics.NewRegistry(),
+		FirstFrontier: metrics.NewDuration(1),
+		StepGap:       metrics.NewDuration(shards),
+		QueueWait:     metrics.NewDuration(shards),
+		QuantumSteps:  metrics.NewValues(shards, 1, 2, 4, 8, 16, 32),
+		EndToEnd:      metrics.NewDuration(1),
+		Remap:         metrics.NewDuration(1),
+		archive:       trace.NewArchive(archiveCap),
+	}
+}
+
+// Observability returns the service's metric instruments, registry and
+// trace archive.
+func (s *Service) Observability() *Observability { return s.obs }
+
+// Registry returns the metrics registry moqod serves at GET /metrics.
+func (s *Service) Registry() *metrics.Registry { return s.obs.Registry }
+
+// SessionTrace returns the lifecycle trace of a live session, falling
+// back to the recent-traces archive for sessions that already finished.
+func (s *Service) SessionTrace(id string) (trace.Data, error) {
+	if m, ok := s.shardFor(id).mgr.get(id); ok {
+		m.mu.Lock()
+		tr := m.trace
+		var d trace.Data
+		if tr != nil {
+			d = tr.Snapshot()
+		}
+		m.mu.Unlock()
+		if tr != nil {
+			return d, nil
+		}
+	}
+	if d, ok := s.obs.archive.Find(id); ok {
+		return d, nil
+	}
+	return trace.Data{}, fmt.Errorf("service: no trace for session %q", id)
+}
+
+// RecentTraces returns up to max recently finished sessions' traces,
+// newest first (max <= 0 means all archived).
+func (s *Service) RecentTraces(max int) []trace.Data {
+	return s.obs.archive.Recent(max)
+}
+
+// observeEnd records a session's terminal transition: the terminal
+// span, the end-to-end latency sample, archive sampling and the
+// slow-session hook. It returns the session's max inter-step gap for
+// the caller's starvation ring. Callers must not hold m.mu.
+func (s *Service) observeEnd(m *managed, k trace.Kind) time.Duration {
+	now := time.Now()
+	m.mu.Lock()
+	gap := m.maxStepGap
+	total := now.Sub(m.created)
+	slow := s.cfg.SlowSession > 0 && s.cfg.SlowSessionLog != nil &&
+		total >= s.cfg.SlowSession && m.trace != nil
+	var data trace.Data
+	tr := m.trace
+	if tr != nil {
+		tr.Append(k, now, 0, 0)
+		// Archive under m.mu: a worker mid-quantum can still seal its
+		// batch span after the state flipped terminal, so the copy must
+		// not race it. The archive mutex is a leaf (never held while
+		// taking any other lock), so m.mu → archive.mu is safe.
+		s.obs.archive.Add(tr)
+		if slow {
+			data = tr.Snapshot()
+		}
+		// Clear before recycling: any late appender or SessionTrace
+		// checks m.trace under m.mu, so after this point they see nil
+		// (and fall through to the archive), never a recycled ring.
+		m.trace = nil
+	}
+	m.mu.Unlock()
+	trace.Put(tr)
+	s.obs.EndToEnd.ObserveDuration(total)
+	if slow {
+		s.cfg.SlowSessionLog(total, data)
+	}
+	return gap
+}
+
+// registerMetrics wires every instrument and pre-existing atomic
+// counter into the registry. Called once at the end of New; scrape-time
+// closures read lock-free gauges or take only cold-path locks (cache
+// and store stats mutexes).
+func (s *Service) registerMetrics() {
+	r := s.obs.Registry
+
+	r.CounterFunc("moqod_sessions_created_total", "Sessions created.", "", s.created.Load)
+	r.CounterFunc("moqod_sessions_selected_total", "Sessions finished by plan selection.", "", s.selected.Load)
+	r.CounterFunc("moqod_sessions_closed_total", "Sessions closed without selecting.", "", s.closed.Load)
+	r.CounterFunc("moqod_sessions_expired_total", "Sessions reclaimed by the idle janitor.", "", s.expired.Load)
+	r.CounterFunc("moqod_sessions_rejected_total", "Create calls refused by admission control.", "", s.rejected.Load)
+	r.CounterFunc("moqod_steps_total", "Refinement steps executed by the scheduler.", "", s.steps.Load)
+	r.CounterFunc("moqod_warm_starts_total", "Sessions created from a cached snapshot (exact and isomorphic).", "", s.warmStarts.Load)
+	r.CounterFunc("moqod_iso_warm_starts_total", "Warm starts restored via the isomorphism tier (snapshot remap).", "", s.isoWarmStarts.Load)
+	r.GaugeFunc("moqod_active_sessions", "Current live sessions.", "", func() float64 {
+		return float64(s.activeSessions())
+	})
+	r.GaugeFunc("moqod_queued_sessions", "Current combined scheduler backlog.", "", func() float64 {
+		return float64(s.queuedSessions())
+	})
+
+	r.Histogram("moqod_first_frontier_seconds", "Creation to first non-empty frontier.", "", s.obs.FirstFrontier)
+	r.Histogram("moqod_step_gap_seconds", "Start-to-start interval between a session's consecutive refinement steps.", "", s.obs.StepGap)
+	r.Histogram("moqod_queue_wait_seconds", "Enqueue to first step of the servicing pop.", "", s.obs.QueueWait)
+	r.Histogram("moqod_quantum_steps", "Refinement steps executed per queue pop.", "", s.obs.QuantumSteps)
+	r.Histogram("moqod_session_duration_seconds", "Creation to terminal transition of finished sessions.", "", s.obs.EndToEnd)
+	r.Histogram("moqod_remap_seconds", "Isomorphic snapshot rewrite latency at session creation.", "", s.obs.Remap)
+
+	for i, sh := range s.shards {
+		lbl := fmt.Sprintf(`shard="%d"`, i)
+		mgr, sc := sh.mgr, sh.sched
+		r.GaugeFunc("moqod_shard_sessions", "Live sessions registered on the shard.", lbl, func() float64 {
+			return float64(mgr.count())
+		})
+		r.GaugeFunc("moqod_shard_queue_depth", "Live run-queue entries on the shard (hot plus cold).", lbl, func() float64 {
+			return float64(sc.queueLen())
+		})
+		r.GaugeFunc("moqod_shard_hot_depth", "Live hot-queue entries on the shard.", lbl, func() float64 {
+			return float64(sc.hotLen.Load())
+		})
+		r.CounterFunc("moqod_shard_steps_total", "Steps executed by the shard's workers.", lbl, sc.stepsDone.Load)
+		r.CounterFunc("moqod_shard_pops_total", "Queue pops serviced by the shard's workers.", lbl, sc.pops.Load)
+		r.CounterFunc("moqod_shard_steals_total", "Cold sessions stolen from peer shards.", lbl, sc.steals.Load)
+		r.CounterFunc("moqod_shard_preempts_total", "Cold quanta cut short by a hot arrival.", lbl, sc.preempts.Load)
+	}
+
+	if s.caches != nil {
+		r.GaugeFunc("moqod_cache_entries", "Cached snapshots across cache shards.", "", func() float64 {
+			return float64(s.cacheTotals().Entries)
+		})
+		r.CounterFunc("moqod_cache_hits_total", "Warm-start cache hits by tier.", `tier="exact"`, func() uint64 {
+			return s.cacheTotals().ExactHits
+		})
+		r.CounterFunc("moqod_cache_hits_total", "Warm-start cache hits by tier.", `tier="iso"`, func() uint64 {
+			return s.cacheTotals().IsoHits
+		})
+		r.CounterFunc("moqod_cache_misses_total", "Warm-start cache misses.", "", func() uint64 {
+			return s.cacheTotals().Misses
+		})
+		r.CounterFunc("moqod_cache_puts_total", "Snapshot admissions (inserts and refreshes).", "", func() uint64 {
+			return s.cacheTotals().Puts
+		})
+		r.CounterFunc("moqod_cache_evictions_total", "LRU evictions across cache shards.", "", func() uint64 {
+			return s.cacheTotals().Evictions
+		})
+	}
+
+	if s.store != nil {
+		st := s.store
+		appendH, flushH, depthH := st.Instruments()
+		r.Histogram("moqod_store_append_seconds", "Background writer per-record append latency.", "", appendH)
+		r.Histogram("moqod_store_flush_seconds", "Segment fsync latency (flush acks and rollovers).", "", flushH)
+		r.Histogram("moqod_store_queue_depth", "Writer backlog observed at each append.", "", depthH)
+		r.GaugeFunc("moqod_store_pending", "Current writer-queue backlog.", "", func() float64 {
+			return float64(st.QueueDepth())
+		})
+		r.CounterFunc("moqod_store_persisted_total", "Records appended since open.", "", func() uint64 {
+			return st.Stats().Persisted
+		})
+		r.CounterFunc("moqod_store_dropped_total", "Puts shed because the writer queue was full.", "", func() uint64 {
+			return st.Stats().Dropped
+		})
+		r.CounterFunc("moqod_store_write_errors_total", "Failed appends and syncs.", "", func() uint64 {
+			return st.Stats().WriteErrors
+		})
+		r.CounterFunc("moqod_store_flushes_total", "Explicit flush acks served.", "", func() uint64 {
+			return st.Stats().Flushes
+		})
+	}
+}
+
+// cacheTotals sums the cache shards' stats (scrape path only).
+func (s *Service) cacheTotals() CacheStats {
+	var total CacheStats
+	for _, c := range s.caches {
+		cs := c.Stats()
+		total.add(cs)
+	}
+	return total
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // scheduler is one shard's fair-share refinement scheduler: a worker
@@ -145,6 +146,12 @@ func (sc *scheduler) start(workers int, run func(sc *scheduler, m *managed, hot 
 // no-op except that a hot request promotes a cold entry in place — O(1)
 // via a fresh stamp, the stale cold entry is skipped on pop.
 func (sc *scheduler) enqueue(m *managed, hot bool) {
+	// Queue-wait stamp, taken before the lock so the critical section
+	// stays exactly as long as before instrumentation (DESIGN.md D13).
+	// A hot promotion of an already-queued session restamps: its wait
+	// restarts from the promotion, matching the entry pop actually
+	// serviced.
+	m.enqueuedNS.Store(time.Now().UnixNano())
 	sc.mu.Lock()
 	if sc.stopped {
 		sc.mu.Unlock()

@@ -37,7 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +48,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/session"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // PersistPolicy selects when the snapshot store (Config.StoreDir)
@@ -137,6 +138,18 @@ type Config struct {
 	// DefaultBounds are the initial cost bounds of new sessions; nil
 	// means unbounded.
 	DefaultBounds cost.Vector
+
+	// SlowSession, when positive, invokes SlowSessionLog for every
+	// session whose creation→terminal wall time reaches the threshold,
+	// handing over the session's full lifecycle trace (moqod wires this
+	// to the -slow-session flag and logs the formatted trace).
+	SlowSession time.Duration
+
+	// SlowSessionLog receives slow sessions' traces; nil disables the
+	// hook even when SlowSession is set. Called once per terminal
+	// transition, outside all service locks — the callback may block
+	// (e.g. on a log write) without stalling workers holding locks.
+	SlowSessionLog func(total time.Duration, d trace.Data)
 }
 
 // ShardStats are one shard's gauges and counters.
@@ -178,8 +191,9 @@ type Stats struct {
 	IsoWarmStarts uint64
 	// RemapTotal is the cumulative wall time spent rewriting snapshots
 	// for isomorphic restores (at session creation, never on the
-	// refinement hot path).
-	RemapTotal time.Duration
+	// refinement hot path). Durations marshal as raw nanosecond
+	// integers, so the JSON name carries the unit explicitly.
+	RemapTotal time.Duration `json:"RemapTotalNs"`
 	// Active is the current number of live sessions.
 	Active int
 	// Queued is the current combined scheduler run-queue length.
@@ -187,8 +201,9 @@ type Stats struct {
 	// StepGapP99 is the starvation audit: the 99th percentile, across
 	// recent and live sessions, of each session's maximum start-to-start
 	// interval between consecutive refinement steps — how long the most
-	// starved sessions waited for service while runnable.
-	StepGapP99 time.Duration
+	// starved sessions waited for service while runnable. Serialized in
+	// explicit nanoseconds, like RemapTotal.
+	StepGapP99 time.Duration `json:"StepGapP99Ns"`
 	// Cache summarizes the warm-start cache across its shards (zero
 	// value if disabled).
 	Cache CacheStats
@@ -262,7 +277,14 @@ type Service struct {
 	caches     []*PlanCache // fingerprint-sharded; nil when disabled
 	store      *store.Store // persistent snapshot store; nil when disabled
 	quantum    int
-	shardSizes []int // workers per shard (ShardStats)
+	shardSizes []int          // workers per shard (ShardStats)
+	obs        *Observability // metric instruments + trace archive (never nil)
+
+	// statsMu serializes Stats callers so the starvation-audit scratch
+	// (gapScratch here, each manager's liveScratch) can be reused
+	// without racing; it is never held with any shard lock.
+	statsMu    sync.Mutex
+	gapScratch []time.Duration
 
 	nextID        atomic.Uint64
 	created       atomic.Uint64
@@ -313,6 +335,9 @@ func New(cfg Config) (*Service, error) {
 		cfg.JanitorInterval = cfg.IdleTimeout / 4
 	}
 	s := &Service{cfg: cfg, quantum: cfg.Quantum, janitorStop: make(chan struct{})}
+	// The instruments must exist before any worker can run a step
+	// (runSteps records into them unconditionally).
+	s.obs = newObservability(cfg.Shards)
 	if cfg.CacheCapacity >= 0 {
 		total := cfg.CacheCapacity
 		if total < 1 {
@@ -407,6 +432,7 @@ func New(cfg Config) (*Service, error) {
 	} else {
 		close(s.janitorStop)
 	}
+	s.registerMetrics()
 	return s, nil
 }
 
@@ -493,7 +519,15 @@ func (s *Service) janitor() {
 			return
 		case <-t.C:
 			for _, sh := range s.shards {
-				s.expired.Add(uint64(sh.mgr.expireIdle(s.cfg.IdleTimeout)))
+				expired := sh.mgr.expireIdle(s.cfg.IdleTimeout)
+				s.expired.Add(uint64(len(expired)))
+				// expireIdle already removed the sessions and recorded
+				// their starvation gaps; what remains is the terminal
+				// observability (trace archive, end-to-end histogram,
+				// slow-session hook).
+				for _, m := range expired {
+					s.observeEnd(m, trace.KindExpired)
+				}
 			}
 		}
 	}
@@ -526,6 +560,7 @@ func (s *Service) queuedSessions() int {
 // rewritten copy. At MaxActiveSessions or MaxQueueDepth, Create fails
 // with ErrOverloaded before any optimizer state is built.
 func (s *Service) Create(q *query.Query) (string, error) {
+	callStart := time.Now()
 	if q == nil {
 		return "", fmt.Errorf("service: nil query")
 	}
@@ -550,6 +585,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		canonFp, canonPerm = q.CanonicalFingerprint()
 	}
 	var sess *session.Session
+	var remapDur time.Duration
 	warm, warmExact := false, false
 	if cache := s.cacheFor(canonFp); cache != nil {
 		if snap, srcPerm, exact, ok := cache.Lookup(fp, canonFp); ok {
@@ -562,7 +598,9 @@ func (s *Service) Create(q *query.Query) (string, error) {
 				if perm, err := query.ComposeRemap(srcPerm, canonPerm); err == nil {
 					t0 := time.Now()
 					remapped, err := src.Remap(perm)
-					s.remapNS.Add(uint64(time.Since(t0)))
+					remapDur = time.Since(t0)
+					s.remapNS.Add(uint64(remapDur))
+					s.obs.Remap.ObserveDuration(remapDur)
 					if err == nil {
 						snap = remapped
 					}
@@ -618,6 +656,25 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		snapshotted: warmExact,
 	}
 	m.cond = sync.NewCond(&m.mu)
+	// Seed the lifecycle trace with the creation-path spans
+	// retroactively — the session (and its ID) did not exist while they
+	// happened. No lock needed yet: m is not published until mgr.add.
+	tr := trace.Get(id, now)
+	tr.AppendAt(trace.KindAdmit, 0, now.Sub(callStart), int64(m.shard))
+	if s.caches != nil {
+		switch {
+		case warmExact:
+			tr.AppendAt(trace.KindCacheExact, 0, 0, 0)
+		case warm:
+			tr.AppendAt(trace.KindCacheIso, 0, 0, 0)
+		default:
+			tr.AppendAt(trace.KindCacheMiss, 0, 0, 0)
+		}
+		if remapDur > 0 {
+			tr.AppendAt(trace.KindRemap, 0, remapDur, 0)
+		}
+	}
+	m.trace = tr
 	sh := s.shards[m.shard]
 	sh.mgr.add(m)
 	s.created.Add(1)
@@ -645,26 +702,66 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 	if hot {
 		k = 1
 	}
+	// batchStart/lastStart are step-start offsets from the trace epoch,
+	// reusing each step's noteStep timestamp; endBatch seals them into
+	// one KindSteps span per pop (per batch, not per step, so traces
+	// stay within the ring even for step-heavy sessions).
+	var batchStart, lastStart time.Duration
+	ran := 0
 	for i := 0; i < k; i++ {
 		m.mu.Lock()
 		if m.state != Refining {
+			s.endBatch(sc, m, batchStart, lastStart, ran)
 			m.mu.Unlock()
 			return
 		}
-		m.noteStep(time.Now())
+		now := time.Now()
+		if i == 0 {
+			// Queue wait: the stamp enqueue took before the scheduler
+			// lock, claimed exactly once per pop. Both reads ride
+			// timestamps the path already takes (D13) — no clock call
+			// or lock was added for this.
+			if enq := m.enqueuedNS.Swap(0); enq != 0 {
+				if wait := now.UnixNano() - enq; wait > 0 {
+					s.obs.QueueWait.ObserveShard(sc.id, wait)
+					if m.trace != nil {
+						m.trace.AppendAt(trace.KindQueueWait,
+							now.Sub(m.created)-time.Duration(wait), time.Duration(wait), int64(sc.id))
+					}
+				}
+			}
+		}
+		if gap := m.noteStep(now); gap > 0 {
+			s.obs.StepGap.ObserveShard(sc.id, int64(gap))
+		}
+		start := now.Sub(m.created)
+		if ran == 0 {
+			batchStart = start
+		}
+		lastStart = start
+		ran++
 		frontier := m.sess.Step()
 		m.steps++
 		s.steps.Add(1)
 		sc.stepsDone.Add(1)
 		if m.firstFrontier == 0 && len(frontier) > 0 {
 			m.firstFrontier = time.Since(m.created)
+			s.obs.FirstFrontier.ObserveDuration(m.firstFrontier)
+			if m.trace != nil {
+				m.trace.AppendAt(trace.KindFirstFrontier, m.firstFrontier, m.firstFrontier, 0)
+			}
 		}
 		if m.sess.AtMaxResolution() {
 			m.setState(AtTarget)
+			s.endBatch(sc, m, batchStart, lastStart, ran)
+			if m.trace != nil {
+				m.trace.AppendAt(trace.KindConverged, lastStart, 0, int64(m.steps))
+			}
 			if cache := s.cacheFor(m.canonFp); cache != nil && !m.snapshotted {
 				// The export also makes this session the representative
 				// of its isomorphism class, so later isomorphic queries
 				// warm-start from it via remap.
+				t0 := time.Now()
 				snap := m.sess.Optimizer().Snapshot()
 				cache.Put(m.fp, m.canonFp, m.canonPerm, snap)
 				if s.store != nil && s.cfg.StorePolicy == PersistOnPut {
@@ -674,17 +771,42 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 					s.store.Put(m.fp, m.canonFp, m.canonPerm, snap)
 				}
 				m.snapshotted = true
+				if m.trace != nil {
+					// Convergence is once per regime, so an extra clock
+					// pair here is off the hot path.
+					m.trace.Append(trace.KindExport, t0, time.Since(t0), 0)
+				}
 			}
 			m.mu.Unlock()
 			return
 		}
+		// Decide the continuation while still holding m.mu (hotPending
+		// is lock-free) so a preempted or exhausted batch seals its span
+		// without re-acquiring the lock.
+		preempt := i+1 < k && (owner.hotPending() || sc.hotPending())
+		if preempt || i+1 == k {
+			s.endBatch(sc, m, batchStart, lastStart, ran)
+		}
 		m.mu.Unlock()
-		if i+1 < k && (owner.hotPending() || sc.hotPending()) {
+		if preempt {
 			sc.preempts.Add(1)
 			break
 		}
 	}
 	owner.enqueue(m, false)
+}
+
+// endBatch seals one scheduling quantum: the steps-per-pop histogram
+// sample and the batch's KindSteps span (Dur is first-to-last step
+// start). Callers hold m.mu; a no-step batch records nothing.
+func (s *Service) endBatch(sc *scheduler, m *managed, first, last time.Duration, ran int) {
+	if ran == 0 {
+		return
+	}
+	s.obs.QuantumSteps.ObserveShard(sc.id, int64(ran))
+	if m.trace != nil {
+		m.trace.AppendAt(trace.KindSteps, first, last-first, int64(ran))
+	}
 }
 
 // lookup fetches a live session or fails with a not-found error.
@@ -697,11 +819,10 @@ func (s *Service) lookup(id string) (*managed, error) {
 }
 
 // finish removes a terminal session from its shard's registry and
-// archives its starvation sample. Callers must not hold m.mu.
-func (s *Service) finish(m *managed) {
-	m.mu.Lock()
-	gap := m.maxStepGap
-	m.mu.Unlock()
+// archives its starvation sample and lifecycle trace. k is the terminal
+// span kind (selected/closed). Callers must not hold m.mu.
+func (s *Service) finish(m *managed, k trace.Kind) {
+	gap := s.observeEnd(m, k)
 	sh := s.shards[m.shard]
 	sh.mgr.remove(m.id)
 	sh.mgr.recordGap(gap)
@@ -816,6 +937,10 @@ func (s *Service) SetBounds(id string, b cost.Vector) error {
 	// so the inter-step gap clock restarts with the new regime.
 	m.lastStep = time.Time{}
 	m.touch()
+	if m.trace != nil {
+		// touch just read the clock; reuse it for the span.
+		m.trace.Append(trace.KindBounds, m.lastTouch, 0, 0)
+	}
 	m.mu.Unlock()
 	s.shards[m.shard].sched.enqueue(m, true)
 	return nil
@@ -852,7 +977,7 @@ func (s *Service) Select(id string, index, expectSteps int) (*plan.Node, error) 
 	}
 	m.setState(Selected)
 	m.mu.Unlock()
-	s.finish(m)
+	s.finish(m, trace.KindSelected)
 	s.selected.Add(1)
 	// The session is finished: hand back a copy detached from the
 	// optimizer's arena, so a client keeping the plan does not pin the
@@ -873,7 +998,7 @@ func (s *Service) Close(id string) error {
 	}
 	m.setState(Closed)
 	m.mu.Unlock()
-	s.finish(m)
+	s.finish(m, trace.KindClosed)
 	s.closed.Add(1)
 	return nil
 }
@@ -893,7 +1018,12 @@ func (s *Service) Stats() Stats {
 		RemapTotal:    time.Duration(s.remapNS.Load()),
 		Shards:        make([]ShardStats, len(s.shards)),
 	}
-	var gaps []time.Duration
+	// statsMu serializes concurrent Stats callers over the reusable gap
+	// scratch (this slice and each shard's liveScratch); the sort and
+	// percentile below run with no shard lock held.
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	gaps := s.gapScratch[:0]
 	for i, sh := range s.shards {
 		sc := sh.sched
 		ss := ShardStats{
@@ -911,6 +1041,7 @@ func (s *Service) Stats() Stats {
 		gaps = sh.mgr.appendGaps(gaps)
 	}
 	st.StepGapP99 = percentileDur(gaps, 0.99)
+	s.gapScratch = gaps
 	if s.caches != nil {
 		st.CacheShards = make([]CacheStats, len(s.caches))
 		for i, c := range s.caches {
@@ -931,7 +1062,7 @@ func percentileDur(ds []time.Duration, p float64) time.Duration {
 	if len(ds) == 0 {
 		return 0
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	slices.Sort(ds)
 	i := int(p*float64(len(ds))) - 1
 	if i < 0 {
 		i = 0

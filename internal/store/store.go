@@ -29,8 +29,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/snapcodec"
 )
 
@@ -132,6 +134,12 @@ type Stats struct {
 	WriteErrors uint64
 	// Compactions counts segment compactions since open.
 	Compactions uint64
+	// Flushes counts explicit flush acks served (Flush/Close), and
+	// FlushTotal is the cumulative wall time of all fsyncs — flush acks
+	// and segment-rollover syncs alike. Durations marshal as raw
+	// nanosecond integers, so the JSON name carries the unit.
+	Flushes    uint64
+	FlushTotal time.Duration `json:"FlushTotalNs"`
 	// Pending is the writer queue's current backlog.
 	Pending int
 }
@@ -164,6 +172,15 @@ type Store struct {
 
 	queue chan writeReq
 	done  chan struct{}
+
+	// Latency and backlog instruments, recorded on the writer goroutine
+	// (appendHist: whole-record append; flushHist: every fsync) and at
+	// enqueue time (depthHist samples the backlog each Put observed).
+	// Single-stripe: only the writer and Put callers touch them, and
+	// recording is atomics-only either way.
+	appendHist *metrics.Histogram
+	flushHist  *metrics.Histogram
+	depthHist  *metrics.Histogram
 }
 
 // writeReq is one queued append; flush requests carry only ack.
@@ -193,11 +210,14 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		opts:     opts,
-		index:    map[string]location{},
-		segments: map[int64]int64{},
-		queue:    make(chan writeReq, opts.QueueDepth),
-		done:     make(chan struct{}),
+		opts:       opts,
+		index:      map[string]location{},
+		segments:   map[int64]int64{},
+		queue:      make(chan writeReq, opts.QueueDepth),
+		done:       make(chan struct{}),
+		appendHist: metrics.NewDuration(1),
+		flushHist:  metrics.NewDuration(1),
+		depthHist:  metrics.NewValues(1, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
 	}
 	if err := s.scan(); err != nil {
 		return nil, err
@@ -497,6 +517,11 @@ func (s *Store) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	if snap == nil {
 		return
 	}
+	// Sample the backlog this producer saw (len on a channel is a
+	// lock-free read); the depth distribution shows how close live
+	// traffic runs to the shedding threshold, which the Dropped counter
+	// alone cannot.
+	s.depthHist.Observe(int64(len(s.queue)))
 	select {
 	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, Perm: perm, Snap: snap}}:
 	default:
@@ -557,6 +582,17 @@ func (s *Store) Close() error {
 	return err
 }
 
+// Instruments returns the store's histograms — record-append latency,
+// fsync latency, and the writer backlog sampled at each Put — for
+// registration in a metrics registry. The histograms live as long as
+// the store.
+func (s *Store) Instruments() (appendH, flushH, depthH *metrics.Histogram) {
+	return s.appendHist, s.flushHist, s.depthHist
+}
+
+// QueueDepth returns the writer queue's current backlog (lock-free).
+func (s *Store) QueueDepth() int { return len(s.queue) }
+
 // Stats returns a consistent snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -591,6 +627,8 @@ func (s *Store) writer() {
 // index. Failures are counted, not propagated: the caller already has
 // the snapshot in memory.
 func (s *Store) append(rec Record) {
+	t0 := time.Now()
+	defer func() { s.appendHist.ObserveDuration(time.Since(t0)) }()
 	frame, err := encodeFrame(rec)
 	if err != nil {
 		s.mu.Lock()
@@ -634,7 +672,7 @@ func (s *Store) ensureActiveLocked(next int64) error {
 		// active file, so without this a rolled segment's frames could
 		// sit in the page cache past a flush ack and be lost to a
 		// crash the caller was told they survived.
-		if err := s.file.Sync(); err != nil {
+		if err := s.syncFileLocked(); err != nil {
 			s.stats.WriteErrors++
 		}
 		s.file.Close()
@@ -658,10 +696,23 @@ func (s *Store) ensureActiveLocked(next int64) error {
 func (s *Store) sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.Flushes++
 	if s.file == nil {
 		return nil
 	}
-	return s.file.Sync()
+	return s.syncFileLocked()
+}
+
+// syncFileLocked fsyncs the active segment, feeding the flush-latency
+// histogram and cumulative flush time. Callers hold mu and have checked
+// s.file != nil.
+func (s *Store) syncFileLocked() error {
+	t0 := time.Now()
+	err := s.file.Sync()
+	d := time.Since(t0)
+	s.flushHist.ObserveDuration(d)
+	s.stats.FlushTotal += d
+	return err
 }
 
 // maybeCompactLocked rewrites the live records into a fresh segment

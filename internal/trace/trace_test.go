@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppendAndSnapshotOrder(t *testing.T) {
+	start := time.Unix(100, 0)
+	tr := New("s-1", start)
+	tr.Append(KindAdmit, start, 3*time.Microsecond, 2)
+	tr.Append(KindCacheMiss, start, 0, 0)
+	tr.Append(KindQueueWait, start.Add(time.Millisecond), time.Millisecond, 1)
+	tr.Append(KindSteps, start.Add(2*time.Millisecond), 500*time.Microsecond, 4)
+
+	d := tr.Snapshot()
+	if d.ID != "s-1" || !d.Start.Equal(start) {
+		t.Fatalf("header: %+v", d)
+	}
+	if d.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", d.Dropped)
+	}
+	wantKinds := []string{"admit", "cache-miss", "queue-wait", "steps"}
+	if len(d.Spans) != len(wantKinds) {
+		t.Fatalf("got %d spans, want %d", len(d.Spans), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if d.Spans[i].Kind != k {
+			t.Errorf("span %d kind %q, want %q", i, d.Spans[i].Kind, k)
+		}
+	}
+	if d.Spans[2].AtNS != int64(time.Millisecond) {
+		t.Errorf("queue-wait offset %d", d.Spans[2].AtNS)
+	}
+	if d.Spans[3].N != 4 {
+		t.Errorf("steps N = %d, want 4", d.Spans[3].N)
+	}
+}
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	start := time.Unix(0, 0)
+	tr := New("s-2", start)
+	total := ringCap + 10
+	for i := 0; i < total; i++ {
+		tr.Append(KindSteps, start.Add(time.Duration(i)), 0, int64(i))
+	}
+	d := tr.Snapshot()
+	if d.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", d.Dropped)
+	}
+	if len(d.Spans) != ringCap {
+		t.Fatalf("spans = %d, want %d", len(d.Spans), ringCap)
+	}
+	if d.Spans[0].N != 10 || d.Spans[ringCap-1].N != int64(total-1) {
+		t.Fatalf("wrap kept wrong window: first N=%d last N=%d", d.Spans[0].N, d.Spans[ringCap-1].N)
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+}
+
+// TestAppendAllocFree pins the step-path contract: appending a span
+// (wall-clock or precomputed-offset form) never allocates.
+func TestAppendAllocFree(t *testing.T) {
+	tr := New("s-3", time.Now())
+	at := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Append(KindSteps, at, time.Microsecond, 4)
+	}); allocs != 0 {
+		t.Errorf("Append allocates %.2f per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.AppendAt(KindQueueWait, time.Millisecond, time.Microsecond, 1)
+	}); allocs != 0 {
+		t.Errorf("AppendAt allocates %.2f per call, want 0", allocs)
+	}
+}
+
+func TestArchiveFindAndRecent(t *testing.T) {
+	a := NewArchive(3)
+	start := time.Unix(0, 0)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		tr := New(id, start)
+		tr.Append(KindClosed, start, 0, 0)
+		a.Add(tr)
+	}
+	if _, ok := a.Find("a"); ok {
+		t.Fatal("'a' should have been evicted from a capacity-3 archive")
+	}
+	d, ok := a.Find("c")
+	if !ok || d.ID != "c" || len(d.Spans) != 1 {
+		t.Fatalf("Find(c) = %+v, %v", d, ok)
+	}
+	recent := a.Recent(0)
+	if len(recent) != 3 || recent[0].ID != "d" || recent[2].ID != "b" {
+		t.Fatalf("Recent order wrong: %v", ids(recent))
+	}
+	if got := a.Recent(2); len(got) != 2 || got[0].ID != "d" {
+		t.Fatalf("Recent(2) = %v", ids(got))
+	}
+
+	// Re-used IDs resolve to the newest trace.
+	tr := New("c", start)
+	tr.Append(KindExpired, start, 0, 0)
+	tr.Append(KindExpired, start, 0, 0)
+	a.Add(tr)
+	if d, _ := a.Find("c"); len(d.Spans) != 2 {
+		t.Fatalf("Find after re-add returned stale trace: %+v", d)
+	}
+}
+
+func TestArchiveCopiesAreDetached(t *testing.T) {
+	a := NewArchive(2)
+	start := time.Unix(0, 0)
+	tr := New("x", start)
+	tr.Append(KindClosed, start, 0, 7)
+	a.Add(tr)
+	d, _ := a.Find("x")
+	// Overwrite the slot twice; the earlier copy must not change.
+	for i := 0; i < 4; i++ {
+		tr2 := New("y", start)
+		tr2.Append(KindSelected, start, 0, int64(i))
+		a.Add(tr2)
+	}
+	if d.ID != "x" || d.Spans[0].N != 7 {
+		t.Fatalf("detached copy mutated: %+v", d)
+	}
+}
+
+func TestDataJSONAndFormat(t *testing.T) {
+	start := time.Unix(50, 0)
+	tr := New("s-9", start)
+	tr.Append(KindAdmit, start, 2*time.Microsecond, 1)
+	tr.Append(KindFirstFrontier, start.Add(time.Millisecond), time.Millisecond, 0)
+	raw, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Data
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "s-9" || len(back.Spans) != 2 || back.Spans[1].Kind != "first-frontier" {
+		t.Fatalf("JSON round trip: %+v", back)
+	}
+	text := tr.Snapshot().Format()
+	for _, want := range []string{"session s-9", "admit", "first-frontier"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindAdmit; k <= KindExpired; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind should be unknown")
+	}
+}
+
+func ids(ds []Data) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// TestPoolReuseResets pins the recycling contract: a ring fetched from
+// the pool carries nothing from its previous owner, even after that
+// owner wrapped the ring and dropped spans.
+func TestPoolReuseResets(t *testing.T) {
+	epoch := time.Unix(100, 0)
+	a := Get("first", epoch)
+	for i := 0; i < ringCap+5; i++ {
+		a.AppendAt(KindSteps, time.Duration(i), 0, int64(i))
+	}
+	Put(a)
+	b := Get("second", epoch.Add(time.Hour))
+	if b.Len() != 0 {
+		t.Fatalf("recycled trace has %d spans", b.Len())
+	}
+	d := b.Snapshot()
+	if d.ID != "second" || d.Dropped != 0 || len(d.Spans) != 0 {
+		t.Fatalf("recycled snapshot leaks previous owner: %+v", d)
+	}
+	if !d.Start.Equal(epoch.Add(time.Hour)) {
+		t.Fatalf("recycled start = %v", d.Start)
+	}
+	b.Append(KindAdmit, d.Start.Add(time.Millisecond), 0, 0)
+	if s := b.Snapshot(); len(s.Spans) != 1 || s.Spans[0].Kind != "admit" {
+		t.Fatalf("append after reuse: %+v", s.Spans)
+	}
+}

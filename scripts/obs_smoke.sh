@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Observability smoke: boot moqod, drive one session over HTTP, and
+# fail unless /metrics serves well-formed non-empty lifecycle
+# histograms and the session's trace is retrievable. CI runs this
+# (see .github/workflows/ci.yml); it only needs curl + jq.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+BIN="${BIN:-/tmp/moqod-smoke}"
+
+go build -o "$BIN" ./cmd/moqod
+
+"$BIN" -addr "$ADDR" -workers 2 -shards 2 -levels 3 -pprof -slow-session 1ns &
+MOQOD=$!
+trap 'kill "$MOQOD" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 100); do
+    curl -fsS "http://$ADDR/statz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/statz" >/dev/null
+
+id=$(curl -fsS -X POST "http://$ADDR/sessions" -d '{"block":"Q4"}' | jq -re '.id')
+echo "obs_smoke: created session $id"
+
+# Poll to convergence, then select so the session finishes and the
+# end-to-end histogram and trace archive get their samples.
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS "http://$ADDR/sessions/$id" | jq -re '.state')
+    [ "$state" = "at-target" ] && break
+    sleep 0.1
+done
+if [ "$state" != "at-target" ]; then
+    echo "obs_smoke: session stuck in state '$state'" >&2
+    exit 1
+fi
+curl -fsS -X POST "http://$ADDR/sessions/$id/select" -d '{"index":0}' >/dev/null
+
+metrics=$(curl -fsS "http://$ADDR/metrics")
+for fam in moqod_first_frontier_seconds moqod_queue_wait_seconds \
+           moqod_quantum_steps moqod_session_duration_seconds; do
+    count=$(printf '%s\n' "$metrics" | awk -v f="${fam}_count" '$1 == f {print $2}')
+    if [ -z "$count" ] || [ "$count" = "0" ]; then
+        echo "obs_smoke: histogram $fam empty or missing (count='$count')" >&2
+        printf '%s\n' "$metrics" | grep "$fam" >&2 || true
+        exit 1
+    fi
+    echo "obs_smoke: ${fam}_count=$count"
+done
+printf '%s\n' "$metrics" | grep -q '^moqod_sessions_selected_total 1$' ||
+    { echo "obs_smoke: selected counter wrong" >&2; exit 1; }
+
+# The finished session's trace must survive in the archive with spans.
+spans=$(curl -fsS "http://$ADDR/debug/sessions/$id/trace" | jq -re '.spans | length')
+if [ "$spans" -lt 3 ]; then
+    echo "obs_smoke: archived trace has only $spans spans" >&2
+    exit 1
+fi
+echo "obs_smoke: trace has $spans spans"
+
+curl -fsS "http://$ADDR/debug/traces?n=4" | jq -e 'length == 1' >/dev/null
+curl -fsS "http://$ADDR/debug/pprof/" >/dev/null
+
+echo "obs_smoke: OK"
