@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// newFaultServer is newTestServer with the caller mutating the service
+// config first — admission limits, fault hooks.
+func newFaultServer(t *testing.T, mutate func(*service.Config)) *httptest.Server {
+	t.Helper()
+	cfg := service.Config{
+		Opt: core.Config{
+			Model:            costmodel.Default(),
+			ResolutionLevels: 3,
+			TargetPrecision:  1.05,
+			PrecisionStep:    0.1,
+		},
+		Workers:       2,
+		Shards:        2,
+		CacheCapacity: 16,
+		IdleTimeout:   -1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(1), seed: 1,
+		dim: costmodel.Default().Space().Dim()}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown()
+	})
+	return ts
+}
+
+func createSession(t *testing.T, ts *httptest.Server, block string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/sessions", "application/json",
+		strings.NewReader(`{"block":"`+block+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestOverloadResponseBody checks the structured 429: the Retry-After
+// header, and a JSON body carrying the machine-readable code, the
+// retry hint, the tripped limit and the hottest shard.
+func TestOverloadResponseBody(t *testing.T) {
+	ts := newFaultServer(t, func(cfg *service.Config) { cfg.MaxActiveSessions = 1 })
+
+	first := createSession(t, ts, "Q4")
+	first.Body.Close()
+	if first.StatusCode != http.StatusCreated {
+		t.Fatalf("first create: status %d", first.StatusCode)
+	}
+	resp := createSession(t, ts, "Q12")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second create: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After %q, want \"1\"", ra)
+	}
+	var body struct {
+		Error             string `json:"error"`
+		Code              string `json:"code"`
+		RetryAfterSeconds int    `json:"retryAfterSeconds"`
+		Kind              string `json:"kind"`
+		Shard             *int   `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Code != "overloaded" || body.RetryAfterSeconds != 1 {
+		t.Errorf("code %q retryAfterSeconds %d, want overloaded/1", body.Code, body.RetryAfterSeconds)
+	}
+	if body.Kind != "sessions" {
+		t.Errorf("kind %q, want sessions (MaxActiveSessions tripped)", body.Kind)
+	}
+	if body.Shard == nil || *body.Shard < 0 || *body.Shard > 1 {
+		t.Errorf("shard %v, want 0 or 1", body.Shard)
+	}
+	if body.Error == "" || !strings.Contains(body.Error, "overloaded") {
+		t.Errorf("error %q does not describe the refusal", body.Error)
+	}
+}
+
+// TestPollReportsFailure drives a session whose first step panics and
+// checks the API surface of panic isolation: the poll body reports
+// state "failed" with the captured error, and DELETE acknowledges it.
+func TestPollReportsFailure(t *testing.T) {
+	ts := newFaultServer(t, func(cfg *service.Config) {
+		cfg.FaultHook = func(id string, step int) {
+			if step == 0 {
+				panic("injected api fault")
+			}
+		}
+	})
+	resp := createSession(t, ts, "Q4")
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("create: status %d id %q", resp.StatusCode, created.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, ts.URL+"/sessions/"+created.ID, &st); code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+		if st.State == "failed" {
+			if !strings.Contains(st.Error, "injected api fault") {
+				t.Fatalf("failed poll error %q does not carry the panic", st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %q", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusOK {
+		t.Fatalf("delete failed session: status %d", del.StatusCode)
+	}
+}

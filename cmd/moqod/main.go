@@ -85,6 +85,10 @@ func main() {
 	alphaT := flag.Float64("target", 1.01, "target precision αT")
 	alphaS := flag.Float64("step", 0.05, "precision step αS")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "expire sessions idle this long")
+	deadline := flag.Duration("session-deadline", 0, "hard wall-clock lifetime per session; older sessions time out (0 disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard; 0 disables)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout (0 disables)")
 	cacheCap := flag.Int("cache", 256, "warm-start cache capacity (-1 disables)")
 	cacheDir := flag.String("cache-dir", "", "persist warm-start snapshots under this directory (survives restarts; empty disables)")
 	persistOnEvict := flag.Bool("persist-on-evict", false, "persist snapshots on cache eviction + shutdown sweep instead of write-through")
@@ -115,6 +119,7 @@ func main() {
 		MaxActiveSessions: *maxSessions,
 		MaxQueueDepth:     *maxQueue,
 		IdleTimeout:       *idle,
+		SessionDeadline:   *deadline,
 		CacheCapacity:     *cacheCap,
 		StoreDir:          *cacheDir,
 	}
@@ -162,7 +167,16 @@ func main() {
 	// accepting, drain in-flight requests, and let svc.Shutdown flush
 	// the snapshot store — killing the process outright would lose any
 	// snapshots the background writer has not reached yet.
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	// The explicit timeouts close the slowloris hole a bare http.Server
+	// leaves open: a client trickling header bytes (or never reading its
+	// response) would otherwise pin a connection goroutine forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	sigCh := make(chan os.Signal, 1)
@@ -254,9 +268,21 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, service.ErrOverloaded) {
 			// Admission control shed the session; tell clients when to
-			// come back instead of letting them hammer the queue.
+			// come back instead of letting them hammer the queue. The
+			// body mirrors the Retry-After header in structured form,
+			// plus which limit tripped and which shard was hottest.
+			body := map[string]any{
+				"error":             err.Error(),
+				"code":              "overloaded",
+				"retryAfterSeconds": 1,
+			}
+			var oe *service.OverloadError
+			if errors.As(err, &oe) {
+				body["kind"] = oe.Kind
+				body["shard"] = oe.Shard
+			}
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, err)
+			writeJSON(w, http.StatusTooManyRequests, body)
 			return
 		}
 		writeErr(w, http.StatusInternalServerError, err)
@@ -327,7 +353,7 @@ func (s *server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	for i, p := range st.Frontier {
 		frontier[i] = planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"id":              st.ID,
 		"query":           st.Query,
 		"state":           st.State.String(),
@@ -336,7 +362,13 @@ func (s *server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		"steps":           st.Steps,
 		"frontier":        frontier,
 		"firstFrontierUs": st.FirstFrontier.Microseconds(),
-	})
+	}
+	if st.Err != "" {
+		// A failed session's captured panic, so clients learn why their
+		// session died instead of polling an opaque terminal state.
+		body["error"] = st.Err
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleBounds(w http.ResponseWriter, r *http.Request) {
@@ -445,17 +477,22 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 		firstLats []time.Duration
 		totalLats []time.Duration
 		failures  int
+		retries   int
 		sampleErr []error
 	)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < concurrency; c++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker RNG for the retry jitter: no sharing, and runs
+			// stay reproducible under -seed.
+			rng := rand.New(rand.NewSource(seed + int64(worker)))
 			for p := range work {
-				first, dur, err := driveSession(svc, p)
+				first, dur, tries, err := driveSession(svc, p, rng)
 				mu.Lock()
+				retries += tries
 				if err != nil {
 					failures++
 					if len(sampleErr) < 3 {
@@ -467,7 +504,7 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 				}
 				mu.Unlock()
 			}
-		}()
+		}(c)
 	}
 	for _, p := range profiles {
 		work <- p
@@ -482,6 +519,11 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 	st := svc.Stats()
 	fmt.Printf("completed %d sessions in %v (%.1f sessions/sec, %d refinement steps)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), st.Steps)
+	if retries > 0 || st.Rejected > 0 {
+		// Recovered throughput, not error soup: overloaded creates were
+		// retried with backoff and still completed above.
+		fmt.Printf("admission: %d rejections absorbed by %d backoff retries\n", st.Rejected, retries)
+	}
 	fmt.Printf("first-frontier latency: p50=%v p95=%v p99=%v max=%v\n",
 		harness.Percentile(firstLats, 0.50), harness.Percentile(firstLats, 0.95),
 		harness.Percentile(firstLats, 0.99), harness.Percentile(firstLats, 1))
@@ -522,27 +564,28 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 	return nil
 }
 
-// driveSession plays one profile: create, poll to the first frontier,
-// drag bounds BoundsResets times (each re-converging to target), then
-// select or abandon. Returns first-frontier and total latency.
-func driveSession(svc *service.Service, p workload.SessionProfile) (first, total time.Duration, err error) {
+// driveSession plays one profile: create (retrying overload refusals
+// with backoff), poll to the first frontier, drag bounds BoundsResets
+// times (each re-converging to target), then select or abandon.
+// Returns first-frontier and total latency plus the creates retried.
+func driveSession(svc *service.Service, p workload.SessionProfile, rng *rand.Rand) (first, total time.Duration, tries int, err error) {
 	start := time.Now()
-	id, err := svc.Create(p.Block.Query)
+	id, tries, err := createWithRetry(svc, p.Block.Query, rng)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, tries, err
 	}
 	st, err := awaitTarget(svc, id)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, tries, err
 	}
 	first = st.FirstFrontier
 	for i := 0; i < p.BoundsResets && len(st.Frontier) > 0; i++ {
 		b := st.Frontier[0].Cost.Scale(p.BoundsScale)
 		if err := svc.SetBounds(id, b); err != nil {
-			return 0, 0, err
+			return 0, 0, tries, err
 		}
 		if st, err = awaitTarget(svc, id); err != nil {
-			return 0, 0, err
+			return 0, 0, tries, err
 		}
 	}
 	if p.Selects && len(st.Frontier) > 0 {
@@ -551,9 +594,32 @@ func driveSession(svc *service.Service, p workload.SessionProfile) (first, total
 		err = svc.Close(id)
 	}
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, tries, err
 	}
-	return first, time.Since(start), nil
+	return first, time.Since(start), tries, nil
+}
+
+// createWithRetry is the recommended 429 client behavior, exercised
+// in-process: overload refusals back off exponentially with ±50%
+// jitter, capped at the 1s Retry-After the HTTP surface advertises, so
+// shed load turns into recovered throughput instead of failures.
+func createWithRetry(svc *service.Service, q *query.Query, rng *rand.Rand) (string, int, error) {
+	const (
+		retryAfter = time.Second // cap: what the 429 Retry-After promises
+		maxTries   = 50
+	)
+	backoff := 5 * time.Millisecond
+	for tries := 0; ; tries++ {
+		id, err := svc.Create(q)
+		if err == nil || !errors.Is(err, service.ErrOverloaded) || tries == maxTries {
+			return id, tries, err
+		}
+		d := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		time.Sleep(d)
+		if backoff *= 2; backoff > retryAfter {
+			backoff = retryAfter
+		}
+	}
 }
 
 // awaitTarget blocks on the service's step-completion signal until the

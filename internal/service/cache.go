@@ -41,6 +41,7 @@ type PlanCache struct {
 	misses    uint64
 	puts      uint64
 	evictions uint64
+	poisoned  uint64
 	plans     int // running sum of PlanCount over cached snapshots
 
 	// onEvict, when set, receives every LRU-evicted entry after the
@@ -81,24 +82,48 @@ func NewPlanCache(capacity int) *PlanCache {
 // Lookup returns the snapshot cached for the exact fingerprint, or —
 // failing that — the representative snapshot of the canonical digest's
 // isomorphism class together with its source permutation (the caller
-// composes it with its own and remaps). exact reports which tier hit;
-// a hit or miss is recorded either way.
-func (c *PlanCache) Lookup(fp, canonFp string) (snap *core.Snapshot, srcPerm []int, exact, ok bool) {
+// composes it with its own and remaps). srcFP is the exact fingerprint
+// of the entry that satisfied the hit — the key a caller passes to
+// Quarantine if the restored snapshot turns out to be poison. exact
+// reports which tier hit; a hit or miss is recorded either way.
+func (c *PlanCache) Lookup(fp, canonFp string) (snap *core.Snapshot, srcPerm []int, srcFP string, exact, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, hit := c.items[fp]; hit {
 		c.exactHits++
 		c.ll.MoveToFront(el)
-		return el.Value.(*cacheItem).snap, nil, true, true
+		return el.Value.(*cacheItem).snap, nil, fp, true, true
 	}
 	if el, hit := c.canon[canonFp]; hit {
 		c.isoHits++
 		c.ll.MoveToFront(el)
 		item := el.Value.(*cacheItem)
-		return item.snap, item.perm, false, true
+		return item.snap, item.perm, item.fp, false, true
 	}
 	c.misses++
-	return nil, nil, false, false
+	return nil, nil, "", false, false
+}
+
+// Quarantine evicts fp's entry from both tiers without invoking the
+// persist-on-evict hook: the entry is poison (its restore or first
+// post-restore step failed), and persisting it would re-arm the very
+// record quarantine exists to bury. Unknown fingerprints are a no-op
+// (a concurrent LRU eviction may have raced the quarantine).
+func (c *PlanCache) Quarantine(fp string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		return
+	}
+	item := el.Value.(*cacheItem)
+	c.ll.Remove(el)
+	delete(c.items, fp)
+	if rep, ok := c.canon[item.canonFp]; ok && rep == el {
+		delete(c.canon, item.canonFp)
+	}
+	c.plans -= item.snap.PlanCount()
+	c.poisoned++
 }
 
 // OnEvict registers fn to receive every entry the LRU evicts (invoked
@@ -232,6 +257,9 @@ type CacheStats struct {
 	// stable cache from one churning at capacity — and size the write
 	// load of the persist-on-evict store policy.
 	Puts, Evictions uint64
+	// Poisoned counts entries quarantined because their restore or first
+	// post-restore step failed (DESIGN.md D14).
+	Poisoned uint64
 	// Plans is the total number of plan entries across cached snapshots.
 	Plans int
 }
@@ -247,6 +275,7 @@ func (cs *CacheStats) add(o CacheStats) {
 	cs.IsoHits += o.IsoHits
 	cs.Puts += o.Puts
 	cs.Evictions += o.Evictions
+	cs.Poisoned += o.Poisoned
 	cs.Plans += o.Plans
 }
 
@@ -265,6 +294,7 @@ func (c *PlanCache) Stats() CacheStats {
 		IsoHits:      c.isoHits,
 		Puts:         c.puts,
 		Evictions:    c.evictions,
+		Poisoned:     c.poisoned,
 		Plans:        c.plans,
 	}
 }

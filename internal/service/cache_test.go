@@ -10,7 +10,7 @@ import (
 // getExact is Lookup restricted to the exact tier, the shape most of
 // the LRU assertions need.
 func getExact(c *PlanCache, fp string) (*core.Snapshot, bool) {
-	snap, _, exact, ok := c.Lookup(fp, "")
+	snap, _, _, exact, ok := c.Lookup(fp, "")
 	if !ok || !exact {
 		return nil, false
 	}
@@ -73,14 +73,14 @@ func TestPlanCacheCanonicalTier(t *testing.T) {
 	perm := []int{2, 0, 1}
 	c.Put("fpA", "shape", perm, snap)
 
-	got, srcPerm, exact, ok := c.Lookup("fpB", "shape")
+	got, srcPerm, _, exact, ok := c.Lookup("fpB", "shape")
 	if !ok || exact || got != snap {
 		t.Fatalf("canonical lookup = (%v, exact=%v, ok=%v), want iso hit", got, exact, ok)
 	}
 	if len(srcPerm) != 3 || srcPerm[0] != 2 {
 		t.Errorf("source permutation not returned: %v", srcPerm)
 	}
-	if _, _, exact, ok := c.Lookup("fpA", "shape"); !ok || !exact {
+	if _, _, _, exact, ok := c.Lookup("fpA", "shape"); !ok || !exact {
 		t.Error("exact lookup did not hit the exact tier")
 	}
 	st := c.Stats()
@@ -110,7 +110,7 @@ func TestPlanCacheEvictionAccounting(t *testing.T) {
 	if _, ok := getExact(c, "fpA"); ok {
 		t.Fatal("fpA survived beyond capacity")
 	}
-	if _, _, _, ok := c.Lookup("fpX", "shape"); !ok {
+	if _, _, _, _, ok := c.Lookup("fpX", "shape"); !ok {
 		t.Error("canonical entry lost although its representative fpB is still cached")
 	}
 	// Now evict fpC's class representative: its canonical entry must
@@ -120,7 +120,7 @@ func TestPlanCacheEvictionAccounting(t *testing.T) {
 	if _, ok := getExact(c, "fpC"); ok {
 		t.Fatal("fpC survived though it was LRU")
 	}
-	if _, _, _, ok := c.Lookup("fpY", "other"); ok {
+	if _, _, _, _, ok := c.Lookup("fpY", "other"); ok {
 		t.Error("dangling canonical entry after its representative was evicted")
 	}
 	if st := c.Stats(); st.Entries != 2 || st.CanonEntries != 2 {

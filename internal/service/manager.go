@@ -28,6 +28,13 @@ const (
 	Closed
 	// Expired means the idle janitor reclaimed the session.
 	Expired
+	// Failed means a refinement step or warm restore panicked (or failed
+	// validation); the captured error stays pollable until the client
+	// closes the session or the janitor reaps it.
+	Failed
+	// TimedOut means the session hit its wall-clock deadline before
+	// terminating; reclaimed by the janitor like Expired.
+	TimedOut
 )
 
 // String returns the state name.
@@ -43,6 +50,10 @@ func (s State) String() string {
 		return "closed"
 	case Expired:
 		return "expired"
+	case Failed:
+		return "failed"
+	case TimedOut:
+		return "timed-out"
 	default:
 		return "unknown"
 	}
@@ -74,9 +85,17 @@ type managed struct {
 	state       State
 	lastTouch   time.Time // last client interaction (create/poll/bounds/select)
 	created     time.Time
-	warm        bool // started from a cached snapshot
-	steps       int  // scheduler steps executed
-	snapshotted bool // plan state already exported to the cache
+	warm        bool   // started from a cached snapshot
+	srcFP       string // cache entry the warm start restored from ("" when cold)
+	steps       int    // scheduler steps executed
+	snapshotted bool   // plan state already exported to the cache
+
+	// failErr and failStack carry the recovered panic (or validation
+	// failure) of a Failed session; surfaced in Poll responses and the
+	// slow-session/trace audit trail. Set exactly once, under mu, at the
+	// Failed transition.
+	failErr   string
+	failStack string
 
 	// firstFrontier is the latency from session creation to the first
 	// step that produced a non-empty frontier (0 until then) — the
@@ -262,35 +281,61 @@ func (mg *manager) all() []*managed {
 	return out
 }
 
-// expireIdle transitions every live session untouched for at least ttl
-// to Expired, removes it from the registry, and returns the sessions
-// reclaimed (so the caller can record their terminal observability —
-// end-to-end latency, trace archive — outside the registry lock).
-// Sessions mid-step simply expire once the worker releases the lock.
-func (mg *manager) expireIdle(ttl time.Duration) []*managed {
+// sweep is the janitor pass over the shard: live sessions untouched
+// for at least ttl become Expired, live sessions older than deadline
+// become TimedOut (a hard wall clock — waiters are woken, not
+// honored), and Failed sessions whose error has lingered unread past
+// the same windows are silently reaped (their terminal observability
+// was recorded at the failure). Either window may be <= 0 to disable
+// it. The transitioned sessions are returned so the caller can record
+// terminal observability outside the registry lock; sessions mid-step
+// simply transition once the worker releases the lock.
+func (mg *manager) sweep(ttl, deadline time.Duration) (expired, timedOut []*managed) {
 	mg.mu.Lock()
-	var stale []*managed
-	now := time.Now()
+	stale := make([]*managed, 0, len(mg.sessions))
 	for _, m := range mg.sessions {
 		stale = append(stale, m)
 	}
 	mg.mu.Unlock()
 
-	var expired []*managed
+	now := time.Now()
+	const (
+		keep = iota
+		expire
+		timeout
+		reapFailed
+	)
 	for _, m := range stale {
 		m.mu.Lock()
-		kill := m.state.Live() && m.waiters == 0 && now.Sub(m.lastTouch) >= ttl
+		overDeadline := deadline > 0 && now.Sub(m.created) >= deadline
+		idle := ttl > 0 && m.waiters == 0 && now.Sub(m.lastTouch) >= ttl
+		action := keep
 		var gap time.Duration
-		if kill {
+		switch {
+		case m.state.Live() && overDeadline:
+			m.setState(TimedOut)
+			gap = m.maxStepGap
+			action = timeout
+		case m.state.Live() && idle:
 			m.setState(Expired)
 			gap = m.maxStepGap
+			action = expire
+		case m.state == Failed && m.waiters == 0 && (idle || (ttl <= 0 && overDeadline)):
+			action = reapFailed
 		}
 		m.mu.Unlock()
-		if kill {
+		switch action {
+		case timeout:
+			mg.remove(m.id)
+			mg.recordGap(gap)
+			timedOut = append(timedOut, m)
+		case expire:
 			mg.remove(m.id)
 			mg.recordGap(gap)
 			expired = append(expired, m)
+		case reapFailed:
+			mg.remove(m.id)
 		}
 	}
-	return expired
+	return expired, timedOut
 }

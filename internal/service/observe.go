@@ -147,6 +147,9 @@ func (s *Service) registerMetrics() {
 	r.CounterFunc("moqod_sessions_selected_total", "Sessions finished by plan selection.", "", s.selected.Load)
 	r.CounterFunc("moqod_sessions_closed_total", "Sessions closed without selecting.", "", s.closed.Load)
 	r.CounterFunc("moqod_sessions_expired_total", "Sessions reclaimed by the idle janitor.", "", s.expired.Load)
+	r.CounterFunc("moqod_sessions_failed_total", "Sessions killed by a recovered step panic.", "", s.failed.Load)
+	r.CounterFunc("moqod_sessions_timed_out_total", "Sessions reclaimed at their wall-clock deadline.", "", s.timedOut.Load)
+	r.CounterFunc("moqod_snapshots_poisoned_total", "Warm-start sources quarantined after a restore or first-step failure.", "", s.poisoned.Load)
 	r.CounterFunc("moqod_sessions_rejected_total", "Create calls refused by admission control.", "", s.rejected.Load)
 	r.CounterFunc("moqod_steps_total", "Refinement steps executed by the scheduler.", "", s.steps.Load)
 	r.CounterFunc("moqod_warm_starts_total", "Sessions created from a cached snapshot (exact and isomorphic).", "", s.warmStarts.Load)
@@ -181,6 +184,7 @@ func (s *Service) registerMetrics() {
 		r.CounterFunc("moqod_shard_pops_total", "Queue pops serviced by the shard's workers.", lbl, sc.pops.Load)
 		r.CounterFunc("moqod_shard_steals_total", "Cold sessions stolen from peer shards.", lbl, sc.steals.Load)
 		r.CounterFunc("moqod_shard_preempts_total", "Cold quanta cut short by a hot arrival.", lbl, sc.preempts.Load)
+		r.CounterFunc("moqod_shard_rejected_total", "Admissions refused while the shard was hottest.", lbl, sc.rejects.Load)
 	}
 
 	if s.caches != nil {
@@ -201,6 +205,9 @@ func (s *Service) registerMetrics() {
 		})
 		r.CounterFunc("moqod_cache_evictions_total", "LRU evictions across cache shards.", "", func() uint64 {
 			return s.cacheTotals().Evictions
+		})
+		r.CounterFunc("moqod_cache_poisoned_total", "Entries quarantined from the cache after a restore or first-step failure.", "", func() uint64 {
+			return s.cacheTotals().Poisoned
 		})
 	}
 
@@ -224,6 +231,24 @@ func (s *Service) registerMetrics() {
 		})
 		r.CounterFunc("moqod_store_flushes_total", "Explicit flush acks served.", "", func() uint64 {
 			return st.Stats().Flushes
+		})
+		r.GaugeFunc("moqod_store_degraded", "1 while the store is in memory-only degraded mode.", "", func() float64 {
+			if st.Stats().Degraded {
+				return 1
+			}
+			return 0
+		})
+		r.CounterFunc("moqod_store_degraded_enters_total", "Transitions into degraded (memory-only) mode.", "", func() uint64 {
+			return st.Stats().DegradedEnters
+		})
+		r.CounterFunc("moqod_store_degraded_drops_total", "Records dropped while the store was degraded.", "", func() uint64 {
+			return st.Stats().DegradedDrops
+		})
+		r.CounterFunc("moqod_store_probes_total", "Disk re-probe attempts while degraded.", "", func() uint64 {
+			return st.Stats().Probes
+		})
+		r.CounterFunc("moqod_store_tombstones_total", "Quarantine tombstones written or scanned.", "", func() uint64 {
+			return st.Stats().Tombstones
 		})
 	}
 }

@@ -69,6 +69,7 @@ type scheduler struct {
 	pops      atomic.Uint64 // queue pops serviced by this shard's workers
 	preempts  atomic.Uint64 // cold quanta cut short by a hot arrival
 	stepsDone atomic.Uint64 // steps executed by this shard's workers
+	rejects   atomic.Uint64 // admissions refused while this shard was hottest
 }
 
 // entry is one queue slot; it is live iff seq matches the session's

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,12 @@ type Config struct {
 	// long; defaults to 5 minutes. Negative disables expiry.
 	IdleTimeout time.Duration
 
+	// SessionDeadline bounds a session's total wall-clock lifetime:
+	// live sessions older than this transition to TimedOut on the next
+	// janitor sweep, regardless of client activity (waiters are woken,
+	// not honored — the deadline is a hard resource cap). 0 disables.
+	SessionDeadline time.Duration
+
 	// JanitorInterval is the expiry sweep period; defaults to
 	// IdleTimeout/4.
 	JanitorInterval time.Duration
@@ -150,6 +157,13 @@ type Config struct {
 	// transition, outside all service locks — the callback may block
 	// (e.g. on a log write) without stalling workers holding locks.
 	SlowSessionLog func(total time.Duration, d trace.Data)
+
+	// FaultHook, when set, runs at the top of every refinement step
+	// (under m.mu, inside the step's panic recovery) with the session ID
+	// and its completed-step count — the injection point the panic-
+	// isolation tests use to make a chosen session's step panic. Nil in
+	// production; the step path pays one nil check for it (D13).
+	FaultHook func(id string, step int)
 }
 
 // ShardStats are one shard's gauges and counters.
@@ -171,6 +185,10 @@ type ShardStats struct {
 	Steals uint64
 	// Preempts counts cold quanta cut short by a hot arrival.
 	Preempts uint64
+	// Rejected counts admissions refused while this shard was the
+	// hottest (most loaded) one — the per-shard attribution of the
+	// service-wide Rejected counter.
+	Rejected uint64
 }
 
 // Stats are cumulative service counters plus current gauges.
@@ -178,6 +196,14 @@ type Stats struct {
 	// Created, Selected, Closed and Expired count session lifecycle
 	// transitions since service start.
 	Created, Selected, Closed, Expired uint64
+	// Failed counts sessions killed by a recovered step panic (or a
+	// poisoned warm start); TimedOut counts sessions reclaimed at their
+	// wall-clock deadline.
+	Failed, TimedOut uint64
+	// Poisoned counts warm-start sources quarantined after a restore or
+	// first post-restore step failure (evicted from the cache and
+	// superseded in the store).
+	Poisoned uint64
 	// Rejected counts Create calls refused by admission control.
 	Rejected uint64
 	// Steps counts scheduler-executed refinement steps.
@@ -229,6 +255,33 @@ var ErrFrontierMoved = errors.New("service: frontier moved since poll")
 // retry after a backoff (moqod maps this to HTTP 429 with Retry-After).
 var ErrOverloaded = errors.New("service: overloaded")
 
+// OverloadError is the structured admission refusal: errors.Is(err,
+// ErrOverloaded) still matches, and moqod serializes the fields into
+// the 429 JSON body so clients can log which limit tripped and which
+// shard was hottest.
+type OverloadError struct {
+	// Kind names the limit that refused the create: "sessions"
+	// (MaxActiveSessions) or "queue" (MaxQueueDepth).
+	Kind string
+	// N and Limit are the observed load and the configured cap.
+	N, Limit int
+	// Shard is the hottest shard (most sessions plus queue entries) at
+	// refusal time — where the congestion lives.
+	Shard int
+}
+
+// Error formats the refusal; the prefix matches errors.Is via Unwrap.
+func (e *OverloadError) Error() string {
+	noun := "active"
+	if e.Kind == "queue" {
+		noun = "queued"
+	}
+	return fmt.Sprintf("%v: %d %s sessions (limit %d)", ErrOverloaded, e.N, noun, e.Limit)
+}
+
+// Unwrap ties the typed error to the ErrOverloaded sentinel.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
 // Status is a poll result: the session's state and current frontier.
 type Status struct {
 	// ID is the session ID.
@@ -258,6 +311,10 @@ type Status struct {
 	// MaxStepGap is the session's largest observed interval between
 	// consecutive refinement steps (the per-session starvation metric).
 	MaxStepGap time.Duration
+	// Err is the captured failure of a Failed session (a recovered step
+	// panic's value); empty otherwise. The stack stays server-side, in
+	// the logs and the trace archive.
+	Err string
 }
 
 // shard pairs one slice of the session registry with the scheduler that
@@ -291,6 +348,9 @@ type Service struct {
 	selected      atomic.Uint64
 	closed        atomic.Uint64
 	expired       atomic.Uint64
+	failed        atomic.Uint64
+	timedOut      atomic.Uint64
+	poisoned      atomic.Uint64
 	rejected      atomic.Uint64
 	steps         atomic.Uint64
 	warmStarts    atomic.Uint64
@@ -332,7 +392,15 @@ func New(cfg Config) (*Service, error) {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
 	if cfg.JanitorInterval <= 0 {
-		cfg.JanitorInterval = cfg.IdleTimeout / 4
+		// Sweep at a quarter of the tightest enabled window so neither
+		// idle expiry nor the session deadline overshoots by more than
+		// ~25% (the janitor also runs with expiry disabled when only a
+		// deadline is configured).
+		base := cfg.IdleTimeout
+		if base <= 0 || (cfg.SessionDeadline > 0 && cfg.SessionDeadline < base) {
+			base = cfg.SessionDeadline
+		}
+		cfg.JanitorInterval = base / 4
 	}
 	s := &Service{cfg: cfg, quantum: cfg.Quantum, janitorStop: make(chan struct{})}
 	// The instruments must exist before any worker can run a step
@@ -427,7 +495,7 @@ func New(cfg Config) (*Service, error) {
 		s.shardSizes[i] = n
 		sc.start(n, s.runSteps)
 	}
-	if cfg.IdleTimeout > 0 {
+	if cfg.IdleTimeout > 0 || cfg.SessionDeadline > 0 {
 		go s.janitor()
 	} else {
 		close(s.janitorStop)
@@ -513,20 +581,28 @@ func (s *Service) Shutdown() {
 func (s *Service) janitor() {
 	t := time.NewTicker(s.cfg.JanitorInterval)
 	defer t.Stop()
+	ttl := s.cfg.IdleTimeout
+	if ttl < 0 {
+		ttl = 0 // expiry disabled; the janitor runs for the deadline
+	}
 	for {
 		select {
 		case <-s.janitorStop:
 			return
 		case <-t.C:
 			for _, sh := range s.shards {
-				expired := sh.mgr.expireIdle(s.cfg.IdleTimeout)
+				expired, timedOut := sh.mgr.sweep(ttl, s.cfg.SessionDeadline)
 				s.expired.Add(uint64(len(expired)))
-				// expireIdle already removed the sessions and recorded
-				// their starvation gaps; what remains is the terminal
+				s.timedOut.Add(uint64(len(timedOut)))
+				// sweep already removed the sessions and recorded their
+				// starvation gaps; what remains is the terminal
 				// observability (trace archive, end-to-end histogram,
 				// slow-session hook).
 				for _, m := range expired {
 					s.observeEnd(m, trace.KindExpired)
+				}
+				for _, m := range timedOut {
+					s.observeEnd(m, trace.KindTimedOut)
 				}
 			}
 		}
@@ -551,6 +627,53 @@ func (s *Service) queuedSessions() int {
 	return n
 }
 
+// reject counts one admission refusal — service-wide and against the
+// hottest shard — and builds the structured overload error.
+func (s *Service) reject(kind string, n, lim int) error {
+	s.rejected.Add(1)
+	hot := s.hottestShard()
+	s.shards[hot].sched.rejects.Add(1)
+	return &OverloadError{Kind: kind, N: n, Limit: lim, Shard: hot}
+}
+
+// hottestShard returns the most loaded shard (live sessions plus queue
+// entries) — the congestion an overload refusal names.
+func (s *Service) hottestShard() int {
+	best, bestLoad := 0, -1
+	for i, sh := range s.shards {
+		if load := sh.mgr.count() + sh.sched.queueLen(); load > bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// restoreFromSnapshot builds an optimizer from a cached snapshot,
+// converting a panic — a corrupt-but-CRC-valid record — into an error
+// so Create can quarantine the source instead of crashing (D14).
+func restoreFromSnapshot(q *query.Query, cfg core.Config, snap *core.Snapshot) (opt *core.Optimizer, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: snapshot restore panicked: %v", r)
+		}
+	}()
+	return core.NewOptimizerFromSnapshot(q, cfg, snap)
+}
+
+// quarantine buries a poisoned warm-start source: the entry leaves
+// both cache tiers and its store record is superseded by a tombstone,
+// so neither this process nor any restart warm-starts from it again
+// (D14: poison marking is monotonic and persisted).
+func (s *Service) quarantine(srcFP, canonFp string) {
+	if c := s.cacheFor(canonFp); c != nil {
+		c.Quarantine(srcFP)
+	}
+	if s.store != nil {
+		s.store.Quarantine(srcFP)
+	}
+	s.poisoned.Add(1)
+}
+
 // Create registers a new session for q and schedules its first
 // refinement step at hot priority on its shard. If the warm-start cache
 // holds a snapshot for q's exact fingerprint the session resumes from
@@ -566,14 +689,12 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	}
 	if lim := s.cfg.MaxActiveSessions; lim > 0 {
 		if n := s.activeSessions(); n >= lim {
-			s.rejected.Add(1)
-			return "", fmt.Errorf("%w: %d active sessions (limit %d)", ErrOverloaded, n, lim)
+			return "", s.reject("sessions", n, lim)
 		}
 	}
 	if lim := s.cfg.MaxQueueDepth; lim > 0 {
 		if n := s.queuedSessions(); n >= lim {
-			s.rejected.Add(1)
-			return "", fmt.Errorf("%w: %d queued sessions (limit %d)", ErrOverloaded, n, lim)
+			return "", s.reject("queue", n, lim)
 		}
 	}
 	fp := q.Fingerprint()
@@ -586,9 +707,10 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	}
 	var sess *session.Session
 	var remapDur time.Duration
+	var warmSrcFP string
 	warm, warmExact := false, false
 	if cache := s.cacheFor(canonFp); cache != nil {
-		if snap, srcPerm, exact, ok := cache.Lookup(fp, canonFp); ok {
+		if snap, srcPerm, srcFP, exact, ok := cache.Lookup(fp, canonFp); ok {
 			if !exact {
 				// Cross-shape hit: rewrite the cached snapshot from its
 				// source labeling onto q's. Failures (which would take a
@@ -606,22 +728,29 @@ func (s *Service) Create(q *query.Query) (string, error) {
 					}
 				}
 			}
-			// A refused restore (config drift, node-ID numbering near
-			// exhaustion) falls back to a cold start instead of
-			// failing the session; the next convergence re-exports a
-			// fresh snapshot, resetting the lineage.
 			if snap != nil {
-				if opt, err := core.NewOptimizerFromSnapshot(q, s.cfg.Opt, snap); err == nil {
+				// A cached entry passed scan-time CRC and config checks,
+				// so a restore that still fails (or panics on a corrupt-
+				// but-CRC-valid record) is poison: quarantine the source
+				// entry — evict from both cache tiers, supersede on disk
+				// — and fall back to a cold start. The next convergence
+				// re-exports a fresh snapshot, resetting the lineage;
+				// the Create itself never fails for a bad cache entry.
+				if opt, rerr := restoreFromSnapshot(q, s.cfg.Opt, snap); rerr == nil {
+					var err error
 					sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
 					if err != nil {
 						return "", err
 					}
 					warm = true
 					warmExact = exact
+					warmSrcFP = srcFP
 					s.warmStarts.Add(1)
 					if !exact {
 						s.isoWarmStarts.Add(1)
 					}
+				} else {
+					s.quarantine(srcFP, canonFp)
 				}
 			}
 		}
@@ -646,6 +775,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		lastTouch: now,
 		created:   now,
 		warm:      warm,
+		srcFP:     warmSrcFP,
 		// An exact warm restore re-converging under the default bounds
 		// ends in the very state the cached snapshot holds, so
 		// re-exporting (a full deep copy, plus a store write under
@@ -740,7 +870,11 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 		}
 		lastStart = start
 		ran++
-		frontier := m.sess.Step()
+		frontier, failure, stack := s.stepSession(m)
+		if failure != nil {
+			s.failLocked(sc, m, failure, stack, batchStart, lastStart, ran)
+			return
+		}
 		m.steps++
 		s.steps.Add(1)
 		sc.stepsDone.Add(1)
@@ -796,6 +930,51 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 	owner.enqueue(m, false)
 }
 
+// stepSession runs one refinement step under m.mu, converting a panic
+// (from the optimizer or the injected FaultHook) into a captured
+// error. The deferred recover is open-coded by the compiler — no
+// allocation, no lock on the non-panic path (D13; pinned by
+// TestObserveStepPathAllocFree) — and the stack capture only runs
+// once a panic has already paid for itself.
+func (s *Service) stepSession(m *managed) (frontier []*plan.Node, failure error, stack []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = fmt.Errorf("step panic: %v", r)
+			stack = debug.Stack()
+		}
+	}()
+	if h := s.cfg.FaultHook; h != nil {
+		h(m.id, m.steps)
+	}
+	frontier = m.sess.Step()
+	return
+}
+
+// failLocked transitions a session whose step panicked to Failed: the
+// error and stack are captured for Poll and the trace archive, a
+// poisoned warm start is quarantined, and the session stays in the
+// registry so the client can read the failure over the API (Close or
+// the janitor reaps it later). The worker returns to its queue — one
+// tenant's panic never takes the daemon, the shard, or a sibling
+// session with it. Called with m.mu held; returns with it released.
+func (s *Service) failLocked(sc *scheduler, m *managed, failure error, stack []byte, first, last time.Duration, ran int) {
+	m.failErr = failure.Error()
+	m.failStack = string(stack)
+	m.setState(Failed)
+	s.endBatch(sc, m, first, last, ran)
+	// A warm session whose very first step panics indicts the restored
+	// snapshot, not the session's own refinement: quarantine the source.
+	poisoned := m.warm && m.steps == 0 && m.srcFP != ""
+	srcFP, canonFp := m.srcFP, m.canonFp
+	m.mu.Unlock()
+	if poisoned {
+		s.quarantine(srcFP, canonFp)
+	}
+	s.failed.Add(1)
+	gap := s.observeEnd(m, trace.KindFailed)
+	s.shards[m.shard].mgr.recordGap(gap)
+}
+
 // endBatch seals one scheduling quantum: the steps-per-pop histogram
 // sample and the batch's KindSteps span (Dur is first-to-last step
 // start). Callers hold m.mu; a no-step batch records nothing.
@@ -841,6 +1020,7 @@ func (m *managed) statusLocked() Status {
 		Frontier:      m.sess.Frontier(),
 		FirstFrontier: m.firstFrontier,
 		MaxStepGap:    m.maxStepGap,
+		Err:           m.failErr,
 	}
 }
 
@@ -985,13 +1165,21 @@ func (s *Service) Select(id string, index, expectSteps int) (*plan.Node, error) 
 	return plan.DetachInto(map[*plan.Node]*plan.Node{}, p), nil
 }
 
-// Close drops a live session without selecting a plan.
+// Close drops a live session without selecting a plan. Closing a
+// Failed session acknowledges its error and frees the registry slot
+// (its terminal observability was recorded at the failure).
 func (s *Service) Close(id string) error {
 	m, err := s.lookup(id)
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
+	if m.state == Failed {
+		m.mu.Unlock()
+		s.shards[m.shard].mgr.remove(m.id)
+		s.closed.Add(1)
+		return nil
+	}
 	if !m.state.Live() {
 		m.mu.Unlock()
 		return fmt.Errorf("service: session %q is %v", id, m.state)
@@ -1011,6 +1199,9 @@ func (s *Service) Stats() Stats {
 		Selected:      s.selected.Load(),
 		Closed:        s.closed.Load(),
 		Expired:       s.expired.Load(),
+		Failed:        s.failed.Load(),
+		TimedOut:      s.timedOut.Load(),
+		Poisoned:      s.poisoned.Load(),
 		Rejected:      s.rejected.Load(),
 		Steps:         s.steps.Load(),
 		WarmStarts:    s.warmStarts.Load(),
@@ -1034,6 +1225,7 @@ func (s *Service) Stats() Stats {
 			Pops:     sc.pops.Load(),
 			Steals:   sc.steals.Load(),
 			Preempts: sc.preempts.Load(),
+			Rejected: sc.rejects.Load(),
 		}
 		st.Shards[i] = ss
 		st.Active += ss.Sessions

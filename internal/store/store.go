@@ -18,6 +18,21 @@
 // segments are deleted. The active segment also rolls over at
 // Options.MaxSegmentBytes, bounding the damage radius of any single
 // truncation.
+//
+// Two fault-tolerance mechanisms guard the service against bad disks
+// and bad records (DESIGN.md D14):
+//
+//   - Quarantine writes a tombstone frame superseding a fingerprint's
+//     record, so a persisted snapshot that turned out to be poisonous
+//     (its restore or first post-restore step panicked) is dead on the
+//     next scan instead of crash-looping every restart.
+//   - Degraded mode: all I/O goes through an injectable filesystem
+//     seam (internal/faultfs, Options.FS); after
+//     Options.FailThreshold consecutive write-path failures the store
+//     stops touching the disk — Puts are counted and dropped, the
+//     in-memory cache above is unaffected — and re-probes with
+//     jittered exponential backoff, resuming persistence on the first
+//     probe that reaches stable storage.
 package store
 
 import (
@@ -25,6 +40,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/metrics"
 	"repro/internal/snapcodec"
 )
@@ -67,6 +84,22 @@ type Options struct {
 	// caller — persistence is best-effort cache warming. Defaults to
 	// 256.
 	QueueDepth int
+
+	// FS is the filesystem all store I/O goes through; nil defaults to
+	// the real one (faultfs.OS). Tests inject a faultfs.Injector to
+	// script disk failures.
+	FS faultfs.FS
+
+	// FailThreshold is the number of consecutive write-path failures
+	// (open, write, fsync) after which the store enters degraded mode
+	// and stops touching the disk; defaults to 3.
+	FailThreshold int
+
+	// ProbeInterval is the initial delay before a degraded store
+	// re-probes the disk; each failed probe doubles it (with ±50%
+	// jitter) up to ProbeMaxInterval. Defaults to 1s and 30s.
+	ProbeInterval    time.Duration
+	ProbeMaxInterval time.Duration
 }
 
 func (o *Options) defaults() error {
@@ -87,6 +120,18 @@ func (o *Options) defaults() error {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeMaxInterval <= 0 {
+		o.ProbeMaxInterval = 30 * time.Second
 	}
 	return nil
 }
@@ -142,6 +187,19 @@ type Stats struct {
 	FlushTotal time.Duration `json:"FlushTotalNs"`
 	// Pending is the writer queue's current backlog.
 	Pending int
+	// Tombstones counts quarantine markers encountered by the startup
+	// scan plus those appended since open (poisoned records superseded
+	// on disk).
+	Tombstones uint64
+	// Degraded reports that the store is in memory-only degraded mode:
+	// persistent I/O failure was detected and disk writes are paused
+	// until a re-probe succeeds. The in-memory cache above the store is
+	// unaffected.
+	Degraded bool
+	// DegradedEnters counts transitions into degraded mode;
+	// DegradedDrops counts records dropped (not written) while
+	// degraded; Probes counts re-probe attempts (successful or not).
+	DegradedEnters, DegradedDrops, Probes uint64
 }
 
 // location addresses one record's frame inside a segment.
@@ -160,15 +218,26 @@ type location struct {
 // structurally there). Close flushes and stops the writer.
 type Store struct {
 	opts Options
+	fs   faultfs.FS
 
 	mu        sync.Mutex
 	index     map[string]location // fingerprint → live record
 	nextOrder uint64              // next (re)write stamp
 	segments  map[int64]int64     // segment seq → byte size
 	active    int64               // active segment seq
-	file      *os.File            // active segment, owned by the writer
+	file      faultfs.File        // active segment, owned by the writer
 	stats     Stats
 	closed    bool
+
+	// Degraded-mode state (guarded by mu): consecFails counts write-
+	// path failures since the last success; once it reaches
+	// FailThreshold the store flips degraded and schedules re-probes at
+	// probeAt with exponentially backed-off, jittered spacing.
+	consecFails  int
+	degraded     bool
+	probeAt      time.Time
+	probeBackoff time.Duration
+	jitterRng    *rand.Rand
 
 	queue chan writeReq
 	done  chan struct{}
@@ -183,10 +252,12 @@ type Store struct {
 	depthHist  *metrics.Histogram
 }
 
-// writeReq is one queued append; flush requests carry only ack.
+// writeReq is one queued append; flush requests carry only ack, and
+// tomb marks a quarantine tombstone (rec carries only the fingerprint).
 type writeReq struct {
-	rec Record
-	ack chan error
+	rec  Record
+	ack  chan error
+	tomb bool
 }
 
 // frame layout: u32 payload length | u32 CRC32C of payload | payload.
@@ -194,6 +265,12 @@ type writeReq struct {
 // signed varints | snapshot blob (length-prefixed snapcodec record).
 // The cfgEcho is duplicated out of the snapshot blob so the startup
 // scan can reject config drift without decoding plan state.
+//
+// A zero-length snapshot blob marks a quarantine tombstone: the frame
+// supersedes every earlier record of its fingerprint and carries no
+// restorable state. Writers never produce empty blobs otherwise
+// (snapcodec records always carry a header), so the encoding is
+// unambiguous and older segments remain readable.
 const frameHeaderLen = 8
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -206,11 +283,12 @@ func Open(opts Options) (*Store, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
 		opts:       opts,
+		fs:         opts.FS,
 		index:      map[string]location{},
 		segments:   map[int64]int64{},
 		queue:      make(chan writeReq, opts.QueueDepth),
@@ -218,6 +296,9 @@ func Open(opts Options) (*Store, error) {
 		appendHist: metrics.NewDuration(1),
 		flushHist:  metrics.NewDuration(1),
 		depthHist:  metrics.NewValues(1, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		// Probe jitter only needs spread, not secrecy or replay: a fixed
+		// seed keeps runs reproducible.
+		jitterRng: rand.New(rand.NewSource(1)),
 	}
 	if err := s.scan(); err != nil {
 		return nil, err
@@ -242,7 +323,7 @@ func segSeq(name string) (int64, bool) {
 // file there; later segments still load (each record is
 // self-contained, and later segments hold strictly newer records).
 func (s *Store) scan() error {
-	entries, err := os.ReadDir(s.opts.Dir)
+	entries, err := s.fs.ReadDir(s.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -269,7 +350,7 @@ func (s *Store) scan() error {
 // fail the open.
 func (s *Store) scanSegment(seq int64) {
 	path := filepath.Join(s.opts.Dir, segName(seq))
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		s.stats.Corrupted++
 		return
@@ -291,14 +372,30 @@ func (s *Store) scanSegment(seq int64) {
 			break
 		}
 		size := end - off
-		if cfgEcho != s.opts.CfgEcho || !snapcodec.CompatibleHeader(blob) {
+		switch {
+		case len(blob) == 0:
+			// Quarantine tombstone: the fingerprint's earlier records are
+			// poison; drop any indexed so far. Applied regardless of the
+			// config echo — poison marking must not be undone by a config
+			// change (D14: monotonic). A record scanned *after* the
+			// tombstone is a fresh post-quarantine re-export and loads
+			// normally.
+			s.stats.Tombstones++
+			s.stats.DeadBytes += size
+			if old, ok := s.index[fp]; ok {
+				s.stats.DeadBytes += old.size
+				s.stats.LiveBytes -= old.size
+				s.stats.Loaded--
+				delete(s.index, fp)
+			}
+		case cfgEcho != s.opts.CfgEcho || !snapcodec.CompatibleHeader(blob):
 			// A different optimizer configuration or a different
 			// binary's wire format wrote this record; it can never
 			// restore here. Marking it dead (not live) keeps the
 			// Loaded count honest and lets compaction reclaim it.
 			s.stats.Rejected++
 			s.stats.DeadBytes += size
-		} else {
+		default:
 			s.indexRecord(fp, location{seg: seq, off: off, size: size})
 			s.stats.Loaded++
 		}
@@ -309,7 +406,7 @@ func (s *Store) scanSegment(seq int64) {
 		// rest. Truncating on disk keeps future scans (and appends, if
 		// this is the active segment) consistent with the index.
 		s.stats.Corrupted++
-		if err := os.Truncate(path, off); err != nil {
+		if err := s.fs.Truncate(path, off); err != nil {
 			s.stats.WriteErrors++
 		}
 	}
@@ -468,7 +565,7 @@ func (s *Store) Replay(fn func(Record) bool) error {
 	order, locs := s.liveInOrder()
 	s.mu.Unlock()
 
-	files := map[int64]*os.File{}
+	files := map[int64]faultfs.File{}
 	defer func() {
 		for _, f := range files {
 			f.Close()
@@ -479,7 +576,7 @@ func (s *Store) Replay(fn func(Record) bool) error {
 		f, ok := files[loc.seg]
 		if !ok {
 			var err error
-			f, err = os.Open(filepath.Join(s.opts.Dir, segName(loc.seg)))
+			f, err = s.fs.Open(filepath.Join(s.opts.Dir, segName(loc.seg)))
 			if err != nil {
 				s.noteCorrupt()
 				continue
@@ -543,6 +640,28 @@ func (s *Store) PutBlocking(fp, canonFp string, perm []int, snap *core.Snapshot)
 	}
 	select {
 	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, Perm: perm, Snap: snap}}:
+	case <-s.done:
+	}
+}
+
+// Quarantine marks a fingerprint's persisted record as poison: the
+// live record (if any) is dead immediately — a Replay after this call
+// will not stream it — and a tombstone frame superseding it on disk is
+// queued through the writer (blocking enqueue: quarantine is rare and
+// must not be shed), so the poison marking survives restarts. A later
+// Put of the same fingerprint (the cold re-optimization's fresh
+// export) is unaffected: it writes after the tombstone and loads
+// normally.
+func (s *Store) Quarantine(fp string) {
+	s.mu.Lock()
+	if loc, ok := s.index[fp]; ok {
+		s.stats.DeadBytes += loc.size
+		s.stats.LiveBytes -= loc.size
+		delete(s.index, fp)
+	}
+	s.mu.Unlock()
+	select {
+	case s.queue <- writeReq{rec: Record{FP: fp}, tomb: true}:
 	case <-s.done:
 	}
 }
@@ -618,19 +737,42 @@ func (s *Store) writer() {
 				req.ack <- s.sync()
 				continue
 			}
-			s.append(req.rec)
+			s.append(req.rec, req.tomb)
 		}
 	}
 }
 
-// append writes one record frame to the active segment and updates the
-// index. Failures are counted, not propagated: the caller already has
-// the snapshot in memory.
-func (s *Store) append(rec Record) {
+// encodeTombstone builds a quarantine frame for fp: a regular frame
+// whose snapshot blob is empty (the unambiguous tombstone marker).
+func (s *Store) encodeTombstone(fp string) []byte {
+	var payload []byte
+	payload = appendString(payload, fp)
+	payload = appendString(payload, "") // canonFp
+	payload = appendString(payload, s.opts.CfgEcho)
+	payload = binary.AppendUvarint(payload, 0) // perm
+	payload = binary.AppendUvarint(payload, 0) // empty snapshot blob = tombstone
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	return append(frame, payload...)
+}
+
+// append writes one record (or tombstone) frame to the active segment
+// and updates the index. Failures are counted, not propagated: the
+// caller already has the snapshot in memory. Consecutive write-path
+// failures flip the store into degraded mode — memory-only, no disk
+// I/O attempted — until a probe append (scheduled with jittered
+// exponential backoff) reaches the disk again.
+func (s *Store) append(rec Record, tomb bool) {
 	t0 := time.Now()
 	defer func() { s.appendHist.ObserveDuration(time.Since(t0)) }()
-	frame, err := encodeFrame(rec)
-	if err != nil {
+	var frame []byte
+	var err error
+	if tomb {
+		frame = s.encodeTombstone(rec.FP)
+	} else if frame, err = encodeFrame(rec); err != nil {
+		// Encoding failures are record bugs, not disk faults: counted,
+		// but never a reason to degrade.
 		s.mu.Lock()
 		s.stats.WriteErrors++
 		s.mu.Unlock()
@@ -638,8 +780,20 @@ func (s *Store) append(rec Record) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.degraded && time.Now().Before(s.probeAt) {
+		// Memory-only operation: the disk is known bad and the next
+		// probe is not due yet. The snapshot stays live in the service's
+		// cache; only restart durability is lost, and that is the deal
+		// degraded mode makes to keep serving.
+		s.stats.DegradedDrops++
+		return
+	}
+	if s.degraded {
+		s.stats.Probes++ // probe due: this append is the probe
+	}
 	if err := s.ensureActiveLocked(int64(len(frame))); err != nil {
 		s.stats.WriteErrors++
+		s.noteIOFailureLocked()
 		return
 	}
 	off := s.segments[s.active]
@@ -656,12 +810,63 @@ func (s *Store) append(rec Record) {
 		s.file.Close()
 		s.file = nil
 		s.active++
+		s.noteIOFailureLocked()
 		return
 	}
+	s.noteIOSuccessLocked()
 	s.segments[s.active] = off + int64(len(frame))
-	s.indexRecord(rec.FP, location{seg: s.active, off: off, size: int64(len(frame))})
-	s.stats.Persisted++
+	loc := location{seg: s.active, off: off, size: int64(len(frame))}
+	if tomb {
+		// The tombstone's own bytes are dead by definition; the live
+		// record it supersedes was already removed by Quarantine.
+		s.stats.Tombstones++
+		s.stats.DeadBytes += loc.size
+	} else {
+		s.indexRecord(rec.FP, loc)
+		s.stats.Persisted++
+	}
 	s.maybeCompactLocked()
+}
+
+// noteIOFailureLocked records one write-path failure: it enters
+// degraded mode at the configured threshold and, once degraded, backs
+// the next probe off exponentially with ±50% jitter. Callers hold mu.
+func (s *Store) noteIOFailureLocked() {
+	s.consecFails++
+	if !s.degraded {
+		if s.consecFails < s.opts.FailThreshold {
+			return
+		}
+		s.degraded = true
+		s.stats.Degraded = true
+		s.stats.DegradedEnters++
+		s.probeBackoff = s.opts.ProbeInterval
+	} else {
+		s.probeBackoff *= 2
+		if s.probeBackoff > s.opts.ProbeMaxInterval {
+			s.probeBackoff = s.opts.ProbeMaxInterval
+		}
+	}
+	s.probeAt = time.Now().Add(s.jitterLocked(s.probeBackoff))
+}
+
+// noteIOSuccessLocked resets the failure streak; a successful probe
+// exits degraded mode and re-enables persistence.
+func (s *Store) noteIOSuccessLocked() {
+	s.consecFails = 0
+	if s.degraded {
+		s.degraded = false
+		s.stats.Degraded = false
+	}
+}
+
+// jitterLocked spreads d into [d/2, 3d/2) so fleet-wide probes do not
+// synchronize. Callers hold mu.
+func (s *Store) jitterLocked(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(s.jitterRng.Int63n(int64(d)))
 }
 
 // ensureActiveLocked opens the active segment, rolling to a new one if
@@ -680,7 +885,7 @@ func (s *Store) ensureActiveLocked(next int64) error {
 		s.active++
 	}
 	if s.file == nil {
-		f, err := os.OpenFile(filepath.Join(s.opts.Dir, segName(s.active)),
+		f, err := s.fs.OpenFile(filepath.Join(s.opts.Dir, segName(s.active)),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
@@ -700,7 +905,14 @@ func (s *Store) sync() error {
 	if s.file == nil {
 		return nil
 	}
-	return s.syncFileLocked()
+	err := s.syncFileLocked()
+	if err != nil {
+		s.stats.WriteErrors++
+		s.noteIOFailureLocked()
+	} else {
+		s.noteIOSuccessLocked()
+	}
+	return err
 }
 
 // syncFileLocked fsyncs the active segment, feeding the flush-latency
@@ -732,7 +944,7 @@ func (s *Store) maybeCompactLocked() {
 	}
 	newSeq := s.active + 1
 	path := filepath.Join(s.opts.Dir, segName(newSeq))
-	out, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	out, err := s.fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		s.stats.WriteErrors++
 		return
@@ -740,7 +952,7 @@ func (s *Store) maybeCompactLocked() {
 	// Copy raw frames in write order; no decode needed. Reads go
 	// through ReadAt on freshly opened handles (the active segment's
 	// write handle is append-only).
-	readers := map[int64]*os.File{}
+	readers := map[int64]faultfs.File{}
 	defer func() {
 		for _, f := range readers {
 			f.Close()
@@ -753,7 +965,7 @@ func (s *Store) maybeCompactLocked() {
 		loc := locs[i]
 		f, ok := readers[loc.seg]
 		if !ok {
-			f, err = os.Open(filepath.Join(s.opts.Dir, segName(loc.seg)))
+			f, err = s.fs.Open(filepath.Join(s.opts.Dir, segName(loc.seg)))
 			if err != nil {
 				break
 			}
@@ -776,7 +988,7 @@ func (s *Store) maybeCompactLocked() {
 	if err != nil {
 		// Abandon the partial compaction; the old segments are intact.
 		s.stats.WriteErrors++
-		os.Remove(path)
+		s.fs.Remove(path)
 		return
 	}
 	if s.file != nil {
@@ -790,7 +1002,7 @@ func (s *Store) maybeCompactLocked() {
 	s.stats.DeadBytes = 0
 	s.stats.Compactions++
 	for _, seq := range oldSegs {
-		if err := os.Remove(filepath.Join(s.opts.Dir, segName(seq))); err != nil {
+		if err := s.fs.Remove(filepath.Join(s.opts.Dir, segName(seq))); err != nil {
 			s.stats.WriteErrors++
 		}
 	}

@@ -68,6 +68,12 @@ const (
 	KindSelected
 	KindClosed
 	KindExpired
+	// KindFailed marks a session killed by a recovered panic or a
+	// poisoned warm start (the error text travels in the archived trace's
+	// session record, not the span).
+	KindFailed
+	// KindTimedOut marks a session reclaimed at its wall-clock deadline.
+	KindTimedOut
 )
 
 var kindNames = [...]string{
@@ -85,6 +91,8 @@ var kindNames = [...]string{
 	KindSelected:      "selected",
 	KindClosed:        "closed",
 	KindExpired:       "expired",
+	KindFailed:        "failed",
+	KindTimedOut:      "timed-out",
 }
 
 // String returns the span kind's wire name.

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Chaos smoke: SIGKILL moqod mid-write-through-load, restart it on the
+# same cache directory, and fail unless the survivor replays the store
+# and serves the pre-crash query as a warm start whose frontier matches
+# the pre-crash one exactly. This is the live-process pin behind the
+# restart tests: no shutdown path runs, so whatever the background
+# writer managed to append is all the restart gets — and it must be
+# either absent or correct, never wrong. CI runs this (see
+# .github/workflows/ci.yml); it only needs curl + jq.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18081}"
+BIN="${BIN:-/tmp/moqod-chaos}"
+DIR="$(mktemp -d /tmp/moqod-chaos.XXXXXX)"
+
+go build -o "$BIN" ./cmd/moqod
+
+start_moqod() {
+    "$BIN" -addr "$ADDR" -workers 2 -shards 2 -levels 3 -cache-dir "$DIR" &
+    MOQOD=$!
+    for _ in $(seq 1 100); do
+        curl -fsS "http://$ADDR/statz" >/dev/null 2>&1 && return
+        sleep 0.1
+    done
+    echo "chaos_smoke: server never came up" >&2
+    exit 1
+}
+
+start_moqod
+trap 'kill -9 "$MOQOD" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# drive BLOCK: create a session, poll it to at-target, print the final
+# poll body.
+drive() {
+    local id state
+    id=$(curl -fsS -X POST "http://$ADDR/sessions" -d "{\"block\":\"$1\"}" | jq -re '.id')
+    state=""
+    for _ in $(seq 1 300); do
+        state=$(curl -fsS "http://$ADDR/sessions/$id" | jq -re '.state')
+        [ "$state" = "at-target" ] && break
+        sleep 0.1
+    done
+    if [ "$state" != "at-target" ]; then
+        echo "chaos_smoke: session for $1 stuck in state '$state'" >&2
+        exit 1
+    fi
+    curl -fsS "http://$ADDR/sessions/$id"
+}
+
+# Converge the reference query (write-through persists its snapshot)
+# and record the frontier the restarted server must reproduce.
+ref=$(drive Q4)
+ref_frontier=$(printf '%s' "$ref" | jq -S '[.frontier[] | {plan, cost}] | sort_by(.plan)')
+nplans=$(printf '%s' "$ref" | jq '.frontier | length')
+echo "chaos_smoke: reference frontier has $nplans plans"
+
+# The store's writer is asynchronous; wait until the reference record
+# actually hit the segment file before pulling the plug.
+persisted=0
+for _ in $(seq 1 100); do
+    persisted=$(curl -fsS "http://$ADDR/statz" | jq -re '.Store.Persisted')
+    [ "$persisted" -ge 1 ] && break
+    sleep 0.1
+done
+if [ "$persisted" -lt 1 ]; then
+    echo "chaos_smoke: store never persisted the reference record" >&2
+    exit 1
+fi
+
+# Pile on more write-through load and SIGKILL mid-write: sessions on
+# other blocks keep the background writer appending while the process
+# dies with no shutdown path (no flush, no sweep).
+for blk in Q12 Q13 Q14 Q20; do
+    curl -fsS -X POST "http://$ADDR/sessions" -d "{\"block\":\"$blk\"}" >/dev/null
+done
+kill -9 "$MOQOD"
+wait "$MOQOD" 2>/dev/null || true
+echo "chaos_smoke: SIGKILLed moqod mid-load"
+
+start_moqod
+
+loaded=$(curl -fsS "http://$ADDR/statz" | jq -re '.Store.Loaded')
+if [ "$loaded" -lt 1 ]; then
+    echo "chaos_smoke: restart loaded $loaded records, want >= 1" >&2
+    exit 1
+fi
+echo "chaos_smoke: restart replayed $loaded records"
+
+warm=$(drive Q4)
+if [ "$(printf '%s' "$warm" | jq -re '.warm')" != "true" ]; then
+    echo "chaos_smoke: restarted server did not warm-start the reference query" >&2
+    exit 1
+fi
+warm_frontier=$(printf '%s' "$warm" | jq -S '[.frontier[] | {plan, cost}] | sort_by(.plan)')
+if [ "$warm_frontier" != "$ref_frontier" ]; then
+    echo "chaos_smoke: warm frontier diverges from the pre-crash reference" >&2
+    diff <(printf '%s\n' "$ref_frontier") <(printf '%s\n' "$warm_frontier") >&2 || true
+    exit 1
+fi
+echo "chaos_smoke: warm frontier matches the pre-crash reference"
+echo "chaos_smoke: OK"
