@@ -27,6 +27,14 @@
 //	                                ("steps" from the poll guards against
 //	                                 a concurrently refined frontier)
 //	DELETE /sessions/{id}
+//	POST   /catalog/stats           {"tables":[{"name":"orders","rows":2e6}],
+//	                                 "edges":[{"a":"orders","b":"lineitem",
+//	                                 "selectivity":1e-6}]} — install a new
+//	                                statistics epoch; cached plan state from
+//	                                older epochs is drift-classified and
+//	                                re-costed, resumed or quarantined
+//	                                (-stats-file loads the same JSON at boot,
+//	                                 SIGHUP re-reads it)
 //	GET    /statz                   → service counters, incl. per-shard
 //	                                  queue/steal/preempt breakdown and
 //	                                  the p99 inter-step starvation gap
@@ -68,6 +76,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/costmodel"
 	"repro/internal/harness"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -94,17 +103,33 @@ func main() {
 	persistOnEvict := flag.Bool("persist-on-evict", false, "persist snapshots on cache eviction + shutdown sweep instead of write-through")
 	seed := flag.Int64("seed", 1, "seed for synthetic queries and the load-generator mix")
 	sf := flag.Float64("sf", 1, "TPC-H scale factor for -block queries")
+	statsFile := flag.String("stats-file", "", "apply a catalog statistics update (JSON StatsUpdate) at boot; SIGHUP re-reads it")
+	driftThreshold := flag.Float64("drift-threshold", 0, "relative stats change separating small (re-cost in place) from large (resume refinement) drift (0 = default 0.5)")
 	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
 	sessions := flag.Int("sessions", 64, "loadgen: concurrent sessions to drive")
 	total := flag.Int("requests", 0, "loadgen: total sessions to run (0 = 3× -sessions)")
 	isomorph := flag.Float64("isomorph", 0, "loadgen: fraction of sessions running a table-ID-permuted (isomorphic) variant of their block")
 	aliasCopies := flag.Int("alias-copies", 3, "loadgen: statistically identical copies per base table the -isomorph variants draw from")
+	driftMode := flag.Bool("drift", false, "loadgen: mutate catalog statistics mid-run and report drift-recovery quality vs a cold control")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 	slowSession := flag.Duration("slow-session", 0, "log the lifecycle trace of sessions slower than this end to end (0 disables)")
 	flag.Parse()
 
 	if *persistOnEvict && *cacheDir == "" {
 		fail(fmt.Errorf("-persist-on-evict requires -cache-dir (no store to persist into)"))
+	}
+	// The versioned statistics epoch the TPC-H blocks are built from.
+	// -stats-file seeds a drifted epoch before anything is costed; later
+	// epochs arrive via POST /catalog/stats or SIGHUP.
+	stats := catalog.NewVersioned(workload.Catalog(*sf))
+	if *statsFile != "" {
+		u, err := loadStatsUpdate(*statsFile)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := stats.Apply(u); err != nil {
+			fail(err)
+		}
 	}
 	cfg := service.Config{
 		Opt: core.Config{
@@ -122,6 +147,8 @@ func main() {
 		SessionDeadline:   *deadline,
 		CacheCapacity:     *cacheCap,
 		StoreDir:          *cacheDir,
+		Stats:             stats,
+		DriftThreshold:    *driftThreshold,
 	}
 	if *persistOnEvict {
 		cfg.StorePolicy = service.PersistOnEvict
@@ -145,6 +172,12 @@ func main() {
 		if n <= 0 {
 			n = 3 * *sessions
 		}
+		if *driftMode {
+			if err := runDriftLoadgen(svc, stats, cfg.Opt, *sessions, *sf); err != nil {
+				fail(err)
+			}
+			return
+		}
 		mixOpt := workload.MixOptions{IsomorphRate: *isomorph, AliasCopies: *aliasCopies}
 		if err := runLoadgen(svc, *sessions, n, *sf, *seed, mixOpt); err != nil {
 			fail(err)
@@ -152,7 +185,12 @@ func main() {
 		return
 	}
 
-	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(*sf), seed: *seed,
+	ep := stats.Current()
+	blocks, err := workload.BlocksFor(ep.Catalog, *sf, ep.EdgeSel)
+	if err != nil {
+		fail(err)
+	}
+	srv := &server{svc: svc, stats: stats, sf: *sf, blocks: blocks, seed: *seed,
 		dim: cfg.Opt.Model.Space().Dim(), pprof: *pprofOn}
 	st := svc.Stats()
 	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d cache-dir=%q max-sessions=%d max-queue=%d)",
@@ -179,6 +217,31 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	// SIGHUP re-reads -stats-file and installs it as a new statistics
+	// epoch — the operational path for drift when the daemon is driven by
+	// an external stats collector writing a file. Separate channel from
+	// the shutdown signals: a reload must never race a drain.
+	hupCh := make(chan os.Signal, 1)
+	signal.Notify(hupCh, syscall.SIGHUP)
+	go func() {
+		for range hupCh {
+			if *statsFile == "" {
+				log.Printf("moqod: SIGHUP ignored (no -stats-file to reload)")
+				continue
+			}
+			u, err := loadStatsUpdate(*statsFile)
+			if err != nil {
+				log.Printf("moqod: SIGHUP stats reload: %v", err)
+				continue
+			}
+			ep, err := srv.applyStats(u)
+			if err != nil {
+				log.Printf("moqod: SIGHUP stats reload: %v", err)
+				continue
+			}
+			log.Printf("moqod: stats reloaded from %s (epoch %d)", *statsFile, ep.Version)
+		}
+	}()
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -204,13 +267,48 @@ func fail(err error) {
 
 // server is the HTTP/JSON front end over the service.
 type server struct {
-	svc    *service.Service
-	blocks []workload.Block
-	dim    int
-	pprof  bool // expose /debug/pprof/ (off by default: profiles leak internals)
+	svc   *service.Service
+	stats *catalog.Versioned
+	sf    float64
+	dim   int
+	pprof bool // expose /debug/pprof/ (off by default: profiles leak internals)
 
-	mu   sync.Mutex
-	seed int64 // per-request synthetic-query seeds derive from this
+	mu     sync.Mutex
+	blocks []workload.Block // rebuilt on each statistics epoch, under mu
+	seed   int64            // per-request synthetic-query seeds derive from this
+}
+
+// loadStatsUpdate reads a catalog.StatsUpdate from a JSON file (the
+// -stats-file format, identical to the POST /catalog/stats body).
+func loadStatsUpdate(path string) (catalog.StatsUpdate, error) {
+	var u catalog.StatsUpdate
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return u, fmt.Errorf("stats file: %w", err)
+	}
+	if err := json.Unmarshal(data, &u); err != nil {
+		return u, fmt.Errorf("stats file %s: %w", path, err)
+	}
+	return u, nil
+}
+
+// applyStats installs a statistics update as a new epoch and rebuilds
+// the TPC-H blocks against the new catalog, so every session created
+// after the swap is costed under the new statistics (and drifts against
+// cached plan state costed under the old ones).
+func (s *server) applyStats(u catalog.StatsUpdate) (*catalog.Epoch, error) {
+	ep, err := s.stats.Apply(u)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := workload.BlocksFor(ep.Catalog, s.sf, ep.EdgeSel)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.blocks = blocks
+	s.mu.Unlock()
+	return ep, nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -220,6 +318,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /sessions/{id}/bounds", s.handleBounds)
 	mux.HandleFunc("POST /sessions/{id}/select", s.handleSelect)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleClose)
+	mux.HandleFunc("POST /catalog/stats", s.handleStatsUpdate)
 	mux.HandleFunc("GET /statz", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/sessions/{id}/trace", s.handleTrace)
@@ -315,11 +414,38 @@ func (s *server) resolveQuery(req createRequest) (*query.Query, error) {
 	if name == "" {
 		name = "Q5"
 	}
+	// blocks is swapped wholesale on a statistics update; the lock makes
+	// the read atomic with the swap (queries are immutable once built).
+	s.mu.Lock()
 	blk, ok := workload.Find(s.blocks, name)
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("unknown TPC-H block %q", name)
 	}
 	return blk.Query, nil
+}
+
+// handleStatsUpdate installs a statistics update (the same JSON shape
+// as -stats-file) as a new catalog epoch. Sessions already live keep
+// refining under the statistics they were created with; new sessions
+// are costed under the new epoch and classify drift against any cached
+// plan state from older epochs.
+func (s *server) handleStatsUpdate(w http.ResponseWriter, r *http.Request) {
+	var u catalog.StatsUpdate
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ep, err := s.applyStats(u)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": ep.Version,
+		"tables":  len(u.Tables),
+		"edges":   len(u.Edges),
+	})
 }
 
 func parseTopology(s string) (query.Topology, error) {
@@ -362,6 +488,13 @@ func (s *server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		"steps":           st.Steps,
 		"frontier":        frontier,
 		"firstFrontierUs": st.FirstFrontier.Microseconds(),
+	}
+	if st.Drift != "" {
+		// How a statistics-drift warm start was resolved at creation:
+		// "recosted" (small drift, cost vectors rewritten in place),
+		// "resumed" (large drift, refinement resumed from the cached plan
+		// set) or "quarantined" (incompatible, cold start).
+		body["drift"] = st.Drift
 	}
 	if st.Err != "" {
 		// A failed session's captured panic, so clients learn why their
@@ -561,7 +694,189 @@ func runLoadgen(svc *service.Service, concurrency, total int, sf float64, seed i
 			st.Store.Persisted, st.Store.Loaded, st.Store.Rejected,
 			st.Store.Segments, st.Store.LiveBytes, st.Store.DeadBytes, st.Store.Compactions)
 	}
+	if st.DriftRecosted+st.DriftResumed+st.DriftQuarantined > 0 {
+		fmt.Printf("drift: recosted=%d resumed=%d quarantined=%d, stale hits=%d, stats epoch=%d\n",
+			st.DriftRecosted, st.DriftResumed, st.DriftQuarantined, st.Cache.StaleHits, st.StatsEpoch)
+	}
 	return nil
+}
+
+// runDriftLoadgen exercises the statistics-drift path end to end: it
+// converges every TPC-H block to populate the warm-start cache, then
+// applies a small, a large, and an incompatible statistics update in
+// turn, re-driving the blocks after each. Per phase it reports the
+// invalidation-class split (recosted / resumed / quarantined / exact)
+// and — for the re-costed and resumed phases — the recovered plan
+// quality: each drift-recovered frontier's per-dimension minimum cost
+// against a from-scratch control optimization of the same query under
+// the same (new) statistics. A worst ratio of 1.000 means drift
+// recovery lost nothing.
+func runDriftLoadgen(svc *service.Service, stats *catalog.Versioned, optCfg core.Config, concurrency int, sf float64) error {
+	// The cache-less control service pays the cold path for every block —
+	// the quality baseline drift recovery is measured against.
+	control, err := service.New(service.Config{Opt: optCfg, CacheCapacity: -1})
+	if err != nil {
+		return err
+	}
+	defer control.Shutdown()
+
+	buildBlocks := func() ([]workload.Block, error) {
+		ep := stats.Current()
+		return workload.BlocksFor(ep.Catalog, sf, ep.EdgeSel)
+	}
+	scaleRows := func(table string, factor float64) catalog.StatsUpdate {
+		cat := stats.Current().Catalog
+		rows := cat.Table(cat.MustID(table)).Rows * factor
+		return catalog.StatsUpdate{Tables: []catalog.TableStats{{Name: table, Rows: rows}}}
+	}
+	noIndex := false
+
+	blocks, err := buildBlocks()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drift loadgen: %d blocks per phase, concurrency %d\n", len(blocks), concurrency)
+
+	phases := []struct {
+		name    string
+		update  func() catalog.StatsUpdate
+		quality bool
+	}{
+		// Cold population: fills the warm-start cache under epoch 1.
+		{name: "baseline"},
+		// orders +20%, customer +10%: every affected snapshot re-costs in
+		// place (small), untouched blocks warm-start exactly.
+		{name: "small-drift", quality: true, update: func() catalog.StatsUpdate {
+			u := scaleRows("orders", 1.2)
+			u.Tables = append(u.Tables, scaleRows("customer", 1.1).Tables...)
+			return u
+		}},
+		// lineitem ×4: past the threshold, refinement resumes from the
+		// cached plan set.
+		{name: "large-drift", quality: true, update: func() catalog.StatsUpdate {
+			return scaleRows("lineitem", 4)
+		}},
+		// part loses its index: cached access paths are unsalvageable, the
+		// stale entries are quarantined and those blocks start cold.
+		{name: "incompatible", update: func() catalog.StatsUpdate {
+			return catalog.StatsUpdate{Tables: []catalog.TableStats{{Name: "part", HasIndex: &noIndex}}}
+		}},
+	}
+	for _, ph := range phases {
+		if ph.update != nil {
+			if _, err := stats.Apply(ph.update()); err != nil {
+				return fmt.Errorf("phase %s: %w", ph.name, err)
+			}
+			if blocks, err = buildBlocks(); err != nil {
+				return fmt.Errorf("phase %s: %w", ph.name, err)
+			}
+		}
+		before := svc.Stats()
+		warm, err := driveBlocks(svc, blocks, concurrency)
+		if err != nil {
+			return fmt.Errorf("phase %s: %w", ph.name, err)
+		}
+		after := svc.Stats()
+		fmt.Printf("phase %-12s (epoch %d): recosted=%d resumed=%d quarantined=%d exact=%d, stale hits=%d\n",
+			ph.name, stats.Version(),
+			after.DriftRecosted-before.DriftRecosted,
+			after.DriftResumed-before.DriftResumed,
+			after.DriftQuarantined-before.DriftQuarantined,
+			after.Cache.ExactHits-before.Cache.ExactHits,
+			after.Cache.StaleHits-before.Cache.StaleHits)
+		if ph.quality {
+			cold, err := driveBlocks(control, blocks, concurrency)
+			if err != nil {
+				return fmt.Errorf("phase %s control: %w", ph.name, err)
+			}
+			worst, worstBlock := frontierQuality(warm, cold)
+			fmt.Printf("  frontier quality vs cold control: worst min-cost ratio %.3f (block %s)\n", worst, worstBlock)
+		}
+	}
+	return nil
+}
+
+// driveBlocks converges one session per block (bounded concurrency) and
+// returns each block's converged status.
+func driveBlocks(svc *service.Service, blocks []workload.Block, concurrency int) (map[string]service.Status, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	sem := make(chan struct{}, concurrency)
+	var (
+		mu       sync.Mutex
+		out      = make(map[string]service.Status, len(blocks))
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, b := range blocks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b workload.Block) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			id, err := svc.Create(b.Query)
+			if err == nil {
+				var st service.Status
+				st, err = awaitTarget(svc, id)
+				if cerr := svc.Close(id); err == nil {
+					err = cerr
+				}
+				if err == nil {
+					mu.Lock()
+					out[b.Name] = st
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("block %s: %w", b.Name, err)
+			}
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// frontierQuality compares drift-recovered frontiers against cold
+// controls: for every block and cost dimension it takes the ratio of
+// the warm frontier's minimum cost to the cold one's and returns the
+// worst deviation from 1 (in either direction) and the block showing it.
+func frontierQuality(warm, cold map[string]service.Status) (worst float64, worstBlock string) {
+	worst = 1
+	for name, c := range cold {
+		w, ok := warm[name]
+		if !ok || len(w.Frontier) == 0 || len(c.Frontier) == 0 {
+			continue
+		}
+		dim := len(c.Frontier[0].Cost)
+		for d := 0; d < dim; d++ {
+			wmin, cmin := minCost(w.Frontier, d), minCost(c.Frontier, d)
+			if wmin <= 0 || cmin <= 0 {
+				continue
+			}
+			dev := wmin / cmin
+			if dev < 1 {
+				dev = 1 / dev
+			}
+			if dev > worst {
+				worst, worstBlock = dev, name
+			}
+		}
+	}
+	return worst, worstBlock
+}
+
+func minCost(frontier []*plan.Node, d int) float64 {
+	min := frontier[0].Cost[d]
+	for _, p := range frontier[1:] {
+		if p.Cost[d] < min {
+			min = p.Cost[d]
+		}
+	}
+	return min
 }
 
 // driveSession plays one profile: create (retrying overload refusals

@@ -1,0 +1,178 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TableStats is a per-table statistics override: zero-valued fields
+// keep the current value, so an update can touch one statistic of one
+// table without restating the rest. The JSON shape is the body of
+// moqod's POST /catalog/stats and the -stats-file format.
+type TableStats struct {
+	Name     string  `json:"name"`
+	Rows     float64 `json:"rows,omitempty"`
+	RowWidth float64 `json:"row_width,omitempty"`
+	HasIndex *bool   `json:"has_index,omitempty"`
+}
+
+// EdgeStats overrides the join selectivity between a named table pair.
+// The pair is unordered: {A, B} and {B, A} name the same edge.
+type EdgeStats struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// StatsUpdate is one atomic statistics change: table overrides plus
+// edge-selectivity overrides, applied together as a new epoch. Version,
+// when non-zero, requests an explicit epoch label; Versioned keeps the
+// label monotonic regardless (a stale or absent label becomes
+// current+1).
+type StatsUpdate struct {
+	Version uint64       `json:"version,omitempty"`
+	Tables  []TableStats `json:"tables,omitempty"`
+	Edges   []EdgeStats  `json:"edges,omitempty"`
+}
+
+// WithStats returns a new catalog with the given per-table overrides
+// applied. Table names (and therefore dense IDs: New sorts by name) are
+// unchanged, so queries built against the old and new catalog address
+// the same tables by the same IDs. Unknown table names and invalid
+// resulting statistics are errors; the receiver is never mutated.
+func (c *Catalog) WithStats(overrides []TableStats) (*Catalog, error) {
+	tables := append([]Table(nil), c.tables...)
+	for _, o := range overrides {
+		id, ok := c.byName[o.Name]
+		if !ok {
+			return nil, fmt.Errorf("catalog: stats update for unknown table %q", o.Name)
+		}
+		t := &tables[id]
+		if o.Rows != 0 {
+			if o.Rows < 0 {
+				return nil, fmt.Errorf("catalog: stats update for %q has negative rows %g", o.Name, o.Rows)
+			}
+			t.Rows = o.Rows
+		}
+		if o.RowWidth != 0 {
+			if o.RowWidth < 0 {
+				return nil, fmt.Errorf("catalog: stats update for %q has negative row width %g", o.Name, o.RowWidth)
+			}
+			t.RowWidth = o.RowWidth
+		}
+		if o.HasIndex != nil {
+			t.HasIndex = *o.HasIndex
+		}
+	}
+	return New(tables)
+}
+
+// EdgeKey identifies an unordered table-name pair; Keyed constructors
+// normalize A <= B so map lookups are order-insensitive.
+type EdgeKey struct{ A, B string }
+
+// NewEdgeKey returns the normalized key for the pair.
+func NewEdgeKey(a, b string) EdgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey{A: a, B: b}
+}
+
+// Epoch is one immutable statistics generation: a monotonically
+// increasing version label, the catalog costed under it, and the
+// edge-selectivity overrides accumulated so far (consulted by workload
+// builders when constructing join edges). Epochs are value snapshots —
+// holders of an *Epoch never observe it change.
+type Epoch struct {
+	Version uint64
+	Catalog *Catalog
+	// EdgeSel maps unordered table-name pairs to selectivity overrides;
+	// nil when no edge has ever been overridden.
+	EdgeSel map[EdgeKey]float64
+}
+
+// Versioned is an atomically swappable statistics epoch: readers load
+// the current epoch wait-free, writers serialize through Apply. The
+// version label only moves forward (DESIGN.md D15: epochs are
+// monotonic), including across explicit labels carried by updates and
+// labels recovered from a persistent store via EnsureAtLeast.
+type Versioned struct {
+	mu  sync.Mutex // serializes Apply/EnsureAtLeast
+	cur atomic.Pointer[Epoch]
+}
+
+// NewVersioned wraps the catalog as epoch 1.
+func NewVersioned(c *Catalog) *Versioned {
+	if c == nil {
+		panic("catalog: NewVersioned needs a catalog")
+	}
+	v := &Versioned{}
+	v.cur.Store(&Epoch{Version: 1, Catalog: c})
+	return v
+}
+
+// Current returns the live epoch.
+func (v *Versioned) Current() *Epoch { return v.cur.Load() }
+
+// Version returns the live epoch's version label.
+func (v *Versioned) Version() uint64 { return v.cur.Load().Version }
+
+// Apply builds and installs a new epoch from the update: table
+// overrides via WithStats, edge overrides merged over the previous
+// epoch's map. The new version is max(current+1, u.Version). On error
+// the current epoch is untouched.
+func (v *Versioned) Apply(u StatsUpdate) (*Epoch, error) {
+	for _, e := range u.Edges {
+		if e.Selectivity <= 0 || e.Selectivity > 1 {
+			return nil, fmt.Errorf("catalog: stats update edge %s-%s has invalid selectivity %g", e.A, e.B, e.Selectivity)
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur := v.cur.Load()
+	cat, err := cur.Catalog.WithStats(u.Tables)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range u.Edges {
+		if _, ok := cat.ID(e.A); !ok {
+			return nil, fmt.Errorf("catalog: stats update edge references unknown table %q", e.A)
+		}
+		if _, ok := cat.ID(e.B); !ok {
+			return nil, fmt.Errorf("catalog: stats update edge references unknown table %q", e.B)
+		}
+	}
+	next := &Epoch{Version: cur.Version + 1, Catalog: cat}
+	if u.Version > next.Version {
+		next.Version = u.Version
+	}
+	if len(cur.EdgeSel) > 0 || len(u.Edges) > 0 {
+		next.EdgeSel = make(map[EdgeKey]float64, len(cur.EdgeSel)+len(u.Edges))
+		for k, sel := range cur.EdgeSel {
+			next.EdgeSel[k] = sel
+		}
+		for _, e := range u.Edges {
+			next.EdgeSel[NewEdgeKey(e.A, e.B)] = e.Selectivity
+		}
+	}
+	v.cur.Store(next)
+	return next, nil
+}
+
+// EnsureAtLeast raises the version label to at least n without changing
+// the statistics — used after a persistent store replays records
+// labeled by a previous process's epochs, so the label stays monotonic
+// across restarts.
+func (v *Versioned) EnsureAtLeast(n uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur := v.cur.Load()
+	if cur.Version >= n {
+		return
+	}
+	next := *cur
+	next.Version = n
+	v.cur.Store(&next)
+}

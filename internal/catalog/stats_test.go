@@ -1,0 +1,185 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+)
+
+func statsTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := New([]Table{
+		{Name: "a", Rows: 1000, RowWidth: 10, HasIndex: true, SamplingRates: []float64{0.5, 1}},
+		{Name: "b", Rows: 500, RowWidth: 20},
+		{Name: "c", Rows: 10, RowWidth: 5, HasIndex: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWithStatsKeepsIDsAndDefaults(t *testing.T) {
+	c := statsTestCatalog(t)
+	no := false
+	c2, err := c.WithStats([]TableStats{
+		{Name: "b", Rows: 750},
+		{Name: "a", HasIndex: &no},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense IDs are stable: names unchanged, New sorts by name.
+	for _, name := range []string{"a", "b", "c"} {
+		id1, _ := c.ID(name)
+		id2, ok := c2.ID(name)
+		if !ok || id1 != id2 {
+			t.Fatalf("table %q changed ID: %d vs %d", name, id1, id2)
+		}
+	}
+	b := c2.Table(c2.MustID("b"))
+	if b.Rows != 750 || b.RowWidth != 20 {
+		t.Fatalf("b = %+v: want rows 750, width 20 (zero-valued override must keep current)", b)
+	}
+	a := c2.Table(c2.MustID("a"))
+	if a.HasIndex || a.Rows != 1000 {
+		t.Fatalf("a = %+v: want index dropped, rows kept", a)
+	}
+	// The receiver is never mutated.
+	if got := c.Table(c.MustID("b")).Rows; got != 500 {
+		t.Fatalf("WithStats mutated the receiver: b rows %g", got)
+	}
+}
+
+func TestWithStatsRejectsBadUpdates(t *testing.T) {
+	c := statsTestCatalog(t)
+	if _, err := c.WithStats([]TableStats{{Name: "nope", Rows: 1}}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := c.WithStats([]TableStats{{Name: "a", Rows: -5}}); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if _, err := c.WithStats([]TableStats{{Name: "a", RowWidth: -1}}); err == nil {
+		t.Error("negative row width accepted")
+	}
+}
+
+func TestNewEdgeKeyNormalizes(t *testing.T) {
+	if NewEdgeKey("x", "y") != NewEdgeKey("y", "x") {
+		t.Error("edge key is order-sensitive")
+	}
+}
+
+func TestVersionedMonotonic(t *testing.T) {
+	v := NewVersioned(statsTestCatalog(t))
+	if got := v.Version(); got != 1 {
+		t.Fatalf("initial version %d, want 1", got)
+	}
+	ep, err := v.Apply(StatsUpdate{Tables: []TableStats{{Name: "a", Rows: 2000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Version != 2 {
+		t.Fatalf("version after update %d, want 2", ep.Version)
+	}
+	if got := ep.Catalog.Table(ep.Catalog.MustID("a")).Rows; got != 2000 {
+		t.Fatalf("epoch catalog rows %g, want 2000", got)
+	}
+
+	// Explicit labels only ever raise.
+	ep, err = v.Apply(StatsUpdate{Version: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Version != 10 {
+		t.Fatalf("explicit label gave version %d, want 10", ep.Version)
+	}
+	ep, err = v.Apply(StatsUpdate{Version: 3}) // stale label
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Version != 11 {
+		t.Fatalf("stale label gave version %d, want 11 (current+1)", ep.Version)
+	}
+
+	v.EnsureAtLeast(5) // below current: no-op
+	if got := v.Version(); got != 11 {
+		t.Fatalf("EnsureAtLeast lowered the version to %d", got)
+	}
+	v.EnsureAtLeast(40)
+	if got := v.Version(); got != 40 {
+		t.Fatalf("EnsureAtLeast gave %d, want 40", got)
+	}
+	// EnsureAtLeast relabels without changing statistics.
+	cur := v.Current()
+	if got := cur.Catalog.Table(cur.Catalog.MustID("a")).Rows; got != 2000 {
+		t.Fatalf("EnsureAtLeast changed statistics: rows %g", got)
+	}
+}
+
+func TestVersionedEdgeOverridesAccumulate(t *testing.T) {
+	v := NewVersioned(statsTestCatalog(t))
+	if _, err := v.Apply(StatsUpdate{Edges: []EdgeStats{{A: "b", B: "a", Selectivity: 0.25}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply(StatsUpdate{Edges: []EdgeStats{{A: "b", B: "c", Selectivity: 0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	ep := v.Current()
+	if got := ep.EdgeSel[NewEdgeKey("a", "b")]; got != 0.25 {
+		t.Fatalf("a-b selectivity %g, want 0.25 (earlier epochs' overrides must accumulate)", got)
+	}
+	if got := ep.EdgeSel[NewEdgeKey("c", "b")]; got != 0.5 {
+		t.Fatalf("b-c selectivity %g, want 0.5", got)
+	}
+
+	for _, bad := range []StatsUpdate{
+		{Edges: []EdgeStats{{A: "a", B: "b", Selectivity: 0}}},
+		{Edges: []EdgeStats{{A: "a", B: "b", Selectivity: 1.5}}},
+		{Edges: []EdgeStats{{A: "a", B: "zzz", Selectivity: 0.5}}},
+	} {
+		before := v.Version()
+		if _, err := v.Apply(bad); err == nil {
+			t.Errorf("invalid update %+v accepted", bad)
+		}
+		if v.Version() != before {
+			t.Errorf("failed update %+v advanced the epoch", bad)
+		}
+	}
+}
+
+// TestVersionedConcurrentReaders pins the wait-free read contract under
+// the race detector: readers load coherent epochs while a writer applies
+// updates.
+func TestVersionedConcurrentReaders(t *testing.T) {
+	v := NewVersioned(statsTestCatalog(t))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ep := v.Current()
+				if ep.Version < last {
+					t.Errorf("version went backwards: %d after %d", ep.Version, last)
+					return
+				}
+				last = ep.Version
+				_ = ep.Catalog.Table(0).Rows
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := v.Apply(StatsUpdate{Tables: []TableStats{{Name: "a", Rows: float64(1000 + i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

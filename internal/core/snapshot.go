@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -44,6 +45,15 @@ type Snapshot struct {
 	// different focus geometry or precision schedule would silently
 	// break the pruning invariants baked into the copied state.
 	cfgEcho string
+
+	// tableStats and edgeStats record the source query's cost-relevant
+	// statistics at export time; statsEpoch labels the statistics epoch
+	// (observability only — classification compares values, see
+	// ClassifyDrift). They make statistics-drift detection self-
+	// contained in the snapshot, surviving restarts and store handoffs.
+	tableStats []TableStat
+	edgeStats  []EdgeStat
+	statsEpoch uint64
 }
 
 // cfgFingerprint captures every Config field that shapes optimizer
@@ -73,6 +83,8 @@ func (o *Optimizer) Snapshot() *Snapshot {
 		prevBounds: append([]float64(nil), o.prevBounds...),
 		prevRes:    o.prevRes,
 		cfgEcho:    cfgFingerprint(o.cfg),
+		tableStats: captureTableStats(o.q),
+		edgeStats:  captureEdgeStats(o.q),
 	}
 	// Detach every entry off the source arena, preserving node IDs and
 	// sub-plan sharing (one shared memo across all plan sets).
@@ -152,7 +164,41 @@ func (s *Snapshot) Remap(perm []int) (*Snapshot, error) {
 		prevBounds: s.prevBounds,
 		prevRes:    s.prevRes,
 		cfgEcho:    s.cfgEcho,
+		statsEpoch: s.statsEpoch,
 	}
+	// The recorded statistics move to the new labels with the plans;
+	// values are unchanged (remapping is only sound between queries
+	// with identical statistics). Rates slices are immutable and shared.
+	out.tableStats = make([]TableStat, len(s.tableStats))
+	for i, ts := range s.tableStats {
+		if ts.ID < len(perm) && perm[ts.ID] >= 0 {
+			ts.ID = perm[ts.ID]
+		}
+		out.tableStats[i] = ts
+	}
+	sort.Slice(out.tableStats, func(i, j int) bool { return out.tableStats[i].ID < out.tableStats[j].ID })
+	out.edgeStats = make([]EdgeStat, len(s.edgeStats))
+	for i, es := range s.edgeStats {
+		if es.A < len(perm) && perm[es.A] >= 0 {
+			es.A = perm[es.A]
+		}
+		if es.B < len(perm) && perm[es.B] >= 0 {
+			es.B = perm[es.B]
+		}
+		if es.A > es.B {
+			es.A, es.B = es.B, es.A
+		}
+		out.edgeStats[i] = es
+	}
+	sort.Slice(out.edgeStats, func(i, j int) bool {
+		if out.edgeStats[i].A != out.edgeStats[j].A {
+			return out.edgeStats[i].A < out.edgeStats[j].A
+		}
+		if out.edgeStats[i].B != out.edgeStats[j].B {
+			return out.edgeStats[i].B < out.edgeStats[j].B
+		}
+		return out.edgeStats[i].Sel < out.edgeStats[j].Sel
+	})
 	// One shared memo keeps sub-plan sharing intact across all plan
 	// sets, exactly like Snapshot's detach pass.
 	memo := map[*plan.Node]*plan.Node{}

@@ -35,6 +35,12 @@ type SnapshotWire struct {
 	PrevRes    int
 	// CfgEcho is the configuration fingerprint validated on restore.
 	CfgEcho string
+	// TableStats and EdgeStats are the source query's recorded
+	// statistics (drift classification input); StatsEpoch is the
+	// statistics-epoch label the snapshot was costed under.
+	TableStats []TableStat
+	EdgeStats  []EdgeStat
+	StatsEpoch uint64
 }
 
 // Wire returns the snapshot's serialization view. Everything reachable
@@ -49,6 +55,9 @@ func (s *Snapshot) Wire() SnapshotWire {
 		PrevBounds: s.prevBounds,
 		PrevRes:    s.prevRes,
 		CfgEcho:    s.cfgEcho,
+		TableStats: s.tableStats,
+		EdgeStats:  s.edgeStats,
+		StatsEpoch: s.statsEpoch,
 	}
 }
 
@@ -71,6 +80,9 @@ func SnapshotFromWire(w SnapshotWire) (*Snapshot, error) {
 		prevBounds: w.PrevBounds,
 		prevRes:    w.PrevRes,
 		cfgEcho:    w.CfgEcho,
+		tableStats: w.TableStats,
+		edgeStats:  w.EdgeStats,
+		statsEpoch: w.StatsEpoch,
 	}
 	if s.res == nil {
 		s.res = map[tableset.Set][]rangeindex.Entry{}

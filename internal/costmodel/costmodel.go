@@ -228,6 +228,15 @@ func (m *Model) AppendScanPlans(dst []*plan.Node, q *query.Query, id int, a *pla
 // cores and precision-loss values.
 func (m *Model) newScan(a *plan.Arena, proto plan.Node, time float64, cores float64, ploss float64) *plan.Node {
 	v := a.NewVector(m.space.Dim())
+	m.scanCostInto(v, time, cores, ploss)
+	proto.Cost = v
+	return a.NewNode(proto)
+}
+
+// scanCostInto spreads a scan's scalar time, cores and precision-loss
+// values across the metric space into v (shared by enumeration and
+// re-costing, so the two can never drift apart).
+func (m *Model) scanCostInto(v cost.Vector, time, cores, ploss float64) {
 	for i := range v {
 		switch m.space.MetricAt(i) {
 		case cost.Time:
@@ -242,8 +251,6 @@ func (m *Model) newScan(a *plan.Arena, proto plan.Node, time float64, cores floa
 			v[i] = m.params.EnergyRate * time * cores
 		}
 	}
-	proto.Cost = v
-	return a.NewNode(proto)
 }
 
 // joinOps lists the enumerated join operators (package-level so the hot

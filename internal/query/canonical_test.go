@@ -209,7 +209,7 @@ func FuzzCanonicalFingerprint(f *testing.F) {
 	f.Add(int64(7), uint8(8), uint8(1))
 	f.Add(int64(42), uint8(10), uint8(2))
 	f.Fuzz(func(t *testing.T, seed int64, nRaw, selsRaw uint8) {
-		n := 2 + int(nRaw)%9      // 2..10 tables
+		n := 2 + int(nRaw)%9        // 2..10 tables
 		nSels := 1 + int(selsRaw)%3 // 1..3 distinct selectivities (1 ⇒ max ties)
 		rng := rand.New(rand.NewSource(seed))
 		cat := isoCatalog(n)

@@ -1,0 +1,50 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StructuralFingerprint digests only the parts of the query the
+// statistics cannot change: the member tables (by ID and name) and the
+// join-edge topology. Everything Fingerprint additionally hashes —
+// cardinalities, row widths, index availability, sampling rates, filter
+// and join selectivities — is deliberately excluded, so a query keeps
+// its structural digest across statistics epochs while its exact (and
+// canonical) fingerprints move.
+//
+// The warm-start cache uses this as its drift tier: an exact/canonical
+// miss that still hits structurally has found plan state for the same
+// query under superseded statistics, which drift classification then
+// routes to re-cost, resumed refinement, or quarantine
+// (core.Snapshot.ClassifyDrift). Table names are included so two
+// different catalogs that happen to assign the same IDs do not collide.
+func (q *Query) StructuralFingerprint() string {
+	var b strings.Builder
+	q.tables.ForEach(func(id int) {
+		fmt.Fprintf(&b, "t%d:%s;", id, q.catalog.Table(id).Name)
+	})
+	type pair struct{ a, b int }
+	edges := make([]pair, 0, len(q.edges))
+	for _, e := range q.edges {
+		p := pair{e.A, e.B}
+		if p.a > p.b {
+			p.a, p.b = p.b, p.a
+		}
+		edges = append(edges, p)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "e%d-%d;", e.a, e.b)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

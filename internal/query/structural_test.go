@@ -1,0 +1,89 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func structuralCatalog(t *testing.T, rows float64, idx bool) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.New([]catalog.Table{
+		{Name: "a", Rows: rows, RowWidth: 10, HasIndex: idx, SamplingRates: []float64{0.5, 1}},
+		{Name: "b", Rows: 500, RowWidth: 20},
+		{Name: "c", Rows: 10, RowWidth: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStructuralFingerprintIgnoresStats pins the drift tier's key
+// contract: statistics changes (cardinality, index availability, filter
+// and join selectivities) leave the structural digest fixed while the
+// exact fingerprint moves — a structural hit with an exact miss IS the
+// drift signal.
+func TestStructuralFingerprintIgnoresStats(t *testing.T) {
+	build := func(cat *catalog.Catalog, sel, filter float64) *Query {
+		return MustNew(cat, []int{0, 1, 2},
+			[]JoinEdge{
+				{A: 0, B: 1, Selectivity: sel},
+				{A: 1, B: 2, Selectivity: 0.1},
+			},
+			WithFilter(0, filter))
+	}
+	base := build(structuralCatalog(t, 1000, true), 0.01, 0.5)
+
+	variants := []*Query{
+		build(structuralCatalog(t, 9999, true), 0.01, 0.5),  // rows drifted
+		build(structuralCatalog(t, 1000, false), 0.01, 0.5), // index dropped
+		build(structuralCatalog(t, 1000, true), 0.05, 0.5),  // join selectivity drifted
+		build(structuralCatalog(t, 1000, true), 0.01, 0.9),  // filter drifted
+	}
+	for i, v := range variants {
+		if v.StructuralFingerprint() != base.StructuralFingerprint() {
+			t.Errorf("variant %d changed the structural fingerprint on a stats-only change", i)
+		}
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d kept the exact fingerprint across a stats change", i)
+		}
+	}
+
+	// Edge order must not matter (edges normalize and sort).
+	flipped := MustNew(structuralCatalog(t, 1000, true), []int{0, 1, 2},
+		[]JoinEdge{
+			{A: 2, B: 1, Selectivity: 0.1},
+			{A: 1, B: 0, Selectivity: 0.01},
+		},
+		WithFilter(0, 0.5))
+	if flipped.StructuralFingerprint() != base.StructuralFingerprint() {
+		t.Error("edge declaration order changed the structural fingerprint")
+	}
+
+	// Topology changes DO move the digest.
+	tri := MustNew(structuralCatalog(t, 1000, true), []int{0, 1, 2},
+		[]JoinEdge{
+			{A: 0, B: 1, Selectivity: 0.01},
+			{A: 1, B: 2, Selectivity: 0.1},
+			{A: 0, B: 2, Selectivity: 0.2},
+		},
+		WithFilter(0, 0.5))
+	if tri.StructuralFingerprint() == base.StructuralFingerprint() {
+		t.Error("extra join edge did not change the structural fingerprint")
+	}
+
+	// Different table names (another catalog, same IDs) must not collide.
+	other, err := catalog.New([]catalog.Table{
+		{Name: "x", Rows: 1000, RowWidth: 10, HasIndex: true, SamplingRates: []float64{0.5, 1}},
+		{Name: "y", Rows: 500, RowWidth: 20},
+		{Name: "z", Rows: 10, RowWidth: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := build(other, 0.01, 0.5)
+	if renamed.StructuralFingerprint() == base.StructuralFingerprint() {
+		t.Error("different table names collided structurally")
+	}
+}

@@ -9,35 +9,46 @@ import (
 
 // PlanCache is the warm-start cache: an LRU map from query fingerprints
 // to optimizer snapshots, with a second lookup tier keyed by canonical
-// digest (query.CanonicalFingerprint). A session created for an
+// digest (query.CanonicalFingerprint) and a third keyed by structural
+// fingerprint (query.StructuralFingerprint). A session created for an
 // already-seen query shape restores the cached scan and join plan sets
 // instead of regenerating them; a session whose exact shape is new but
 // whose join graph is isomorphic to a cached one (same graph under a
 // permutation of table IDs) still hits through the canonical tier —
 // the caller rewrites the snapshot onto its labeling with
-// core.Snapshot.Remap. Safe for concurrent use.
+// core.Snapshot.Remap. The structural tier exists for statistics
+// drift: exact and canonical fingerprints embed statistic values, so a
+// stats change misses both, while the stats-free structural digest
+// still reaches the pre-drift snapshot for the caller to classify and
+// re-cost (LookupStale). Safe for concurrent use.
 //
 // The service shards the cache by canonical digest — one PlanCache per
 // shard, each owning a slice of the total capacity — so isomorphic
 // queries always land on the same shard (their exact fingerprints
 // differ, their digest does not) and concurrent warm starts on
-// unrelated shapes do not serialize on one mutex.
+// unrelated shapes do not serialize on one mutex. Structural digests
+// do not determine the shard (the same structure under different
+// statistics hashes to different canonical shards), so the service
+// probes every shard's structural tier on a drift lookup — an
+// accepted cost on a path that only runs after both real tiers miss.
 //
 // Eviction is LRU within a shard over the exact-tier entries; the
-// canonical tier holds no snapshots of its own, only a pointer to the
-// isomorphism class's most recent exact entry, so one snapshot
-// reachable from both tiers is counted once, and evicting the exact
-// entry removes the canonical pointer iff it still refers to it (no
-// double-count, no dangling canonical entry).
+// canonical and structural tiers hold no snapshots of their own, only
+// a pointer to the class's most recent exact entry, so one snapshot
+// reachable from all tiers is counted once, and evicting the exact
+// entry removes each pointer iff it still refers to it (no
+// double-count, no dangling tier entry).
 type PlanCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List               // front = most recently used
 	items    map[string]*list.Element // exact fingerprint → element
 	canon    map[string]*list.Element // canonical digest → class representative
+	structm  map[string]*list.Element // structural digest → class representative
 
 	exactHits uint64
 	isoHits   uint64
+	staleHits uint64
 	misses    uint64
 	puts      uint64
 	evictions uint64
@@ -47,14 +58,15 @@ type PlanCache struct {
 	// onEvict, when set, receives every LRU-evicted entry after the
 	// cache mutex is released — the persist-on-evict hook of the
 	// snapshot store. Set it before the cache sees concurrent use.
-	onEvict func(fp, canonFp string, perm []int, snap *core.Snapshot)
+	onEvict func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot)
 }
 
 type cacheItem struct {
-	fp      string
-	canonFp string
-	perm    []int // the source query's table-ID → canonical-position map
-	snap    *core.Snapshot
+	fp       string
+	canonFp  string
+	structFp string
+	perm     []int // the source query's table-ID → canonical-position map
+	snap     *core.Snapshot
 
 	// clean marks an entry whose snapshot is already on disk (replayed
 	// from the snapshot store at startup and not refreshed since). The
@@ -76,6 +88,7 @@ func NewPlanCache(capacity int) *PlanCache {
 		ll:       list.New(),
 		items:    map[string]*list.Element{},
 		canon:    map[string]*list.Element{},
+		structm:  map[string]*list.Element{},
 	}
 }
 
@@ -104,6 +117,31 @@ func (c *PlanCache) Lookup(fp, canonFp string) (snap *core.Snapshot, srcPerm []i
 	return nil, nil, "", false, false
 }
 
+// LookupStale returns the structural tier's representative snapshot for
+// the statistics-free structural digest: a cached entry whose source
+// query had the same tables and join topology but (necessarily, since
+// the exact and canonical tiers missed) different statistics. The
+// caller classifies the drift against the snapshot's recorded
+// statistics and re-costs or quarantines accordingly. srcFP and
+// srcCanonFp identify the entry that satisfied the hit — the keys for
+// a later Quarantine. Misses are not counted (the preceding Lookup
+// already recorded one).
+func (c *PlanCache) LookupStale(structFp string) (snap *core.Snapshot, srcFP, srcCanonFp string, ok bool) {
+	if structFp == "" {
+		return nil, "", "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, hit := c.structm[structFp]
+	if !hit {
+		return nil, "", "", false
+	}
+	c.staleHits++
+	c.ll.MoveToFront(el)
+	item := el.Value.(*cacheItem)
+	return item.snap, item.fp, item.canonFp, true
+}
+
 // Quarantine evicts fp's entry from both tiers without invoking the
 // persist-on-evict hook: the entry is poison (its restore or first
 // post-restore step failed), and persisting it would re-arm the very
@@ -122,6 +160,9 @@ func (c *PlanCache) Quarantine(fp string) {
 	if rep, ok := c.canon[item.canonFp]; ok && rep == el {
 		delete(c.canon, item.canonFp)
 	}
+	if rep, ok := c.structm[item.structFp]; ok && rep == el {
+		delete(c.structm, item.structFp)
+	}
 	c.plans -= item.snap.PlanCount()
 	c.poisoned++
 }
@@ -130,18 +171,18 @@ func (c *PlanCache) Quarantine(fp string) {
 // outside the cache mutex). The snapshot store uses it for the
 // persist-on-evict policy. Must be set before the cache sees
 // concurrent use (the service installs it during New, after replay).
-func (c *PlanCache) OnEvict(fn func(fp, canonFp string, perm []int, snap *core.Snapshot)) {
+func (c *PlanCache) OnEvict(fn func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot)) {
 	c.mu.Lock()
 	c.onEvict = fn
 	c.mu.Unlock()
 }
 
 // Put stores (or refreshes) the snapshot for the exact fingerprint and
-// makes it the canonical digest's class representative, evicting the
-// least recently used exact entry beyond capacity. perm is the source
-// query's canonical permutation, handed back on isomorphic lookups.
-// Nil snapshots are ignored.
-func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
+// makes it the canonical digest's and structural digest's class
+// representative, evicting the least recently used exact entry beyond
+// capacity. perm is the source query's canonical permutation, handed
+// back on isomorphic lookups. Nil snapshots are ignored.
+func (c *PlanCache) Put(fp, canonFp, structFp string, perm []int, snap *core.Snapshot) {
 	if snap == nil {
 		return
 	}
@@ -151,21 +192,31 @@ func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	if el, ok := c.items[fp]; ok {
 		item := el.Value.(*cacheItem)
 		c.plans += snap.PlanCount() - item.snap.PlanCount()
+		if rep, ok := c.structm[item.structFp]; ok && rep == el && item.structFp != structFp {
+			delete(c.structm, item.structFp)
+		}
 		item.snap = snap
 		item.canonFp = canonFp
+		item.structFp = structFp
 		item.perm = perm
 		item.clean = false
 		if canonFp != "" {
 			c.canon[canonFp] = el // latest convergence represents the class
 		}
+		if structFp != "" {
+			c.structm[structFp] = el
+		}
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		return
 	}
-	el := c.ll.PushFront(&cacheItem{fp: fp, canonFp: canonFp, perm: perm, snap: snap})
+	el := c.ll.PushFront(&cacheItem{fp: fp, canonFp: canonFp, structFp: structFp, perm: perm, snap: snap})
 	c.items[fp] = el
 	if canonFp != "" {
 		c.canon[canonFp] = el
+	}
+	if structFp != "" {
+		c.structm[structFp] = el
 	}
 	c.plans += snap.PlanCount()
 	for c.ll.Len() > c.capacity {
@@ -173,11 +224,14 @@ func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 		c.ll.Remove(oldest)
 		item := oldest.Value.(*cacheItem)
 		delete(c.items, item.fp)
-		// Drop the canonical pointer only if it still names this entry:
+		// Drop the tier pointers only if they still name this entry:
 		// a newer isomorph may have taken over the class, and its exact
-		// entry must stay reachable through the canonical tier.
+		// entry must stay reachable through those tiers.
 		if rep, ok := c.canon[item.canonFp]; ok && rep == oldest {
 			delete(c.canon, item.canonFp)
+		}
+		if rep, ok := c.structm[item.structFp]; ok && rep == oldest {
+			delete(c.structm, item.structFp)
 		}
 		c.plans -= item.snap.PlanCount()
 		c.evictions++
@@ -190,7 +244,7 @@ func (c *PlanCache) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	hook := c.onEvict
 	c.mu.Unlock()
 	for _, item := range evicted {
-		hook(item.fp, item.canonFp, item.perm, item.snap)
+		hook(item.fp, item.canonFp, item.structFp, item.perm, item.snap)
 	}
 }
 
@@ -208,18 +262,18 @@ func (c *PlanCache) MarkClean(fp string) {
 
 // Each calls fn for every cached entry, most recently used first,
 // outside the cache mutex (the entries are copied under it).
-func (c *PlanCache) Each(fn func(fp, canonFp string, perm []int, snap *core.Snapshot)) {
+func (c *PlanCache) Each(fn func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot)) {
 	c.each(fn, false)
 }
 
 // EachDirty is Each restricted to entries not marked clean — the
 // shutdown sweep's enumerator for the persist-on-evict store policy
 // (clean entries are already on disk).
-func (c *PlanCache) EachDirty(fn func(fp, canonFp string, perm []int, snap *core.Snapshot)) {
+func (c *PlanCache) EachDirty(fn func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot)) {
 	c.each(fn, true)
 }
 
-func (c *PlanCache) each(fn func(fp, canonFp string, perm []int, snap *core.Snapshot), dirtyOnly bool) {
+func (c *PlanCache) each(fn func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot), dirtyOnly bool) {
 	// Copy values, not item pointers: a concurrent Put may refresh a
 	// live item's fields under the mutex while fn runs outside it.
 	c.mu.Lock()
@@ -231,7 +285,7 @@ func (c *PlanCache) each(fn func(fp, canonFp string, perm []int, snap *core.Snap
 	}
 	c.mu.Unlock()
 	for i := range items {
-		fn(items[i].fp, items[i].canonFp, items[i].perm, items[i].snap)
+		fn(items[i].fp, items[i].canonFp, items[i].structFp, items[i].perm, items[i].snap)
 	}
 }
 
@@ -251,6 +305,14 @@ type CacheStats struct {
 	// IsoHits counts lookups satisfied by the canonical tier: the query
 	// was new, but an isomorphic shape's snapshot was rewritten for it.
 	IsoHits uint64
+	// StaleHits counts structural-tier lookups that found a pre-drift
+	// snapshot for the caller to classify and re-cost. Not part of
+	// Hits: a stale hit only pays off after classification, and the
+	// drift counters on the service record how each one resolved.
+	StaleHits uint64
+	// StructEntries is the number of structural digests with a live
+	// representative in the structural tier.
+	StructEntries int
 	// Puts counts snapshot admissions (inserts and refreshes) since
 	// creation; Evictions counts LRU removals. Unlike the Entries
 	// gauge, the pair is monotonic, so deltas over time distinguish a
@@ -273,6 +335,8 @@ func (cs *CacheStats) add(o CacheStats) {
 	cs.Misses += o.Misses
 	cs.ExactHits += o.ExactHits
 	cs.IsoHits += o.IsoHits
+	cs.StaleHits += o.StaleHits
+	cs.StructEntries += o.StructEntries
 	cs.Puts += o.Puts
 	cs.Evictions += o.Evictions
 	cs.Poisoned += o.Poisoned
@@ -286,15 +350,17 @@ func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:      c.ll.Len(),
-		CanonEntries: len(c.canon),
-		Hits:         c.exactHits + c.isoHits,
-		Misses:       c.misses,
-		ExactHits:    c.exactHits,
-		IsoHits:      c.isoHits,
-		Puts:         c.puts,
-		Evictions:    c.evictions,
-		Poisoned:     c.poisoned,
-		Plans:        c.plans,
+		Entries:       c.ll.Len(),
+		CanonEntries:  len(c.canon),
+		StructEntries: len(c.structm),
+		Hits:          c.exactHits + c.isoHits,
+		Misses:        c.misses,
+		ExactHits:     c.exactHits,
+		IsoHits:       c.isoHits,
+		StaleHits:     c.staleHits,
+		Puts:          c.puts,
+		Evictions:     c.evictions,
+		Poisoned:      c.poisoned,
+		Plans:         c.plans,
 	}
 }

@@ -22,7 +22,7 @@ func TestPlanCacheLRU(t *testing.T) {
 	snaps := make([]*core.Snapshot, 3)
 	for i := range snaps {
 		snaps[i] = &core.Snapshot{}
-		c.Put(fmt.Sprintf("fp%d", i), fmt.Sprintf("c%d", i), nil, snaps[i])
+		c.Put(fmt.Sprintf("fp%d", i), fmt.Sprintf("c%d", i), "", nil, snaps[i])
 	}
 	// fp0 is the LRU entry and must have been evicted by fp2.
 	if _, ok := getExact(c, "fp0"); ok {
@@ -36,7 +36,7 @@ func TestPlanCacheLRU(t *testing.T) {
 	}
 	// Touch fp1, insert fp3: fp2 is now LRU and must go.
 	getExact(c, "fp1")
-	c.Put("fp3", "c3", nil, &core.Snapshot{})
+	c.Put("fp3", "c3", "", nil, &core.Snapshot{})
 	if _, ok := getExact(c, "fp2"); ok {
 		t.Error("fp2 survived though it was LRU")
 	}
@@ -58,7 +58,7 @@ func TestPlanCacheLRU(t *testing.T) {
 
 func TestPlanCacheIgnoresNil(t *testing.T) {
 	c := NewPlanCache(4)
-	c.Put("fp", "c", nil, nil)
+	c.Put("fp", "c", "", nil, nil)
 	if _, ok := getExact(c, "fp"); ok {
 		t.Error("nil snapshot was cached")
 	}
@@ -71,7 +71,7 @@ func TestPlanCacheCanonicalTier(t *testing.T) {
 	c := NewPlanCache(4)
 	snap := &core.Snapshot{}
 	perm := []int{2, 0, 1}
-	c.Put("fpA", "shape", perm, snap)
+	c.Put("fpA", "shape", "", perm, snap)
 
 	got, srcPerm, _, exact, ok := c.Lookup("fpB", "shape")
 	if !ok || exact || got != snap {
@@ -99,14 +99,14 @@ func TestPlanCacheEvictionAccounting(t *testing.T) {
 	c := NewPlanCache(2)
 	// Two isomorphic entries (same canonical digest, different exact
 	// fingerprints): the later Put represents the class.
-	c.Put("fpA", "shape", []int{0}, &core.Snapshot{})
-	c.Put("fpB", "shape", []int{0}, &core.Snapshot{})
+	c.Put("fpA", "shape", "", []int{0}, &core.Snapshot{})
+	c.Put("fpB", "shape", "", []int{0}, &core.Snapshot{})
 	if st := c.Stats(); st.Entries != 2 || st.CanonEntries != 1 || st.Plans != 0 {
 		t.Fatalf("stats = %+v, want 2 entries, 1 canonical class", st)
 	}
 	// Evict fpA (LRU). fpB still represents "shape": the canonical
 	// tier must keep serving it.
-	c.Put("fpC", "other", []int{0}, &core.Snapshot{})
+	c.Put("fpC", "other", "", []int{0}, &core.Snapshot{})
 	if _, ok := getExact(c, "fpA"); ok {
 		t.Fatal("fpA survived beyond capacity")
 	}
@@ -116,7 +116,7 @@ func TestPlanCacheEvictionAccounting(t *testing.T) {
 	// Now evict fpC's class representative: its canonical entry must
 	// go with it (fpB was just touched by the Lookup above, so fpC is
 	// LRU).
-	c.Put("fpD", "fourth", []int{0}, &core.Snapshot{})
+	c.Put("fpD", "fourth", "", []int{0}, &core.Snapshot{})
 	if _, ok := getExact(c, "fpC"); ok {
 		t.Fatal("fpC survived though it was LRU")
 	}
@@ -133,8 +133,8 @@ func TestPlanCacheEvictionAccounting(t *testing.T) {
 // does not duplicate canonical entries.
 func TestPlanCacheRefreshKeepsPlanTotal(t *testing.T) {
 	c := NewPlanCache(2)
-	c.Put("fp", "shape", nil, &core.Snapshot{})
-	c.Put("fp", "shape", nil, &core.Snapshot{})
+	c.Put("fp", "shape", "", nil, &core.Snapshot{})
+	c.Put("fp", "shape", "", nil, &core.Snapshot{})
 	st := c.Stats()
 	if st.Entries != 1 || st.CanonEntries != 1 || st.Plans != 0 {
 		t.Errorf("refresh corrupted accounting: %+v", st)
@@ -148,16 +148,16 @@ func TestPlanCacheRefreshKeepsPlanTotal(t *testing.T) {
 func TestPlanCachePutEvictCounters(t *testing.T) {
 	c := NewPlanCache(2)
 	var hooked []string
-	c.OnEvict(func(fp, canonFp string, perm []int, snap *core.Snapshot) {
+	c.OnEvict(func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot) {
 		hooked = append(hooked, fp)
 		if snap == nil {
 			t.Errorf("eviction hook for %s without snapshot", fp)
 		}
 	})
 	for i := 0; i < 4; i++ {
-		c.Put(fmt.Sprintf("fp%d", i), fmt.Sprintf("c%d", i), nil, &core.Snapshot{})
+		c.Put(fmt.Sprintf("fp%d", i), fmt.Sprintf("c%d", i), "", nil, &core.Snapshot{})
 	}
-	c.Put("fp3", "c3", nil, &core.Snapshot{}) // refresh: a put, not an eviction
+	c.Put("fp3", "c3", "", nil, &core.Snapshot{}) // refresh: a put, not an eviction
 	st := c.Stats()
 	if st.Puts != 5 {
 		t.Errorf("puts = %d, want 5", st.Puts)
@@ -178,10 +178,10 @@ func TestPlanCachePutEvictCounters(t *testing.T) {
 func TestPlanCacheEach(t *testing.T) {
 	c := NewPlanCache(4)
 	for i := 0; i < 3; i++ {
-		c.Put(fmt.Sprintf("fp%d", i), "", nil, &core.Snapshot{})
+		c.Put(fmt.Sprintf("fp%d", i), "", "", nil, &core.Snapshot{})
 	}
 	var got []string
-	c.Each(func(fp, canonFp string, perm []int, snap *core.Snapshot) {
+	c.Each(func(fp, canonFp, structFp string, perm []int, snap *core.Snapshot) {
 		got = append(got, fp)
 		if snap == nil {
 			t.Errorf("Each handed out a nil snapshot for %s", fp)

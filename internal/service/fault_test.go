@@ -104,7 +104,7 @@ func TestRestoreFailureQuarantinesColdFallback(t *testing.T) {
 	// A zero-value snapshot passes the cache's nil check but can never
 	// restore (its config echo matches no real configuration) — the
 	// in-memory analogue of a corrupt-but-CRC-valid store record.
-	svc.cacheFor(canonFp).Put(fp, canonFp, perm, &core.Snapshot{})
+	svc.cacheFor(canonFp).Put(fp, canonFp, "", perm, &core.Snapshot{})
 
 	st, frontier := convergeAndClose(t, svc, q)
 	if st.WarmStarted {

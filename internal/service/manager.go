@@ -70,10 +70,11 @@ func (s State) Live() bool { return s == Refining || s == AtTarget }
 // shard's scheduler mutex instead (lock order: scheduler.mu is never
 // held while taking m.mu and vice versa; see DESIGN.md D10).
 type managed struct {
-	id      string
-	fp      string // exact query fingerprint (exact cache-tier key)
-	canonFp string // canonical digest (cache shard + isomorphism tier key)
-	shard   int    // owning shard index (fixed at create: hash of id)
+	id       string
+	fp       string // exact query fingerprint (exact cache-tier key)
+	canonFp  string // canonical digest (cache shard + isomorphism tier key)
+	structFp string // statistics-free structural digest (drift tier key)
+	shard    int    // owning shard index (fixed at create: hash of id)
 
 	// canonPerm maps the session query's table IDs to canonical
 	// positions; exported with snapshots so isomorphic lookups can
@@ -87,6 +88,9 @@ type managed struct {
 	created     time.Time
 	warm        bool   // started from a cached snapshot
 	srcFP       string // cache entry the warm start restored from ("" when cold)
+	srcCanon    string // canonical digest of that entry (its cache shard key)
+	drift       string // drift resolution: "recosted"/"resumed"/"quarantined"/""
+	statsEpoch  uint64 // statistics-epoch label at creation (stamps exports)
 	steps       int    // scheduler steps executed
 	snapshotted bool   // plan state already exported to the cache
 

@@ -40,6 +40,13 @@ type Observability struct {
 	// Remap is the isomorphic snapshot-rewrite latency (session-creation
 	// path only).
 	Remap *metrics.Histogram
+	// Recost is the statistics-drift re-cost latency (session-creation
+	// path only, like Remap).
+	Recost *metrics.Histogram
+	// DriftMagnitude is the distribution of maximum relative statistic
+	// change observed at stale-tier hits, in permille (a drift of 1.0 —
+	// a statistic doubling or vanishing — records as 1000).
+	DriftMagnitude *metrics.Histogram
 
 	archive *trace.Archive
 }
@@ -61,7 +68,10 @@ func newObservability(shards int) *Observability {
 		QuantumSteps:  metrics.NewValues(shards, 1, 2, 4, 8, 16, 32),
 		EndToEnd:      metrics.NewDuration(1),
 		Remap:         metrics.NewDuration(1),
-		archive:       trace.NewArchive(archiveCap),
+		Recost:        metrics.NewDuration(1),
+		DriftMagnitude: metrics.NewValues(1,
+			10, 25, 50, 100, 250, 500, 1000, 2500, 5000),
+		archive: trace.NewArchive(archiveCap),
 	}
 }
 
@@ -154,6 +164,12 @@ func (s *Service) registerMetrics() {
 	r.CounterFunc("moqod_steps_total", "Refinement steps executed by the scheduler.", "", s.steps.Load)
 	r.CounterFunc("moqod_warm_starts_total", "Sessions created from a cached snapshot (exact and isomorphic).", "", s.warmStarts.Load)
 	r.CounterFunc("moqod_iso_warm_starts_total", "Warm starts restored via the isomorphism tier (snapshot remap).", "", s.isoWarmStarts.Load)
+	r.CounterFunc("moqod_drift_total", "Statistics-drift resolutions by class.", `class="recosted"`, s.driftRecosted.Load)
+	r.CounterFunc("moqod_drift_total", "Statistics-drift resolutions by class.", `class="resumed"`, s.driftResumed.Load)
+	r.CounterFunc("moqod_drift_total", "Statistics-drift resolutions by class.", `class="quarantined"`, s.driftQuar.Load)
+	r.GaugeFunc("moqod_stats_epoch", "Current statistics-epoch label of the versioned catalog.", "", func() float64 {
+		return float64(s.statsEpoch())
+	})
 	r.GaugeFunc("moqod_active_sessions", "Current live sessions.", "", func() float64 {
 		return float64(s.activeSessions())
 	})
@@ -167,6 +183,8 @@ func (s *Service) registerMetrics() {
 	r.Histogram("moqod_quantum_steps", "Refinement steps executed per queue pop.", "", s.obs.QuantumSteps)
 	r.Histogram("moqod_session_duration_seconds", "Creation to terminal transition of finished sessions.", "", s.obs.EndToEnd)
 	r.Histogram("moqod_remap_seconds", "Isomorphic snapshot rewrite latency at session creation.", "", s.obs.Remap)
+	r.Histogram("moqod_recost_seconds", "Statistics-drift re-cost latency at session creation.", "", s.obs.Recost)
+	r.Histogram("moqod_drift_magnitude_permille", "Maximum relative statistic change at stale-tier hits (permille).", "", s.obs.DriftMagnitude)
 
 	for i, sh := range s.shards {
 		lbl := fmt.Sprintf(`shard="%d"`, i)
@@ -196,6 +214,9 @@ func (s *Service) registerMetrics() {
 		})
 		r.CounterFunc("moqod_cache_hits_total", "Warm-start cache hits by tier.", `tier="iso"`, func() uint64 {
 			return s.cacheTotals().IsoHits
+		})
+		r.CounterFunc("moqod_cache_stale_hits_total", "Structural-tier hits on pre-drift snapshots (resolved by the drift counters).", "", func() uint64 {
+			return s.cacheTotals().StaleHits
 		})
 		r.CounterFunc("moqod_cache_misses_total", "Warm-start cache misses.", "", func() uint64 {
 			return s.cacheTotals().Misses

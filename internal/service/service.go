@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/plan"
@@ -142,6 +143,20 @@ type Config struct {
 	// service. Zero values take the store's defaults.
 	StoreOptions store.Options
 
+	// Stats, when set, is the versioned statistics catalog whose epoch
+	// labels snapshots exported by this service. The service never reads
+	// table statistics from it (queries carry their own catalog); it
+	// only stamps and raises the epoch so drift observability stays
+	// monotonic across statistics updates and restarts. Nil leaves every
+	// snapshot labeled epoch 0.
+	Stats *catalog.Versioned
+
+	// DriftThreshold is the relative-change boundary between small drift
+	// (re-cost the cached plan sets and trust them) and large drift
+	// (re-cost, then resume refinement with regenerated alternatives);
+	// <= 0 uses core.DefaultDriftThreshold.
+	DriftThreshold float64
+
 	// DefaultBounds are the initial cost bounds of new sessions; nil
 	// means unbounded.
 	DefaultBounds cost.Vector
@@ -215,6 +230,23 @@ type Stats struct {
 	// snapshot cached under a different table labeling, rewritten via
 	// the canonical tier (cross-shape reuse).
 	IsoWarmStarts uint64
+	// DriftRecosted counts sessions warm-started from a pre-drift
+	// snapshot whose statistics drift classified small: the cached plan
+	// sets were re-costed under the live statistics and trusted.
+	DriftRecosted uint64
+	// DriftResumed counts warm starts across large statistics drift:
+	// the snapshot was re-costed and refinement resumed with the pair
+	// memo dropped, regenerating alternatives against the cached
+	// context.
+	DriftResumed uint64
+	// DriftQuarantined counts stale-tier hits whose drift classified
+	// incompatible (topology, index or sampling-offer changes) or whose
+	// re-cost failed: the entry was quarantined and the session
+	// cold-started.
+	DriftQuarantined uint64
+	// StatsEpoch is the current statistics-epoch label (0 when no
+	// versioned catalog is configured).
+	StatsEpoch uint64
 	// RemapTotal is the cumulative wall time spent rewriting snapshots
 	// for isomorphic restores (at session creation, never on the
 	// refinement hot path). Durations marshal as raw nanosecond
@@ -292,6 +324,12 @@ type Status struct {
 	State State
 	// WarmStarted reports whether the session began from the cache.
 	WarmStarted bool
+	// Drift reports how statistics drift resolved for this session:
+	// "recosted" (small drift, cached plans re-costed), "resumed" (large
+	// drift, refinement resumed over re-costed state), "quarantined"
+	// (incompatible drift or failed re-cost; the session cold-started),
+	// or "" when no drift was involved.
+	Drift string
 	// Resolution is the last step's resolution (-1 before any step).
 	Resolution int
 	// Steps is the number of refinement steps executed so far.
@@ -355,6 +393,9 @@ type Service struct {
 	steps         atomic.Uint64
 	warmStarts    atomic.Uint64
 	isoWarmStarts atomic.Uint64
+	driftRecosted atomic.Uint64
+	driftResumed  atomic.Uint64
+	driftQuar     atomic.Uint64
 	remapNS       atomic.Uint64
 	stopping      atomic.Bool
 	janitorStop   chan struct{}
@@ -456,7 +497,7 @@ func New(cfg Config) (*Service, error) {
 		// that are already on disk.
 		_ = st.Replay(func(r store.Record) bool {
 			if c := s.cacheFor(r.CanonFP); c != nil {
-				c.Put(r.FP, r.CanonFP, r.Perm, r.Snap)
+				c.Put(r.FP, r.CanonFP, r.StructFP, r.Perm, r.Snap)
 				// Replayed entries are on disk by definition; marking
 				// them clean keeps eviction and the shutdown sweep
 				// from writing them straight back.
@@ -464,6 +505,13 @@ func New(cfg Config) (*Service, error) {
 			}
 			return true
 		})
+		// Epoch labels must stay monotonic across restarts: raise the
+		// versioned catalog to the newest label the store has seen, so a
+		// post-restart statistics update never reuses a label that
+		// already stamps persisted records.
+		if cfg.Stats != nil {
+			cfg.Stats.EnsureAtLeast(st.MaxStatsEpoch())
+		}
 		if cfg.StorePolicy == PersistOnEvict {
 			for _, c := range s.caches {
 				// Blocking on a backlogged writer (bounded by its queue
@@ -661,7 +709,7 @@ func restoreFromSnapshot(q *query.Query, cfg core.Config, snap *core.Snapshot) (
 }
 
 // quarantine buries a poisoned warm-start source: the entry leaves
-// both cache tiers and its store record is superseded by a tombstone,
+// every cache tier and its store record is superseded by a tombstone,
 // so neither this process nor any restart warm-starts from it again
 // (D14: poison marking is monotonic and persisted).
 func (s *Service) quarantine(srcFP, canonFp string) {
@@ -672,6 +720,32 @@ func (s *Service) quarantine(srcFP, canonFp string) {
 		s.store.Quarantine(srcFP)
 	}
 	s.poisoned.Add(1)
+}
+
+// statsEpoch returns the current statistics-epoch label (0 without a
+// versioned catalog).
+func (s *Service) statsEpoch() uint64 {
+	if s.cfg.Stats == nil {
+		return 0
+	}
+	return s.cfg.Stats.Version()
+}
+
+// lookupStale probes every cache shard's structural tier for a
+// pre-drift snapshot of structFp. Cache shards are keyed by canonical
+// digest, and the same structure under different statistics hashes to
+// different canonical shards, so the probe cannot stay shard-local; it
+// runs only after both real tiers missed, on the session-creation path.
+func (s *Service) lookupStale(structFp string) (snap *core.Snapshot, srcFP, srcCanon string, ok bool) {
+	if s.caches == nil || structFp == "" {
+		return nil, "", "", false
+	}
+	for _, c := range s.caches {
+		if snap, srcFP, srcCanon, ok = c.LookupStale(structFp); ok {
+			return snap, srcFP, srcCanon, true
+		}
+	}
+	return nil, "", "", false
 }
 
 // Create registers a new session for q and schedules its first
@@ -698,17 +772,21 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		}
 	}
 	fp := q.Fingerprint()
-	var canonFp string
+	var canonFp, structFp string
 	var canonPerm []int
 	if s.caches != nil {
 		// One canonicalization per session creation; the digest also
-		// picks the cache shard, so isomorphic queries meet there.
+		// picks the cache shard, so isomorphic queries meet there. The
+		// structural digest feeds the drift tier: it survives statistics
+		// changes that move both of the other keys.
 		canonFp, canonPerm = q.CanonicalFingerprint()
+		structFp = q.StructuralFingerprint()
 	}
 	var sess *session.Session
-	var remapDur time.Duration
-	var warmSrcFP string
-	warm, warmExact := false, false
+	var remapDur, recostDur time.Duration
+	var warmSrcFP, warmSrcCanon, drift string
+	warm, warmExact, preSnapshotted := false, false, false
+	var driftClass core.DriftClass
 	if cache := s.cacheFor(canonFp); cache != nil {
 		if snap, srcPerm, srcFP, exact, ok := cache.Lookup(fp, canonFp); ok {
 			if !exact {
@@ -732,7 +810,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 				// A cached entry passed scan-time CRC and config checks,
 				// so a restore that still fails (or panics on a corrupt-
 				// but-CRC-valid record) is poison: quarantine the source
-				// entry — evict from both cache tiers, supersede on disk
+				// entry — evict from every cache tier, supersede on disk
 				// — and fall back to a cold start. The next convergence
 				// re-exports a fresh snapshot, resetting the lineage;
 				// the Create itself never fails for a bad cache entry.
@@ -745,6 +823,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 					warm = true
 					warmExact = exact
 					warmSrcFP = srcFP
+					warmSrcCanon = canonFp
 					s.warmStarts.Add(1)
 					if !exact {
 						s.isoWarmStarts.Add(1)
@@ -752,6 +831,81 @@ func (s *Service) Create(q *query.Query) (string, error) {
 				} else {
 					s.quarantine(srcFP, canonFp)
 				}
+			}
+		} else if stale, srcFP, srcCanon, sok := s.lookupStale(structFp); sok {
+			// Both real tiers missed, but a snapshot with q's exact
+			// structure is cached under different statistics: the stats
+			// drifted between its export and this create. Classify the
+			// drift against the snapshot's recorded values and re-cost,
+			// resume or quarantine accordingly (DESIGN.md D15) — never
+			// serve plan state costed under superseded statistics as-is.
+			class, mag := stale.ClassifyDrift(q, s.cfg.DriftThreshold)
+			driftClass = class
+			s.obs.DriftMagnitude.Observe(int64(mag * 1000))
+			quarantined := false
+			if class == core.DriftSmall || class == core.DriftLarge || class == core.DriftNone {
+				t0 := time.Now()
+				recosted, rerr := stale.Recost(q, s.cfg.Opt)
+				recostDur = time.Since(t0)
+				s.obs.Recost.ObserveDuration(recostDur)
+				if rerr == nil {
+					recosted.SetStatsEpoch(s.statsEpoch())
+					if class == core.DriftLarge {
+						// The pruning decisions baked into the cached
+						// sets happened under the old statistics; drop
+						// the pair memo so refinement regenerates every
+						// alternative and re-prunes it against the
+						// re-costed context.
+						recosted.DropPairs()
+					}
+					if opt, rerr := restoreFromSnapshot(q, s.cfg.Opt, recosted); rerr == nil {
+						var err error
+						sess, err = session.NewWithOptimizer(opt, s.cfg.DefaultBounds)
+						if err != nil {
+							return "", err
+						}
+						warm = true
+						warmSrcFP = srcFP
+						warmSrcCanon = srcCanon
+						s.warmStarts.Add(1)
+						if class == core.DriftLarge {
+							s.driftResumed.Add(1)
+							drift = "resumed"
+						} else {
+							s.driftRecosted.Add(1)
+							drift = "recosted"
+							// Small drift: the re-costed plan sets are
+							// exactly what this session's convergence
+							// would re-export. Admit them under q's own
+							// keys now — the next identical query hits
+							// the exact tier — and skip the session's
+							// own export.
+							cache.Put(fp, canonFp, structFp, canonPerm, recosted)
+							if s.store != nil && s.cfg.StorePolicy == PersistOnPut {
+								s.store.Put(fp, canonFp, structFp, canonPerm, recosted)
+							}
+							preSnapshotted = true
+						}
+					} else {
+						quarantined = true
+					}
+				} else {
+					// Classification said value-only drift but re-costing
+					// still failed (e.g. a corrupt-but-CRC-valid record):
+					// the entry is poison.
+					quarantined = true
+				}
+			} else {
+				// Incompatible: the table set, topology, index
+				// availability or sampling offers changed — the cached
+				// alternatives no longer enumerate q's search space in
+				// either direction.
+				quarantined = true
+			}
+			if quarantined {
+				s.quarantine(srcFP, srcCanon)
+				s.driftQuar.Add(1)
+				drift = "quarantined"
 			}
 		}
 	}
@@ -765,25 +919,31 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	now := time.Now()
 	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
 	m := &managed{
-		id:        id,
-		fp:        fp,
-		canonFp:   canonFp,
-		canonPerm: canonPerm,
-		shard:     shardIndex(id, len(s.shards)),
-		sess:      sess,
-		state:     Refining,
-		lastTouch: now,
-		created:   now,
-		warm:      warm,
-		srcFP:     warmSrcFP,
+		id:         id,
+		fp:         fp,
+		canonFp:    canonFp,
+		structFp:   structFp,
+		canonPerm:  canonPerm,
+		shard:      shardIndex(id, len(s.shards)),
+		sess:       sess,
+		state:      Refining,
+		lastTouch:  now,
+		created:    now,
+		warm:       warm,
+		srcFP:      warmSrcFP,
+		srcCanon:   warmSrcCanon,
+		drift:      drift,
+		statsEpoch: s.statsEpoch(),
 		// An exact warm restore re-converging under the default bounds
 		// ends in the very state the cached snapshot holds, so
 		// re-exporting (a full deep copy, plus a store write under
-		// persist-on-put) buys nothing; skip it. Isomorphic restores
-		// still export — they seed the exact tier for their own
-		// labeling — and SetBounds clears the flag, so a new regime's
-		// convergence always refreshes the cache.
-		snapshotted: warmExact,
+		// persist-on-put) buys nothing; skip it. A small-drift restore
+		// already admitted its re-costed state under this session's own
+		// keys, so it skips too. Isomorphic restores still export —
+		// they seed the exact tier for their own labeling — and
+		// SetBounds clears the flag, so a new regime's convergence
+		// always refreshes the cache.
+		snapshotted: warmExact || preSnapshotted,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	// Seed the lifecycle trace with the creation-path spans
@@ -795,13 +955,18 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		switch {
 		case warmExact:
 			tr.AppendAt(trace.KindCacheExact, 0, 0, 0)
-		case warm:
+		case warm && drift == "":
 			tr.AppendAt(trace.KindCacheIso, 0, 0, 0)
+		case warm:
+			// Drift warm start: the stale-tier hit is its own span below.
 		default:
 			tr.AppendAt(trace.KindCacheMiss, 0, 0, 0)
 		}
 		if remapDur > 0 {
 			tr.AppendAt(trace.KindRemap, 0, remapDur, 0)
+		}
+		if drift != "" {
+			tr.AppendAt(trace.KindDrift, 0, recostDur, int64(driftClass))
 		}
 	}
 	m.trace = tr
@@ -897,12 +1062,16 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 				// warm-start from it via remap.
 				t0 := time.Now()
 				snap := m.sess.Optimizer().Snapshot()
-				cache.Put(m.fp, m.canonFp, m.canonPerm, snap)
+				// Stamp before sharing: the label is the epoch current
+				// at the session's creation (its query's statistics),
+				// not whatever the catalog moved to since.
+				snap.SetStatsEpoch(m.statsEpoch)
+				cache.Put(m.fp, m.canonFp, m.structFp, m.canonPerm, snap)
 				if s.store != nil && s.cfg.StorePolicy == PersistOnPut {
 					// Write-through, off the hot path: Put only hands
 					// the (immutable) snapshot to the store's
 					// background writer.
-					s.store.Put(m.fp, m.canonFp, m.canonPerm, snap)
+					s.store.Put(m.fp, m.canonFp, m.structFp, m.canonPerm, snap)
 				}
 				m.snapshotted = true
 				if m.trace != nil {
@@ -963,9 +1132,11 @@ func (s *Service) failLocked(sc *scheduler, m *managed, failure error, stack []b
 	m.setState(Failed)
 	s.endBatch(sc, m, first, last, ran)
 	// A warm session whose very first step panics indicts the restored
-	// snapshot, not the session's own refinement: quarantine the source.
+	// snapshot, not the session's own refinement: quarantine the source
+	// (under its own canonical digest — a drift restore's source lives
+	// on a different cache shard than this session's digest).
 	poisoned := m.warm && m.steps == 0 && m.srcFP != ""
-	srcFP, canonFp := m.srcFP, m.canonFp
+	srcFP, canonFp := m.srcFP, m.srcCanon
 	m.mu.Unlock()
 	if poisoned {
 		s.quarantine(srcFP, canonFp)
@@ -1014,6 +1185,7 @@ func (m *managed) statusLocked() Status {
 		Query:         m.sess.Optimizer().Query().Name(),
 		State:         m.state,
 		WarmStarted:   m.warm,
+		Drift:         m.drift,
 		Resolution:    m.sess.Resolution(),
 		Steps:         m.steps,
 		Bounds:        m.sess.Bounds(),
@@ -1195,19 +1367,23 @@ func (s *Service) Close(id string) error {
 // per-shard breakdown and the starvation-audit percentile.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Created:       s.created.Load(),
-		Selected:      s.selected.Load(),
-		Closed:        s.closed.Load(),
-		Expired:       s.expired.Load(),
-		Failed:        s.failed.Load(),
-		TimedOut:      s.timedOut.Load(),
-		Poisoned:      s.poisoned.Load(),
-		Rejected:      s.rejected.Load(),
-		Steps:         s.steps.Load(),
-		WarmStarts:    s.warmStarts.Load(),
-		IsoWarmStarts: s.isoWarmStarts.Load(),
-		RemapTotal:    time.Duration(s.remapNS.Load()),
-		Shards:        make([]ShardStats, len(s.shards)),
+		Created:          s.created.Load(),
+		Selected:         s.selected.Load(),
+		Closed:           s.closed.Load(),
+		Expired:          s.expired.Load(),
+		Failed:           s.failed.Load(),
+		TimedOut:         s.timedOut.Load(),
+		Poisoned:         s.poisoned.Load(),
+		Rejected:         s.rejected.Load(),
+		Steps:            s.steps.Load(),
+		WarmStarts:       s.warmStarts.Load(),
+		IsoWarmStarts:    s.isoWarmStarts.Load(),
+		DriftRecosted:    s.driftRecosted.Load(),
+		DriftResumed:     s.driftResumed.Load(),
+		DriftQuarantined: s.driftQuar.Load(),
+		StatsEpoch:       s.statsEpoch(),
+		RemapTotal:       time.Duration(s.remapNS.Load()),
+		Shards:           make([]ShardStats, len(s.shards)),
 	}
 	// statsMu serializes concurrent Stats callers over the reusable gap
 	// scratch (this slice and each shard's liveScratch); the sort and

@@ -23,7 +23,7 @@ func testConfig(levels int) Config {
 			PrecisionStep:    0.1,
 		},
 		Workers:     4,
-		Shards:      4, // exercise sharding + stealing regardless of GOMAXPROCS
+		Shards:      4,  // exercise sharding + stealing regardless of GOMAXPROCS
 		IdleTimeout: -1, // tests control expiry explicitly
 	}
 }

@@ -10,6 +10,10 @@
 //
 //	magic "MOQS" | version uint16 LE | dim uint8
 //	cfgEcho string | nextID | epoch | prevRes | prevBounds (0 or dim floats)
+//	statsEpoch | table stats: count, then per table sorted by ID:
+//	    id | rows | width | filter | hasIndex byte | rate count + floats
+//	edge stats: count, then per edge sorted by (a, b):
+//	    a | b | selectivity
 //	node table: count, then per node sorted by ID:
 //	    ID | tables bitmask | kind byte (0 scan, 1 join)
 //	    scan: tableID | scan op | sampleRate     join: op | degree | leftID | rightID
@@ -54,7 +58,11 @@ import (
 // one it decodes. Bump it on any layout change: a moqod running a
 // different binary then refuses persisted snapshots instead of
 // restoring garbage.
-const Version = 1
+//
+// Version 2 added the statistics-drift section (statsEpoch label plus
+// the recorded per-table and per-edge statistics a snapshot was costed
+// under); version-1 records degrade to cold starts.
+const Version = 2
 
 var magic = [4]byte{'M', 'O', 'Q', 'S'}
 
@@ -115,6 +123,33 @@ func Encode(dst []byte, s *core.Snapshot) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(w.PrevBounds)))
 	for _, v := range w.PrevBounds {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+
+	// Statistics-drift section: the epoch label and the recorded
+	// statistics the snapshot was costed under (already sorted by the
+	// snapshot's capture pass, so encoding stays deterministic).
+	dst = binary.AppendUvarint(dst, w.StatsEpoch)
+	dst = binary.AppendUvarint(dst, uint64(len(w.TableStats)))
+	for _, ts := range w.TableStats {
+		dst = binary.AppendUvarint(dst, uint64(ts.ID))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(ts.Rows))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(ts.Width))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(ts.Filter))
+		if ts.HasIndex {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(ts.Rates)))
+		for _, rt := range ts.Rates {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rt))
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(w.EdgeStats)))
+	for _, es := range w.EdgeStats {
+		dst = binary.AppendUvarint(dst, uint64(es.A))
+		dst = binary.AppendUvarint(dst, uint64(es.B))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(es.Sel))
 	}
 
 	// Flatten every plan DAG reachable from either plan set into one
@@ -373,6 +408,78 @@ func Decode(data []byte) (*core.Snapshot, error) {
 		w.PrevBounds = r.vector(dim)
 	default:
 		r.fail(fmt.Errorf("snapcodec: prevBounds dim %d, space dim %d", nb, dim))
+	}
+
+	// Statistics-drift section. Values feed relative-change ratios in
+	// ClassifyDrift (recorded value in the denominator), so domain
+	// violations — non-positive cardinalities, selectivities outside
+	// (0, 1], NaNs — are rejected here rather than becoming NaN/Inf
+	// classifications later. The `!(v > 0)` form catches NaN.
+	w.StatsEpoch = r.uvarint()
+	nStats := r.count()
+	if nStats > 0 {
+		w.TableStats = make([]core.TableStat, 0, nStats)
+	}
+	prevID := -1
+	for i := 0; i < nStats && r.err == nil; i++ {
+		var ts core.TableStat
+		id := r.uvarint()
+		if id >= uint64(tableset.MaxTables) {
+			r.fail(fmt.Errorf("snapcodec: table stat id %d outside [0,%d)", id, tableset.MaxTables))
+			break
+		}
+		ts.ID = int(id)
+		if ts.ID <= prevID {
+			r.fail(fmt.Errorf("snapcodec: table stats not strictly sorted at id %d", ts.ID))
+			break
+		}
+		prevID = ts.ID
+		ts.Rows = r.float()
+		ts.Width = r.float()
+		ts.Filter = r.float()
+		if r.err == nil && (!(ts.Rows > 0) || !(ts.Width > 0) || !(ts.Filter > 0) || ts.Filter > 1) {
+			r.fail(fmt.Errorf("snapcodec: table stat %d with invalid values (rows %g width %g filter %g)", ts.ID, ts.Rows, ts.Width, ts.Filter))
+			break
+		}
+		switch b := r.byte(); b {
+		case 0:
+		case 1:
+			ts.HasIndex = true
+		default:
+			r.fail(fmt.Errorf("snapcodec: table stat %d with invalid index byte %d", ts.ID, b))
+		}
+		nRates := r.count()
+		if nRates > 0 {
+			ts.Rates = make([]float64, 0, nRates)
+		}
+		for j := 0; j < nRates && r.err == nil; j++ {
+			rt := r.float()
+			if r.err == nil && (!(rt > 0) || rt > 1) {
+				r.fail(fmt.Errorf("snapcodec: table stat %d with invalid sampling rate %g", ts.ID, rt))
+				break
+			}
+			ts.Rates = append(ts.Rates, rt)
+		}
+		w.TableStats = append(w.TableStats, ts)
+	}
+	nEdges := r.count()
+	if nEdges > 0 {
+		w.EdgeStats = make([]core.EdgeStat, 0, nEdges)
+	}
+	for i := 0; i < nEdges && r.err == nil; i++ {
+		var es core.EdgeStat
+		a, b := r.uvarint(), r.uvarint()
+		if a >= b || b >= uint64(tableset.MaxTables) {
+			r.fail(fmt.Errorf("snapcodec: edge stat endpoints (%d,%d) invalid", a, b))
+			break
+		}
+		es.A, es.B = int(a), int(b)
+		es.Sel = r.float()
+		if r.err == nil && (!(es.Sel > 0) || es.Sel > 1) {
+			r.fail(fmt.Errorf("snapcodec: edge stat %d-%d with invalid selectivity %g", es.A, es.B, es.Sel))
+			break
+		}
+		w.EdgeStats = append(w.EdgeStats, es)
 	}
 
 	nNodes := r.count()

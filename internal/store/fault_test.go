@@ -16,8 +16,8 @@ func TestStoreQuarantineTombstone(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, nil)
 	snapA, snapB := testSnapshot(t, "Q4"), testSnapshot(t, "Q12")
-	s.Put("fpA", "canonA", nil, snapA)
-	s.Put("fpB", "canonB", nil, snapB)
+	s.Put("fpA", "canonA", "", nil, snapA)
+	s.Put("fpB", "canonB", "", nil, snapB)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestStoreQuarantineTombstone(t *testing.T) {
 
 	// A fresh re-export (the cold re-optimization's snapshot) writes
 	// after the tombstone and is live again.
-	re.Put("fpA", "canonA", nil, snapA)
+	re.Put("fpA", "canonA", "", nil, snapA)
 	if err := re.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +82,9 @@ func TestStoreDegradedEnterAndDrop(t *testing.T) {
 	inj.FailOps(syscall.ENOSPC, faultfs.OpWrite)
 	snap := testSnapshot(t, "Q4")
 
-	s.Put("fp1", "c", nil, snap)
-	s.Put("fp2", "c", nil, snap)
-	s.Put("fp3", "c", nil, snap)
+	s.Put("fp1", "c", "", nil, snap)
+	s.Put("fp2", "c", "", nil, snap)
+	s.Put("fp3", "c", "", nil, snap)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestStoreDegradedEnterAndDrop(t *testing.T) {
 			st.DegradedDrops, st.Persisted)
 	}
 	writesBefore := inj.Count(faultfs.OpWrite)
-	s.Put("fp4", "c", nil, snap)
+	s.Put("fp4", "c", "", nil, snap)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestStoreDegradedProbeRecover(t *testing.T) {
 	inj.FailOps(syscall.ENOSPC, faultfs.OpWrite)
 	snap := testSnapshot(t, "Q4")
 
-	s.Put("lost", "c", nil, snap)
+	s.Put("lost", "c", "", nil, snap)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestStoreDegradedProbeRecover(t *testing.T) {
 	// Past the (jittered, <= 6ms) backoff the next append is a probe;
 	// the disk is still broken, so it fails and the store stays down.
 	time.Sleep(10 * time.Millisecond)
-	s.Put("probe-fail", "c", nil, snap)
+	s.Put("probe-fail", "c", "", nil, snap)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestStoreDegradedProbeRecover(t *testing.T) {
 			t.Fatalf("store never recovered after heal: %+v", s.Stats())
 		}
 		time.Sleep(5 * time.Millisecond)
-		s.Put("recovered", "c", nil, snap)
+		s.Put("recovered", "c", "", nil, snap)
 		if err := s.Flush(); err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestStoreDegradedProbeRecover(t *testing.T) {
 	}
 	// Persistence is fully back: a further Put lands without drops.
 	drops := st.DegradedDrops
-	s.Put("after", "c", nil, snap)
+	s.Put("after", "c", "", nil, snap)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestStoreSyncFailureCountsTowardDegraded(t *testing.T) {
 		o.ProbeInterval = time.Hour
 	})
 	defer s.Close()
-	s.Put("fp", "c", nil, testSnapshot(t, "Q4"))
+	s.Put("fp", "c", "", nil, testSnapshot(t, "Q4"))
 	inj.FailOps(syscall.EIO, faultfs.OpSync)
 	if err := s.Flush(); err == nil {
 		t.Fatal("flush swallowed the fsync failure")

@@ -1,15 +1,20 @@
 // Package store persists warm-start snapshots across process restarts:
 // a disk-backed, append-only companion to the service's in-memory plan
 // cache (service.PlanCache). Records — (exact fingerprint, canonical
-// digest, canonical permutation, snapcodec-encoded snapshot) — are
-// appended to numbered segment files by a background writer, so
-// persistence never blocks the refinement or session-creation paths; a
-// startup scan rebuilds the live-record index, truncating each segment
-// at its first corrupt record (a crash mid-append, a torn page), and
-// Replay streams the surviving records in write order so the service
-// can pre-populate both cache tiers. Records whose configuration echo
-// does not match the restoring service are dead on arrival: config
-// drift degrades to a cold start, never to a wrong restore.
+// digest, structural fingerprint, canonical permutation,
+// snapcodec-encoded snapshot) — are appended to numbered segment files
+// by a background writer, so persistence never blocks the refinement or
+// session-creation paths; a startup scan rebuilds the live-record
+// index, truncating each segment at its first corrupt record (a crash
+// mid-append, a torn page), and Replay streams the surviving records in
+// write order so the service can pre-populate all cache tiers. Records
+// whose configuration echo does not match the restoring service are
+// dead on arrival: config drift degrades to a cold start, never to a
+// wrong restore. Statistics drift is deliberately softer: each frame
+// also carries the statistics-epoch label its snapshot was costed
+// under, and records from older epochs still load — the service
+// re-costs them lazily through the cache's structural tier instead of
+// discarding warm state that is merely stale (DESIGN.md D15).
 //
 // Re-persisting a fingerprint supersedes its previous record; the
 // superseded bytes are dead. When dead bytes exceed
@@ -145,9 +150,17 @@ type Record struct {
 	FP string
 	// CanonFP is the canonical digest (the isomorphism-tier key).
 	CanonFP string
+	// StructFP is the statistics-free structural fingerprint (the
+	// drift-tier key: it still matches after the source query's
+	// statistics change).
+	StructFP string
 	// Perm is the source query's table→canonical-position permutation,
 	// needed to rewrite the snapshot for isomorphic queries.
 	Perm []int
+	// StatsEpoch is the statistics-epoch label the snapshot was costed
+	// under, duplicated out of the blob so the startup scan can count
+	// stale records without decoding plan state.
+	StatsEpoch uint64
 	// Snap is the snapshot itself.
 	Snap *core.Snapshot
 }
@@ -169,6 +182,14 @@ type Stats struct {
 	// Rejected counts scanned records refused for a configuration-echo
 	// mismatch (a different binary build or optimizer config).
 	Rejected uint64
+	// StaleEpoch counts live records whose statistics-epoch label is
+	// below the newest label the store has seen: they replay normally
+	// (the service re-costs them on demand), this is purely a gauge of
+	// how much of the warm state predates the current statistics.
+	StaleEpoch int
+	// MaxStatsEpoch is the newest statistics-epoch label seen across
+	// scanned and appended records.
+	MaxStatsEpoch uint64
 	// Corrupted counts scan truncations (bad checksum or torn record)
 	// and replay-time decode failures.
 	Corrupted uint64
@@ -208,6 +229,7 @@ type location struct {
 	off   int64  // frame offset within the segment
 	size  int64  // frame length in bytes
 	order uint64 // monotonic (re)write stamp; Replay streams ascending
+	epoch uint64 // statistics-epoch label (for the stale-record gauge)
 }
 
 // Store is the disk-backed snapshot store. Open one per directory;
@@ -226,6 +248,7 @@ type Store struct {
 	segments  map[int64]int64     // segment seq → byte size
 	active    int64               // active segment seq
 	file      faultfs.File        // active segment, owned by the writer
+	maxEpoch  uint64              // newest statistics-epoch label seen
 	stats     Stats
 	closed    bool
 
@@ -261,10 +284,15 @@ type writeReq struct {
 }
 
 // frame layout: u32 payload length | u32 CRC32C of payload | payload.
-// payload: fp string | canonFp string | cfgEcho string | perm count +
-// signed varints | snapshot blob (length-prefixed snapcodec record).
-// The cfgEcho is duplicated out of the snapshot blob so the startup
-// scan can reject config drift without decoding plan state.
+// payload: fp string | canonFp string | structFp string | cfgEcho
+// string | statsEpoch uvarint | perm count + signed varints | snapshot
+// blob (length-prefixed snapcodec record). The cfgEcho and statsEpoch
+// are duplicated out of the snapshot blob so the startup scan can
+// split structural config drift (hard reject) from statistics drift
+// (load and count as stale) without decoding plan state. Frames from
+// the pre-structFp layout parse as garbage here or carry an old
+// snapcodec version; either way they are dropped at scan — degrading
+// to a cold start, never to a wrong restore.
 //
 // A zero-length snapshot blob marks a quarantine tombstone: the frame
 // supersedes every earlier record of its fingerprint and carries no
@@ -367,7 +395,7 @@ func (s *Store) scanSegment(seq int64) {
 		if crc32.Checksum(payload, castagnoli) != wantCRC {
 			break
 		}
-		fp, cfgEcho, blob, ok := peekFrame(payload)
+		fp, cfgEcho, epoch, blob, ok := peekFrame(payload)
 		if !ok {
 			break
 		}
@@ -396,7 +424,7 @@ func (s *Store) scanSegment(seq int64) {
 			s.stats.Rejected++
 			s.stats.DeadBytes += size
 		default:
-			s.indexRecord(fp, location{seg: seq, off: off, size: size})
+			s.indexRecord(fp, location{seg: seq, off: off, size: size, epoch: epoch})
 			s.stats.Loaded++
 		}
 		off = end
@@ -427,6 +455,9 @@ func (s *Store) indexRecord(fp string, loc location) {
 	s.nextOrder++
 	s.index[fp] = loc
 	s.stats.LiveBytes += loc.size
+	if loc.epoch > s.maxEpoch {
+		s.maxEpoch = loc.epoch
+	}
 }
 
 // liveInOrder returns the live records as (fingerprint, location)
@@ -444,38 +475,48 @@ func (s *Store) liveInOrder() ([]string, []location) {
 	return fps, locs
 }
 
-// peekFrame extracts the fingerprint, config echo and the raw
-// snapshot blob from a frame payload without decoding plan state.
-func peekFrame(payload []byte) (fp, cfgEcho string, blob []byte, ok bool) {
+// peekFrame extracts the fingerprint, config echo, statistics-epoch
+// label and the raw snapshot blob from a frame payload without
+// decoding plan state.
+func peekFrame(payload []byte) (fp, cfgEcho string, epoch uint64, blob []byte, ok bool) {
 	fp, rest, ok := readString(payload)
 	if !ok {
-		return "", "", nil, false
+		return "", "", 0, nil, false
 	}
 	_, rest, ok = readString(rest) // canonFp
 	if !ok {
-		return "", "", nil, false
+		return "", "", 0, nil, false
+	}
+	_, rest, ok = readString(rest) // structFp
+	if !ok {
+		return "", "", 0, nil, false
 	}
 	cfgEcho, rest, ok = readString(rest)
 	if !ok {
-		return "", "", nil, false
+		return "", "", 0, nil, false
 	}
+	epoch, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return "", "", 0, nil, false
+	}
+	rest = rest[sz:]
 	nPerm, sz := binary.Uvarint(rest)
 	if sz <= 0 || nPerm > uint64(len(rest)) {
-		return "", "", nil, false
+		return "", "", 0, nil, false
 	}
 	rest = rest[sz:]
 	for i := uint64(0); i < nPerm; i++ {
 		_, sz := binary.Varint(rest)
 		if sz <= 0 {
-			return "", "", nil, false
+			return "", "", 0, nil, false
 		}
 		rest = rest[sz:]
 	}
 	nSnap, sz := binary.Uvarint(rest)
 	if sz <= 0 || nSnap != uint64(len(rest)-sz) {
-		return "", "", nil, false
+		return "", "", 0, nil, false
 	}
-	return fp, cfgEcho, rest[sz:], true
+	return fp, cfgEcho, epoch, rest[sz:], true
 }
 
 func readString(b []byte) (string, []byte, bool) {
@@ -495,7 +536,9 @@ func encodeFrame(rec Record) ([]byte, error) {
 	var payload []byte
 	payload = appendString(payload, rec.FP)
 	payload = appendString(payload, rec.CanonFP)
+	payload = appendString(payload, rec.StructFP)
 	payload = appendString(payload, rec.Snap.CfgEcho())
+	payload = binary.AppendUvarint(payload, rec.Snap.StatsEpoch())
 	payload = binary.AppendUvarint(payload, uint64(len(rec.Perm)))
 	for _, p := range rec.Perm {
 		payload = binary.AppendVarint(payload, int64(p))
@@ -519,9 +562,17 @@ func decodeFrame(payload []byte) (Record, error) {
 	if rec.CanonFP, rest, ok = readString(rest); !ok {
 		return rec, fmt.Errorf("store: bad frame canonical digest")
 	}
+	if rec.StructFP, rest, ok = readString(rest); !ok {
+		return rec, fmt.Errorf("store: bad frame structural fingerprint")
+	}
 	if _, rest, ok = readString(rest); !ok { // cfgEcho, validated at scan
 		return rec, fmt.Errorf("store: bad frame config echo")
 	}
+	var sz int
+	if rec.StatsEpoch, sz = binary.Uvarint(rest); sz <= 0 {
+		return rec, fmt.Errorf("store: bad frame statistics epoch")
+	}
+	rest = rest[sz:]
 	nPerm, sz := binary.Uvarint(rest)
 	if sz <= 0 || nPerm > uint64(len(rest)) {
 		return rec, fmt.Errorf("store: bad frame permutation length")
@@ -610,7 +661,7 @@ func (s *Store) noteCorrupt() {
 // with the writer backlogged past QueueDepth the record is dropped and
 // counted (the snapshot still lives in the in-memory cache; only its
 // restart durability is lost). Nil snapshots are ignored.
-func (s *Store) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
+func (s *Store) Put(fp, canonFp, structFp string, perm []int, snap *core.Snapshot) {
 	if snap == nil {
 		return
 	}
@@ -620,7 +671,7 @@ func (s *Store) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 	// alone cannot.
 	s.depthHist.Observe(int64(len(s.queue)))
 	select {
-	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, Perm: perm, Snap: snap}}:
+	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, StructFP: structFp, Perm: perm, Snap: snap}}:
 	default:
 		s.mu.Lock()
 		if !s.closed {
@@ -634,12 +685,12 @@ func (s *Store) Put(fp, canonFp string, perm []int, snap *core.Snapshot) {
 // the record is enqueued (or the store is closed). The shutdown sweep
 // of the persist-on-evict policy uses it — dropping records there
 // would silently lose warm state the sweep exists to save.
-func (s *Store) PutBlocking(fp, canonFp string, perm []int, snap *core.Snapshot) {
+func (s *Store) PutBlocking(fp, canonFp, structFp string, perm []int, snap *core.Snapshot) {
 	if snap == nil {
 		return
 	}
 	select {
-	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, Perm: perm, Snap: snap}}:
+	case s.queue <- writeReq{rec: Record{FP: fp, CanonFP: canonFp, StructFP: structFp, Perm: perm, Snap: snap}}:
 	case <-s.done:
 	}
 }
@@ -720,7 +771,23 @@ func (s *Store) Stats() Stats {
 	st.Segments = len(s.segments)
 	st.LiveRecords = len(s.index)
 	st.Pending = len(s.queue)
+	st.MaxStatsEpoch = s.maxEpoch
+	for _, loc := range s.index {
+		if loc.epoch < s.maxEpoch {
+			st.StaleEpoch++
+		}
+	}
 	return st
+}
+
+// MaxStatsEpoch returns the newest statistics-epoch label the store has
+// seen across scanned and appended records. A restoring service raises
+// its versioned catalog to at least this value so epoch labels stay
+// monotonic across restarts.
+func (s *Store) MaxStatsEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxEpoch
 }
 
 // writer is the background append loop: it owns the active segment
@@ -748,7 +815,9 @@ func (s *Store) encodeTombstone(fp string) []byte {
 	var payload []byte
 	payload = appendString(payload, fp)
 	payload = appendString(payload, "") // canonFp
+	payload = appendString(payload, "") // structFp
 	payload = appendString(payload, s.opts.CfgEcho)
+	payload = binary.AppendUvarint(payload, 0) // statsEpoch
 	payload = binary.AppendUvarint(payload, 0) // perm
 	payload = binary.AppendUvarint(payload, 0) // empty snapshot blob = tombstone
 	frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
@@ -816,6 +885,9 @@ func (s *Store) append(rec Record, tomb bool) {
 	s.noteIOSuccessLocked()
 	s.segments[s.active] = off + int64(len(frame))
 	loc := location{seg: s.active, off: off, size: int64(len(frame))}
+	if !tomb {
+		loc.epoch = rec.Snap.StatsEpoch()
+	}
 	if tomb {
 		// The tombstone's own bytes are dead by definition; the live
 		// record it supersedes was already removed by Quarantine.
@@ -976,7 +1048,7 @@ func (s *Store) maybeCompactLocked() {
 		}
 		// Write stamps carry over so the relative replay order is
 		// unchanged by compaction.
-		newIndex[fp] = location{seg: newSeq, off: newOff, size: loc.size, order: loc.order}
+		newIndex[fp] = location{seg: newSeq, off: newOff, size: loc.size, order: loc.order, epoch: loc.epoch}
 		newOff += loc.size
 	}
 	if err == nil {

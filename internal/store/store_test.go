@@ -84,8 +84,8 @@ func TestStorePersistReopenReplay(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, nil)
 	snapA, snapB := testSnapshot(t, "Q4"), testSnapshot(t, "Q12")
-	s.Put("fpA", "canonA", []int{1, 0}, snapA)
-	s.Put("fpB", "canonB", nil, snapB)
+	s.Put("fpA", "canonA", "", []int{1, 0}, snapA)
+	s.Put("fpB", "canonB", "", nil, snapB)
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -126,9 +126,9 @@ func TestStoreSupersedeAndCompact(t *testing.T) {
 	})
 	snap := testSnapshot(t, "Q4")
 	keep := testSnapshot(t, "Q12")
-	s.Put("keep", "canonK", nil, keep)
+	s.Put("keep", "canonK", "", nil, keep)
 	for i := 0; i < 8; i++ {
-		s.Put("hot", "canonH", nil, snap)
+		s.Put("hot", "canonH", "", nil, snap)
 	}
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestStoreSegmentRollover(t *testing.T) {
 		o.MaxSegmentBytes = 1 // every record rolls a new segment
 	})
 	for _, fp := range []string{"a", "b", "c"} {
-		s.Put(fp, "canon-"+fp, nil, testSnapshot(t, "Q4"))
+		s.Put(fp, "canon-"+fp, "", nil, testSnapshot(t, "Q4"))
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -205,7 +205,7 @@ func TestStoreCorruptionTruncates(t *testing.T) {
 	s := openTestStore(t, dir, nil)
 	var sizes []int64
 	for _, fp := range []string{"a", "b", "c"} {
-		s.Put(fp, "", nil, testSnapshot(t, "Q4"))
+		s.Put(fp, "", "", nil, testSnapshot(t, "Q4"))
 		if err := s.Flush(); err != nil {
 			t.Fatal(err)
 		}
@@ -246,8 +246,8 @@ func TestStoreCorruptionTruncates(t *testing.T) {
 func TestStoreTornTailTruncates(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, nil)
-	s.Put("a", "", nil, testSnapshot(t, "Q4"))
-	s.Put("b", "", nil, testSnapshot(t, "Q12"))
+	s.Put("a", "", "", nil, testSnapshot(t, "Q4"))
+	s.Put("b", "", "", nil, testSnapshot(t, "Q12"))
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestStoreTornTailTruncates(t *testing.T) {
 func TestStoreRejectsConfigDrift(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, nil)
-	s.Put("a", "", nil, testSnapshot(t, "Q4"))
+	s.Put("a", "", "", nil, testSnapshot(t, "Q4"))
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestStoreDropsWhenBacklogged(t *testing.T) {
 	// Flood faster than the writer can drain; with depth 1 some Puts
 	// must shed rather than block.
 	for i := 0; i < 64; i++ {
-		s.Put("fp", "", nil, snap)
+		s.Put("fp", "", "", nil, snap)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -320,7 +320,7 @@ func TestStoreDropsWhenBacklogged(t *testing.T) {
 func TestStoreRejectsForeignFormatVersion(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, nil)
-	s.Put("a", "", nil, testSnapshot(t, "Q4"))
+	s.Put("a", "", "", nil, testSnapshot(t, "Q4"))
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestStoreRejectsForeignFormatVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := data[frameHeaderLen:]
-	_, _, blob, ok := peekFrame(payload)
+	_, _, _, blob, ok := peekFrame(payload)
 	if !ok {
 		t.Fatal("cannot parse own frame")
 	}
@@ -363,9 +363,9 @@ func TestStoreRejectsForeignFormatVersion(t *testing.T) {
 func TestStoreReplayOrderFollowsRepersist(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, dir, nil)
-	s.Put("a", "canonX", nil, testSnapshot(t, "Q4"))
-	s.Put("b", "canonX", nil, testSnapshot(t, "Q12"))
-	s.Put("a", "canonX", nil, testSnapshot(t, "Q4")) // re-persist: a is newest again
+	s.Put("a", "canonX", "", nil, testSnapshot(t, "Q4"))
+	s.Put("b", "canonX", "", nil, testSnapshot(t, "Q12"))
+	s.Put("a", "canonX", "", nil, testSnapshot(t, "Q4")) // re-persist: a is newest again
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,10 @@ const (
 	KindFailed
 	// KindTimedOut marks a session reclaimed at its wall-clock deadline.
 	KindTimedOut
+	// KindDrift records a statistics-drift resolution on the creation
+	// path: N is the drift class (core.DriftClass numeric value), Dur is
+	// the re-cost latency (0 when the entry was quarantined).
+	KindDrift
 )
 
 var kindNames = [...]string{
@@ -93,6 +97,7 @@ var kindNames = [...]string{
 	KindExpired:       "expired",
 	KindFailed:        "failed",
 	KindTimedOut:      "timed-out",
+	KindDrift:         "drift",
 }
 
 // String returns the span kind's wire name.

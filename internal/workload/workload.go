@@ -294,7 +294,18 @@ func specs(sf float64) []blockSpec {
 
 // TPCHBlocks builds all TPC-H join blocks at the given scale factor.
 func TPCHBlocks(scaleFactor float64) ([]Block, error) {
-	cat := Catalog(scaleFactor)
+	return BlocksFor(Catalog(scaleFactor), scaleFactor, nil)
+}
+
+// BlocksFor builds the TPC-H join blocks against an explicit catalog —
+// typically a statistics epoch's catalog (see internal/catalog.Versioned)
+// whose table stats have drifted from the TPCH defaults. edgeSel
+// optionally overrides per-edge join selectivities by normalized table-name
+// pair; edges not present keep the spec's foreign-key estimate (which is
+// parameterized by scaleFactor, not by the catalog's possibly-drifted row
+// counts: the FK estimate describes key distribution, not table size).
+// The catalog must contain every table the specs reference.
+func BlocksFor(cat *catalog.Catalog, scaleFactor float64, edgeSel map[catalog.EdgeKey]float64) ([]Block, error) {
 	var out []Block
 	for _, sp := range specs(scaleFactor) {
 		ids := make([]int, len(sp.tables))
@@ -307,7 +318,11 @@ func TPCHBlocks(scaleFactor float64) ([]Block, error) {
 		}
 		edges := make([]query.JoinEdge, len(sp.edges))
 		for i, e := range sp.edges {
-			edges[i] = query.JoinEdge{A: cat.MustID(e.a), B: cat.MustID(e.b), Selectivity: e.sel}
+			sel := e.sel
+			if s, ok := edgeSel[catalog.NewEdgeKey(e.a, e.b)]; ok {
+				sel = s
+			}
+			edges[i] = query.JoinEdge{A: cat.MustID(e.a), B: cat.MustID(e.b), Selectivity: sel}
 		}
 		opts := []query.Option{query.WithName(sp.name)}
 		// Sort filter keys for deterministic construction.

@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/tableset"
 )
 
@@ -144,4 +145,54 @@ func TestDeterministicConstruction(t *testing.T) {
 		}
 	}
 	_ = tableset.Empty() // keep import for potential extension
+}
+
+// TestBlocksForEdgeOverrides checks the drift path's block rebuild: an
+// epoch's edge-selectivity overrides replace the spec's FK estimate on
+// exactly the named pair, and a drifted catalog's table stats flow into
+// the rebuilt queries while IDs stay stable.
+func TestBlocksForEdgeOverrides(t *testing.T) {
+	cat := Catalog(1)
+	override := map[catalog.EdgeKey]float64{
+		catalog.NewEdgeKey("lineitem", "orders"): 1e-8,
+	}
+	blocks, err := BlocksFor(cat, 1, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MustTPCHBlocks(1)
+	for _, b := range blocks {
+		want, _ := Find(base, b.Name)
+		o, l := cat.MustID("orders"), cat.MustID("lineitem")
+		for i, e := range b.Query.Edges() {
+			a2, b2 := e.A, e.B
+			if a2 > b2 {
+				a2, b2 = b2, a2
+			}
+			if a2 == l && b2 == o || a2 == o && b2 == l {
+				if e.Selectivity != 1e-8 {
+					t.Errorf("block %s orders-lineitem selectivity %g, want override 1e-8", b.Name, e.Selectivity)
+				}
+			} else if e.Selectivity != want.Query.Edges()[i].Selectivity {
+				t.Errorf("block %s edge %d selectivity changed without an override", b.Name, i)
+			}
+		}
+	}
+
+	drifted, err := cat.WithStats([]catalog.TableStats{{Name: "orders", Rows: 3e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks2, err := BlocksFor(drifted, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4, _ := Find(blocks2, "Q4")
+	if got := q4.Query.Catalog().Table(q4.Query.Catalog().MustID("orders")).Rows; got != 3e6 {
+		t.Errorf("rebuilt Q4 sees orders rows %g, want 3e6", got)
+	}
+	q4base, _ := Find(base, "Q4")
+	if q4.Query.Catalog().MustID("orders") != q4base.Query.Catalog().MustID("orders") {
+		t.Error("table IDs drifted across a stats-only catalog change")
+	}
 }
