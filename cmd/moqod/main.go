@@ -10,17 +10,27 @@
 // -cache-dir the warm-start cache is backed by a persistent snapshot
 // store: restarts (and other moqod processes pointed at a copy of the
 // directory) replay the persisted plan state instead of paying the
-// cold-start cliff, and SIGINT/SIGTERM trigger a graceful shutdown
-// that drains HTTP and flushes the store before exit.
+// cold-start cliff. A new node can also bootstrap that store from a
+// live (or drained) peer with -bootstrap-peer, arriving warm without
+// sharing a filesystem. SIGINT/SIGTERM trigger a graceful drain: new
+// sessions are refused with 503 + Retry-After, in-flight sessions
+// converge or are checkpointed to the store, then HTTP and the store
+// shut down — zero sessions are abandoned.
 //
 //	moqod -addr :8080                     # serve the JSON API
 //	moqod -addr :8080 -cache-dir /var/moqod  # …with warm starts surviving restarts
+//	moqod -addr :8081 -cache-dir /var/moqod2 -bootstrap-peer 127.0.0.1:8080
+//	                                      # …warm state pulled from a peer
 //	moqod -loadgen -sessions 64           # drive 64 concurrent sessions in-process
+//	moqod -loadgen -target-addr 127.0.0.1:8080 -failover-addr 127.0.0.1:8081
+//	                                      # drive over HTTP with drain-aware failover
 //
 // API sketch (all JSON):
 //
 //	POST   /sessions                {"block":"Q5"} or {"tables":6,"topology":"star"}
-//	                                → 429 + Retry-After when overloaded
+//	                                → 429 + Retry-After when overloaded,
+//	                                → 503 + Retry-After when draining or
+//	                                  bootstrapping
 //	GET    /sessions/{id}           → state, resolution, frontier
 //	POST   /sessions/{id}/bounds    {"bounds":[2000,4,1]} (null/empty = unbounded)
 //	POST   /sessions/{id}/select    {"index":0,"steps":12} → chosen plan
@@ -36,11 +46,17 @@
 //	                                (-stats-file loads the same JSON at boot,
 //	                                 SIGHUP re-reads it)
 //	GET    /statz                   → service counters, incl. per-shard
-//	                                  queue/steal/preempt breakdown and
-//	                                  the p99 inter-step starvation gap
+//	                                  queue/steal/preempt breakdown, drain
+//	                                  progress and the lifecycle phase
 //	GET    /metrics                 → Prometheus text exposition (lifecycle
 //	                                  counters, latency histograms,
 //	                                  per-shard queue gauges)
+//	GET    /healthz                 → liveness (200 in every phase)
+//	GET    /readyz                  → readiness (503 while bootstrapping,
+//	                                  draining or store-degraded)
+//	POST   /admin/drain             → start a graceful drain (idempotent)
+//	GET    /admin/store/manifest    → snapshot-store export view for peers
+//	GET    /admin/store/segments/{seq}?gen=G&off=N → raw segment bytes
 //	GET    /debug/sessions/{id}/trace → the session's lifecycle trace
 //	                                  (live sessions and the recent-
 //	                                  traces archive)
@@ -63,17 +79,16 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/bootstrap"
 	"repro/internal/catalog"
 	"repro/internal/core"
-	"repro/internal/cost"
 	"repro/internal/costmodel"
 	"repro/internal/harness"
 	"repro/internal/plan"
@@ -101,11 +116,15 @@ func main() {
 	cacheCap := flag.Int("cache", 256, "warm-start cache capacity (-1 disables)")
 	cacheDir := flag.String("cache-dir", "", "persist warm-start snapshots under this directory (survives restarts; empty disables)")
 	persistOnEvict := flag.Bool("persist-on-evict", false, "persist snapshots on cache eviction + shutdown sweep instead of write-through")
+	bootstrapPeer := flag.String("bootstrap-peer", "", "pull the snapshot store from this peer's /admin/store export before serving (requires -cache-dir; falls back to cold start on failure)")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "drain: how long in-flight sessions get to converge before being checkpointed")
 	seed := flag.Int64("seed", 1, "seed for synthetic queries and the load-generator mix")
 	sf := flag.Float64("sf", 1, "TPC-H scale factor for -block queries")
 	statsFile := flag.String("stats-file", "", "apply a catalog statistics update (JSON StatsUpdate) at boot; SIGHUP re-reads it")
 	driftThreshold := flag.Float64("drift-threshold", 0, "relative stats change separating small (re-cost in place) from large (resume refinement) drift (0 = default 0.5)")
-	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving (in-process, or over HTTP with -target-addr)")
+	targetAddr := flag.String("target-addr", "", "loadgen: drive this moqod node over HTTP instead of in-process")
+	failoverAddr := flag.String("failover-addr", "", "loadgen: second node to retry against when the target drains or dies")
 	sessions := flag.Int("sessions", 64, "loadgen: concurrent sessions to drive")
 	total := flag.Int("requests", 0, "loadgen: total sessions to run (0 = 3× -sessions)")
 	isomorph := flag.Float64("isomorph", 0, "loadgen: fraction of sessions running a table-ID-permuted (isomorphic) variant of their block")
@@ -118,6 +137,23 @@ func main() {
 	if *persistOnEvict && *cacheDir == "" {
 		fail(fmt.Errorf("-persist-on-evict requires -cache-dir (no store to persist into)"))
 	}
+	if *bootstrapPeer != "" && *cacheDir == "" {
+		fail(fmt.Errorf("-bootstrap-peer requires -cache-dir (nowhere to install the pulled store)"))
+	}
+
+	if *loadgen && *targetAddr != "" {
+		// HTTP loadgen needs no local service at all — it exercises a
+		// running node (or a draining/failing-over pair) from outside.
+		n := *total
+		if n <= 0 {
+			n = 3 * *sessions
+		}
+		if err := runHTTPLoadgen(*targetAddr, *failoverAddr, *sessions, n, *sf, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	// The versioned statistics epoch the TPC-H blocks are built from.
 	// -stats-file seeds a drifted epoch before anything is costed; later
 	// epochs arrive via POST /catalog/stats or SIGHUP.
@@ -161,13 +197,13 @@ func main() {
 				total.Round(time.Millisecond), threshold, d.Format())
 		}
 	}
-	svc, err := service.New(cfg)
-	if err != nil {
-		fail(err)
-	}
-	defer svc.Shutdown()
 
 	if *loadgen {
+		svc, err := service.New(cfg)
+		if err != nil {
+			fail(err)
+		}
+		defer svc.Shutdown()
 		n := *total
 		if n <= 0 {
 			n = 3 * *sessions
@@ -185,13 +221,78 @@ func main() {
 		return
 	}
 
+	// Serving mode: the HTTP surface comes up first, in the Bootstrapping
+	// phase, so /healthz answers (and /readyz says "not yet") while the
+	// node pulls peer state and builds the service.
+	a := api.New(api.Config{
+		SF:         *sf,
+		Seed:       *seed,
+		Dim:        cfg.Opt.Model.Space().Dim(),
+		Pprof:      *pprofOn,
+		DrainGrace: *drainGrace,
+		Stats:      stats,
+	})
+	// The explicit timeouts close the slowloris hole a bare http.Server
+	// leaves open: a client trickling header bytes (or never reading its
+	// response) would otherwise pin a connection goroutine forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           a.Mux(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	// Optional peer bootstrap: pull the donor's verified segment bytes
+	// into -cache-dir before the store opens, so the normal startup
+	// replay indexes them like any local restart. Every failure mode —
+	// unreachable peer, dead mid-stream, corrupt frames, config mismatch
+	// — degrades to a cold start, never to partial state.
+	boot := api.BootstrapStatus{Mode: "none"}
+	if *bootstrapPeer != "" {
+		boot.Mode = "cold-fallback"
+		boot.Peer = *bootstrapPeer
+		echo, err := core.ConfigFingerprint(cfg.Opt)
+		if err != nil {
+			fail(err)
+		}
+		res, err := bootstrap.Pull(bootstrap.Options{
+			Peer:    *bootstrapPeer,
+			Dir:     *cacheDir,
+			CfgEcho: echo,
+			Logf:    log.Printf,
+		})
+		boot.Segments, boot.Frames, boot.Bytes = res.Segments, res.Frames, res.Bytes
+		boot.Attempts, boot.Resumed, boot.Restarts = res.Attempts, res.Resumed, res.Restarts
+		switch {
+		case err == nil:
+			boot.Mode = "warm"
+			log.Printf("moqod: bootstrapped %d segments (%d frames, %d bytes) from peer %s",
+				res.Segments, res.Frames, res.Bytes, *bootstrapPeer)
+		case errors.Is(err, bootstrap.ErrLocalState):
+			boot.Mode = "local"
+			log.Printf("moqod: bootstrap skipped: %v (replaying local state)", err)
+		default:
+			boot.Error = err.Error()
+			log.Printf("moqod: bootstrap from %s failed, starting cold: %v", *bootstrapPeer, err)
+		}
+	}
+	a.SetBootstrap(boot)
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer svc.Shutdown()
 	ep := stats.Current()
 	blocks, err := workload.BlocksFor(ep.Catalog, *sf, ep.EdgeSel)
 	if err != nil {
 		fail(err)
 	}
-	srv := &server{svc: svc, stats: stats, sf: *sf, blocks: blocks, seed: *seed,
-		dim: cfg.Opt.Model.Space().Dim(), pprof: *pprofOn}
+	a.Ready(svc, blocks)
+
 	st := svc.Stats()
 	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d cache-dir=%q max-sessions=%d max-queue=%d)",
 		*addr, cfg.Workers, len(st.Shards), cfg.Quantum, *levels, *alphaT, *alphaS,
@@ -201,22 +302,6 @@ func main() {
 			st.Store.Loaded, st.Store.Rejected, st.Store.Corrupted, st.Cache.Entries)
 	}
 
-	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
-	// accepting, drain in-flight requests, and let svc.Shutdown flush
-	// the snapshot store — killing the process outright would lose any
-	// snapshots the background writer has not reached yet.
-	// The explicit timeouts close the slowloris hole a bare http.Server
-	// leaves open: a client trickling header bytes (or never reading its
-	// response) would otherwise pin a connection goroutine forever.
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.mux(),
-		ReadHeaderTimeout: *readHeaderTimeout,
-		ReadTimeout:       *readTimeout,
-		WriteTimeout:      *writeTimeout,
-	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
 	// SIGHUP re-reads -stats-file and installs it as a new statistics
 	// epoch — the operational path for drift when the daemon is driven by
 	// an external stats collector writing a file. Separate channel from
@@ -234,7 +319,7 @@ func main() {
 				log.Printf("moqod: SIGHUP stats reload: %v", err)
 				continue
 			}
-			ep, err := srv.applyStats(u)
+			ep, err := a.ApplyStats(u)
 			if err != nil {
 				log.Printf("moqod: SIGHUP stats reload: %v", err)
 				continue
@@ -242,40 +327,35 @@ func main() {
 			log.Printf("moqod: stats reloaded from %s (epoch %d)", *statsFile, ep.Version)
 		}
 	}()
+
+	// Serve until SIGINT/SIGTERM, then drain in two phases, in this
+	// order: first the service-level drain — new sessions get 503 while
+	// HTTP still answers, in-flight sessions converge or checkpoint, the
+	// workers stop and the store flushes — and only then the HTTP drain.
+	// Shutting HTTP down first would leave a window where an admitted
+	// session races the store flush; this order guarantees no session
+	// exists that the drain has not accounted for.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		fail(err)
 	case sig := <-sigCh:
-		log.Printf("moqod: %v: draining and flushing the snapshot store", sig)
+		log.Printf("moqod: %v: draining sessions, then HTTP", sig)
+		a.Drain()
+		dst := svc.Stats()
+		log.Printf("moqod: drained (%d converged, %d checkpointed)", dst.DrainConverged, dst.DrainCheckpointed)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("moqod: http shutdown: %v", err)
 		}
-		// The deferred svc.Shutdown runs next: it stops the workers,
-		// sweeps the cache under persist-on-evict, and flushes the
-		// store to disk.
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "moqod: %v\n", err)
 	os.Exit(1)
-}
-
-// server is the HTTP/JSON front end over the service.
-type server struct {
-	svc   *service.Service
-	stats *catalog.Versioned
-	sf    float64
-	dim   int
-	pprof bool // expose /debug/pprof/ (off by default: profiles leak internals)
-
-	mu     sync.Mutex
-	blocks []workload.Block // rebuilt on each statistics epoch, under mu
-	seed   int64            // per-request synthetic-query seeds derive from this
 }
 
 // loadStatsUpdate reads a catalog.StatsUpdate from a JSON file (the
@@ -290,306 +370,6 @@ func loadStatsUpdate(path string) (catalog.StatsUpdate, error) {
 		return u, fmt.Errorf("stats file %s: %w", path, err)
 	}
 	return u, nil
-}
-
-// applyStats installs a statistics update as a new epoch and rebuilds
-// the TPC-H blocks against the new catalog, so every session created
-// after the swap is costed under the new statistics (and drifts against
-// cached plan state costed under the old ones).
-func (s *server) applyStats(u catalog.StatsUpdate) (*catalog.Epoch, error) {
-	ep, err := s.stats.Apply(u)
-	if err != nil {
-		return nil, err
-	}
-	blocks, err := workload.BlocksFor(ep.Catalog, s.sf, ep.EdgeSel)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.blocks = blocks
-	s.mu.Unlock()
-	return ep, nil
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.handleCreate)
-	mux.HandleFunc("GET /sessions/{id}", s.handlePoll)
-	mux.HandleFunc("POST /sessions/{id}/bounds", s.handleBounds)
-	mux.HandleFunc("POST /sessions/{id}/select", s.handleSelect)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleClose)
-	mux.HandleFunc("POST /catalog/stats", s.handleStatsUpdate)
-	mux.HandleFunc("GET /statz", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/sessions/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /debug/traces", s.handleTraces)
-	if s.pprof {
-		// Wired explicitly instead of importing for the DefaultServeMux
-		// side effect, so the profiles only exist behind the flag.
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-type createRequest struct {
-	Block    string `json:"block,omitempty"`
-	Tables   int    `json:"tables,omitempty"`
-	Topology string `json:"topology,omitempty"`
-	Seed     *int64 `json:"seed,omitempty"`
-}
-
-func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req createRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	q, err := s.resolveQuery(req)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	id, err := s.svc.Create(q)
-	if err != nil {
-		if errors.Is(err, service.ErrOverloaded) {
-			// Admission control shed the session; tell clients when to
-			// come back instead of letting them hammer the queue. The
-			// body mirrors the Retry-After header in structured form,
-			// plus which limit tripped and which shard was hottest.
-			body := map[string]any{
-				"error":             err.Error(),
-				"code":              "overloaded",
-				"retryAfterSeconds": 1,
-			}
-			var oe *service.OverloadError
-			if errors.As(err, &oe) {
-				body["kind"] = oe.Kind
-				body["shard"] = oe.Shard
-			}
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, body)
-			return
-		}
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
-}
-
-func (s *server) resolveQuery(req createRequest) (*query.Query, error) {
-	if req.Tables > 0 {
-		tp, err := parseTopology(req.Topology)
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		seed := s.seed
-		if req.Seed != nil {
-			seed = *req.Seed
-		} else {
-			s.seed++ // distinct synthetic queries per request, still reproducible
-		}
-		s.mu.Unlock()
-		cat := catalog.TPCH(1)
-		if req.Tables > cat.NumTables() {
-			cat = catalog.Random(rand.New(rand.NewSource(seed)), req.Tables, 100, 1e7)
-		}
-		return query.Synthetic(cat, req.Tables, tp, rand.New(rand.NewSource(seed)))
-	}
-	name := req.Block
-	if name == "" {
-		name = "Q5"
-	}
-	// blocks is swapped wholesale on a statistics update; the lock makes
-	// the read atomic with the swap (queries are immutable once built).
-	s.mu.Lock()
-	blk, ok := workload.Find(s.blocks, name)
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("unknown TPC-H block %q", name)
-	}
-	return blk.Query, nil
-}
-
-// handleStatsUpdate installs a statistics update (the same JSON shape
-// as -stats-file) as a new catalog epoch. Sessions already live keep
-// refining under the statistics they were created with; new sessions
-// are costed under the new epoch and classify drift against any cached
-// plan state from older epochs.
-func (s *server) handleStatsUpdate(w http.ResponseWriter, r *http.Request) {
-	var u catalog.StatsUpdate
-	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	ep, err := s.applyStats(u)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version": ep.Version,
-		"tables":  len(u.Tables),
-		"edges":   len(u.Edges),
-	})
-}
-
-func parseTopology(s string) (query.Topology, error) {
-	switch s {
-	case "", "chain":
-		return query.Chain, nil
-	case "star":
-		return query.Star, nil
-	case "cycle":
-		return query.Cycle, nil
-	case "clique":
-		return query.Clique, nil
-	default:
-		return 0, fmt.Errorf("unknown topology %q", s)
-	}
-}
-
-type planJSON struct {
-	Plan string    `json:"plan"`
-	Cost []float64 `json:"cost"`
-	Rows float64   `json:"rows"`
-}
-
-func (s *server) handlePoll(w http.ResponseWriter, r *http.Request) {
-	st, err := s.svc.Poll(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	frontier := make([]planJSON, len(st.Frontier))
-	for i, p := range st.Frontier {
-		frontier[i] = planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows}
-	}
-	body := map[string]any{
-		"id":              st.ID,
-		"query":           st.Query,
-		"state":           st.State.String(),
-		"warm":            st.WarmStarted,
-		"resolution":      st.Resolution,
-		"steps":           st.Steps,
-		"frontier":        frontier,
-		"firstFrontierUs": st.FirstFrontier.Microseconds(),
-	}
-	if st.Drift != "" {
-		// How a statistics-drift warm start was resolved at creation:
-		// "recosted" (small drift, cost vectors rewritten in place),
-		// "resumed" (large drift, refinement resumed from the cached plan
-		// set) or "quarantined" (incompatible, cold start).
-		body["drift"] = st.Drift
-	}
-	if st.Err != "" {
-		// A failed session's captured panic, so clients learn why their
-		// session died instead of polling an opaque terminal state.
-		body["error"] = st.Err
-	}
-	writeJSON(w, http.StatusOK, body)
-}
-
-func (s *server) handleBounds(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Bounds []float64 `json:"bounds"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	var b cost.Vector
-	if len(req.Bounds) > 0 {
-		if len(req.Bounds) != s.dim {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bounds need %d values, got %d", s.dim, len(req.Bounds)))
-			return
-		}
-		b = cost.Vector(req.Bounds)
-	}
-	if err := s.svc.SetBounds(r.PathValue("id"), b); err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-}
-
-func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Index int `json:"index"`
-		// Steps is the "steps" value from the poll the index refers to;
-		// the select fails with 409 if refinement moved the frontier
-		// since. Omit to select from the live frontier unchecked.
-		Steps *int `json:"steps"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	expect := -1
-	if req.Steps != nil {
-		expect = *req.Steps
-	}
-	p, err := s.svc.Select(r.PathValue("id"), req.Index, expect)
-	if err != nil {
-		writeErr(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows})
-}
-
-func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
-	if err := s.svc.Close(r.PathValue("id")); err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	// WriteText renders into one buffer and writes once; a failed write
-	// means the client went away, which a scrape endpoint can ignore.
-	_ = s.svc.Registry().WriteText(w)
-}
-
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	d, err := s.svc.SessionTrace(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, d)
-}
-
-func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	max := 32
-	if v := r.URL.Query().Get("n"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
-			return
-		}
-		max = n
-	}
-	writeJSON(w, http.StatusOK, s.svc.RecentTraces(max))
 }
 
 // runLoadgen drives the service with concurrent simulated users and

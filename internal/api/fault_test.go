@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"encoding/json"
@@ -37,9 +37,9 @@ func newFaultServer(t *testing.T, mutate func(*service.Config)) *httptest.Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(1), seed: 1,
-		dim: costmodel.Default().Space().Dim()}
-	ts := httptest.NewServer(srv.mux())
+	a := New(Config{Seed: 1, Dim: costmodel.Default().Space().Dim()})
+	a.Ready(svc, workload.MustTPCHBlocks(1))
+	ts := httptest.NewServer(a.Mux())
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Shutdown()

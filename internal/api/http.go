@@ -1,0 +1,470 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// Mux returns the node's HTTP surface: the session/catalog/debug routes
+// moqod has always served, plus the lifecycle routes — health and
+// readiness probes, the drain trigger, and the store export a joining
+// peer bootstraps from. Health endpoints answer in every phase; the
+// session surface replies 503 (with the same structured retry body the
+// 429 path uses) while the node is bootstrapping or draining.
+func (a *API) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", a.handleCreate)
+	mux.HandleFunc("GET /sessions/{id}", a.handlePoll)
+	mux.HandleFunc("POST /sessions/{id}/bounds", a.handleBounds)
+	mux.HandleFunc("POST /sessions/{id}/select", a.handleSelect)
+	mux.HandleFunc("DELETE /sessions/{id}", a.handleClose)
+	mux.HandleFunc("POST /catalog/stats", a.handleStatsUpdate)
+	mux.HandleFunc("GET /statz", a.handleStats)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
+	mux.HandleFunc("POST /admin/drain", a.handleDrain)
+	mux.HandleFunc("GET /admin/store/manifest", a.handleManifest)
+	mux.HandleFunc("GET /admin/store/segments/{seq}", a.handleSegment)
+	mux.HandleFunc("GET /debug/sessions/{id}/trace", a.handleTrace)
+	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	if a.cfg.Pprof {
+		// Wired explicitly instead of importing for the DefaultServeMux
+		// side effect, so the profiles only exist behind the flag.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeUnavailable is the one shape every "not now, retry elsewhere"
+// answer takes: 503 with a Retry-After header mirrored in the body,
+// plus a code ("bootstrapping" or "draining") so clients and load
+// balancers can tell a node warming up from one on its way out.
+func writeUnavailable(w http.ResponseWriter, code string, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":             err.Error(),
+		"code":              code,
+		"retryAfterSeconds": 1,
+	})
+}
+
+// ensureService returns the running service, or answers with the
+// 503-bootstrapping body and reports false while the node has none.
+func (a *API) ensureService(w http.ResponseWriter) (*service.Service, bool) {
+	svc := a.service()
+	if svc == nil {
+		writeUnavailable(w, "bootstrapping", errors.New("node is bootstrapping"))
+		return nil, false
+	}
+	return svc, true
+}
+
+type createRequest struct {
+	Block    string `json:"block,omitempty"`
+	Tables   int    `json:"tables,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	Seed     *int64 `json:"seed,omitempty"`
+}
+
+func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := a.resolveQuery(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := svc.Create(q)
+	if err != nil {
+		if errors.Is(err, service.ErrDraining) || errors.Is(err, service.ErrShutdown) {
+			// The node is on its way out; unlike 429 this is not "come
+			// back soon" but "go elsewhere" — drain-aware clients retry
+			// against their failover node.
+			writeUnavailable(w, "draining", err)
+			return
+		}
+		if errors.Is(err, service.ErrOverloaded) {
+			// Admission control shed the session; tell clients when to
+			// come back instead of letting them hammer the queue. The
+			// body mirrors the Retry-After header in structured form,
+			// plus which limit tripped and which shard was hottest.
+			body := map[string]any{
+				"error":             err.Error(),
+				"code":              "overloaded",
+				"retryAfterSeconds": 1,
+			}
+			var oe *service.OverloadError
+			if errors.As(err, &oe) {
+				body["kind"] = oe.Kind
+				body["shard"] = oe.Shard
+			}
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, body)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+// syntheticQuery builds the deterministic synthetic query for a
+// (tables, topology, seed) triple — the TPC-H catalog when it is large
+// enough, a seeded random catalog beyond it.
+func syntheticQuery(tables int, tp query.Topology, seed int64) (*query.Query, error) {
+	cat := catalog.TPCH(1)
+	if tables > cat.NumTables() {
+		cat = catalog.Random(rand.New(rand.NewSource(seed)), tables, 100, 1e7)
+	}
+	return query.Synthetic(cat, tables, tp, rand.New(rand.NewSource(seed)))
+}
+
+// handleStatsUpdate installs a statistics update (the same JSON shape
+// as -stats-file) as a new catalog epoch. Sessions already live keep
+// refining under the statistics they were created with; new sessions
+// are costed under the new epoch and classify drift against any cached
+// plan state from older epochs.
+func (a *API) handleStatsUpdate(w http.ResponseWriter, r *http.Request) {
+	if _, ok := a.ensureService(w); !ok {
+		return
+	}
+	var u catalog.StatsUpdate
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ep, err := a.ApplyStats(u)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": ep.Version,
+		"tables":  len(u.Tables),
+		"edges":   len(u.Edges),
+	})
+}
+
+func parseTopology(s string) (query.Topology, error) {
+	switch s {
+	case "", "chain":
+		return query.Chain, nil
+	case "star":
+		return query.Star, nil
+	case "cycle":
+		return query.Cycle, nil
+	case "clique":
+		return query.Clique, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+type planJSON struct {
+	Plan string    `json:"plan"`
+	Cost []float64 `json:"cost"`
+	Rows float64   `json:"rows"`
+}
+
+func (a *API) handlePoll(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	st, err := svc.Poll(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	frontier := make([]planJSON, len(st.Frontier))
+	for i, p := range st.Frontier {
+		frontier[i] = planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows}
+	}
+	body := map[string]any{
+		"id":              st.ID,
+		"query":           st.Query,
+		"state":           st.State.String(),
+		"warm":            st.WarmStarted,
+		"resolution":      st.Resolution,
+		"steps":           st.Steps,
+		"frontier":        frontier,
+		"firstFrontierUs": st.FirstFrontier.Microseconds(),
+	}
+	if st.Drift != "" {
+		// How a statistics-drift warm start was resolved at creation:
+		// "recosted" (small drift, cost vectors rewritten in place),
+		// "resumed" (large drift, refinement resumed from the cached plan
+		// set) or "quarantined" (incompatible, cold start).
+		body["drift"] = st.Drift
+	}
+	if st.Err != "" {
+		// A failed session's captured panic, so clients learn why their
+		// session died instead of polling an opaque terminal state.
+		body["error"] = st.Err
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (a *API) handleBounds(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	var req struct {
+		Bounds []float64 `json:"bounds"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var b cost.Vector
+	if len(req.Bounds) > 0 {
+		if len(req.Bounds) != a.cfg.Dim {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bounds need %d values, got %d", a.cfg.Dim, len(req.Bounds)))
+			return
+		}
+		b = cost.Vector(req.Bounds)
+	}
+	if err := svc.SetBounds(r.PathValue("id"), b); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	var req struct {
+		Index int `json:"index"`
+		// Steps is the "steps" value from the poll the index refers to;
+		// the select fails with 409 if refinement moved the frontier
+		// since. Omit to select from the live frontier unchecked.
+		Steps *int `json:"steps"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	expect := -1
+	if req.Steps != nil {
+		expect = *req.Steps
+	}
+	p, err := svc.Select(r.PathValue("id"), req.Index, expect)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planJSON{Plan: p.String(), Cost: p.Cost, Rows: p.Rows})
+}
+
+func (a *API) handleClose(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	if err := svc.Close(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// statzBody embeds the service stats so every existing field keeps its
+// JSON path (smoke scripts jq .Store.Persisted etc.) and adds the
+// node-level lifecycle view alongside.
+type statzBody struct {
+	service.Stats
+	Lifecycle Lifecycle
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, statzBody{Stats: svc.Stats(), Lifecycle: a.Lifecycle()})
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// WriteText renders into one buffer and writes once; a failed write
+	// means the client went away, which a scrape endpoint can ignore.
+	_ = svc.Registry().WriteText(w)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It is
+// deliberately phase-blind — a draining or bootstrapping node is alive,
+// just not ready.
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "phase": a.Phase().String()})
+}
+
+// handleReadyz is readiness: 200 only while the node should receive
+// traffic. False is sticky for draining (the phase never moves back),
+// so a balancer acting on it never routes into a shutdown.
+func (a *API) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if ok, reason := a.ReadyToServe(); !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleDrain triggers the drain asynchronously and answers with the
+// node's phase: 202 on first trigger, 200 if already draining/drained.
+// The caller polls /statz (Draining, DrainConverged, DrainCheckpointed,
+// Lifecycle.Phase) to watch it complete.
+func (a *API) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	already := a.Phase() >= Draining
+	// Flip the phase before answering so readiness goes false with (not
+	// after) the 202, then run the blocking part off the request.
+	a.advance(Draining)
+	go a.Drain()
+	status := http.StatusAccepted
+	if already {
+		status = http.StatusOK
+	}
+	st := svc.Stats()
+	writeJSON(w, status, map[string]any{
+		"phase":        a.Phase().String(),
+		"converged":    st.DrainConverged,
+		"checkpointed": st.DrainCheckpointed,
+	})
+}
+
+// handleManifest serves the store's export view — the segment list a
+// joining peer pulls, stamped with the compaction generation that keeps
+// the transfer consistent.
+func (a *API) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	st := svc.Store()
+	if st == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no snapshot store configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.ExportManifest())
+}
+
+// handleSegment serves raw verified-prefix bytes of one segment:
+// GET /admin/store/segments/{seq}?gen=G&off=N. A generation mismatch
+// (the store compacted since the manifest) answers 409 so the joiner
+// restarts from a fresh manifest instead of mixing generations.
+func (a *API) handleSegment(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	st := svc.Store()
+	if st == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no snapshot store configured"))
+		return
+	}
+	seq, err := strconv.ParseInt(r.PathValue("seq"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad segment %q", r.PathValue("seq")))
+		return
+	}
+	gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad gen %q", r.URL.Query().Get("gen")))
+		return
+	}
+	var off int64
+	if v := r.URL.Query().Get("off"); v != "" {
+		off, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || off < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad off %q", v))
+			return
+		}
+	}
+	data, err := st.ReadSegment(gen, seq, off, 0)
+	if err != nil {
+		if errors.Is(err, store.ErrExportStale) {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	d, err := svc.SessionTrace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	max := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		max = n
+	}
+	writeJSON(w, http.StatusOK, svc.RecentTraces(max))
+}

@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"bytes"
@@ -38,9 +38,9 @@ func newTestServer(t *testing.T, pprofOn bool) (*httptest.Server, *service.Servi
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{svc: svc, blocks: workload.MustTPCHBlocks(1), seed: 1,
-		dim: costmodel.Default().Space().Dim(), pprof: pprofOn}
-	ts := httptest.NewServer(srv.mux())
+	a := New(Config{Seed: 1, Dim: costmodel.Default().Space().Dim(), Pprof: pprofOn})
+	a.Ready(svc, workload.MustTPCHBlocks(1))
+	ts := httptest.NewServer(a.Mux())
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Shutdown()

@@ -49,6 +49,10 @@ type FS interface {
 	Remove(name string) error
 	// Truncate resizes a file in place.
 	Truncate(name string, size int64) error
+	// Rename atomically moves a file (the peer-bootstrap installer's
+	// commit step: verified segments move from a staging directory into
+	// the store directory in one shot).
+	Rename(oldpath, newpath string) error
 }
 
 // OS is the production FS: a passthrough to package os.
@@ -91,6 +95,9 @@ func (OS) Remove(name string) error { return os.Remove(name) }
 // Truncate delegates to os.Truncate.
 func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
+// Rename delegates to os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
 // Op identifies one class of filesystem operation for fault scripting.
 type Op int
 
@@ -105,6 +112,7 @@ const (
 	OpMkdirAll
 	OpRemove
 	OpTruncate
+	OpRename
 	OpWrite
 	OpReadAt
 	OpSync
@@ -116,7 +124,7 @@ const (
 // String returns the operation name.
 func (o Op) String() string {
 	names := [...]string{"openfile", "open", "readfile", "readdir", "mkdirall",
-		"remove", "truncate", "write", "readat", "sync", "close", "stat"}
+		"remove", "truncate", "rename", "write", "readat", "sync", "close", "stat"}
 	if int(o) < len(names) {
 		return names[o]
 	}
@@ -268,6 +276,15 @@ func (in *Injector) Truncate(name string, size int64) error {
 		return f.Err
 	}
 	return in.inner.Truncate(name, size)
+}
+
+// Rename applies the script (keyed by the destination path, the one
+// the caller is trying to install), then delegates.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.decide(OpRename, newpath); f.Err != nil {
+		return f.Err
+	}
+	return in.inner.Rename(oldpath, newpath)
 }
 
 // injectorFile routes per-file operations back through the injector's

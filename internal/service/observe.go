@@ -176,6 +176,14 @@ func (s *Service) registerMetrics() {
 	r.GaugeFunc("moqod_queued_sessions", "Current combined scheduler backlog.", "", func() float64 {
 		return float64(s.queuedSessions())
 	})
+	r.GaugeFunc("moqod_draining", "1 once a drain has started (monotonic).", "", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	r.CounterFunc("moqod_drain_converged_total", "Live sessions that reached target inside the drain grace window.", "", s.drainConverged.Load)
+	r.CounterFunc("moqod_drain_checkpointed_total", "Sessions checkpointed mid-refinement by the drain.", "", s.drainCheckpointed.Load)
 
 	r.Histogram("moqod_first_frontier_seconds", "Creation to first non-empty frontier.", "", s.obs.FirstFrontier)
 	r.Histogram("moqod_step_gap_seconds", "Start-to-start interval between a session's consecutive refinement steps.", "", s.obs.StepGap)

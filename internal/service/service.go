@@ -273,6 +273,13 @@ type Stats struct {
 	// Store summarizes the persistent snapshot store (zero value when
 	// StoreDir is unset).
 	Store store.Stats
+	// Draining reports that Drain has started: new sessions are being
+	// refused with ErrDraining. It never goes false again.
+	Draining bool
+	// DrainConverged and DrainCheckpointed split the live sessions the
+	// drain found: those that reached their target inside the grace
+	// window versus those checkpointed mid-refinement to the store.
+	DrainConverged, DrainCheckpointed uint64
 	// Shards holds the per-shard breakdown.
 	Shards []ShardStats
 }
@@ -399,6 +406,18 @@ type Service struct {
 	remapNS       atomic.Uint64
 	stopping      atomic.Bool
 	janitorStop   chan struct{}
+
+	// Drain state (DESIGN.md D16). draining flips once, before any other
+	// drain work, so Create refuses new sessions for the entire window in
+	// which in-flight ones converge or checkpoint; it never flips back.
+	// drainMu/drainDone make Drain idempotent: the first caller runs the
+	// drain, later callers block until it finishes and read the same
+	// counts.
+	draining          atomic.Bool
+	drainMu           sync.Mutex
+	drainDone         chan struct{}
+	drainConverged    atomic.Uint64
+	drainCheckpointed atomic.Uint64
 }
 
 // New validates the configuration, starts the sharded worker pools and
@@ -760,6 +779,12 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	callStart := time.Now()
 	if q == nil {
 		return "", fmt.Errorf("service: nil query")
+	}
+	if s.draining.Load() {
+		// Draining is monotonic: once flipped, no session is ever
+		// admitted again, so nothing created here can race the drain's
+		// checkpoint sweep or the store flush behind it.
+		return "", ErrDraining
 	}
 	if lim := s.cfg.MaxActiveSessions; lim > 0 {
 		if n := s.activeSessions(); n >= lim {
@@ -1367,23 +1392,26 @@ func (s *Service) Close(id string) error {
 // per-shard breakdown and the starvation-audit percentile.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Created:          s.created.Load(),
-		Selected:         s.selected.Load(),
-		Closed:           s.closed.Load(),
-		Expired:          s.expired.Load(),
-		Failed:           s.failed.Load(),
-		TimedOut:         s.timedOut.Load(),
-		Poisoned:         s.poisoned.Load(),
-		Rejected:         s.rejected.Load(),
-		Steps:            s.steps.Load(),
-		WarmStarts:       s.warmStarts.Load(),
-		IsoWarmStarts:    s.isoWarmStarts.Load(),
-		DriftRecosted:    s.driftRecosted.Load(),
-		DriftResumed:     s.driftResumed.Load(),
-		DriftQuarantined: s.driftQuar.Load(),
-		StatsEpoch:       s.statsEpoch(),
-		RemapTotal:       time.Duration(s.remapNS.Load()),
-		Shards:           make([]ShardStats, len(s.shards)),
+		Created:           s.created.Load(),
+		Selected:          s.selected.Load(),
+		Closed:            s.closed.Load(),
+		Expired:           s.expired.Load(),
+		Failed:            s.failed.Load(),
+		TimedOut:          s.timedOut.Load(),
+		Poisoned:          s.poisoned.Load(),
+		Rejected:          s.rejected.Load(),
+		Steps:             s.steps.Load(),
+		WarmStarts:        s.warmStarts.Load(),
+		IsoWarmStarts:     s.isoWarmStarts.Load(),
+		DriftRecosted:     s.driftRecosted.Load(),
+		DriftResumed:      s.driftResumed.Load(),
+		DriftQuarantined:  s.driftQuar.Load(),
+		StatsEpoch:        s.statsEpoch(),
+		RemapTotal:        time.Duration(s.remapNS.Load()),
+		Draining:          s.draining.Load(),
+		DrainConverged:    s.drainConverged.Load(),
+		DrainCheckpointed: s.drainCheckpointed.Load(),
+		Shards:            make([]ShardStats, len(s.shards)),
 	}
 	// statsMu serializes concurrent Stats callers over the reusable gap
 	// scratch (this slice and each shard's liveScratch); the sort and

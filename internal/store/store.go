@@ -252,6 +252,14 @@ type Store struct {
 	stats     Stats
 	closed    bool
 
+	// generation counts compactions: the only event that deletes or
+	// rewrites segment bytes a peer export may be reading. Segment files
+	// are otherwise append-only, so an export manifest stamped with a
+	// generation stays a consistent point-in-time view (roll-over adds
+	// files, never touches recorded prefixes) until the generation
+	// advances — then every in-flight read fails with ErrExportStale.
+	generation uint64
+
 	// Degraded-mode state (guarded by mu): consecFails counts write-
 	// path failures since the last success; once it reaches
 	// FailThreshold the store flips degraded and schedules re-probes at
@@ -872,12 +880,17 @@ func (s *Store) append(rec Record, tomb bool) {
 		// scan truncates a segment at its first bad CRC, so appending
 		// more records after the tear would doom them all; retire the
 		// segment and continue in a fresh one (only the torn frame is
-		// lost).
-		if st, serr := s.file.Stat(); serr == nil {
-			s.segments[s.active] = st.Size()
-		}
+		// lost). Truncate back to the pre-write offset and record that
+		// as the retired segment's size: every byte a peer export serves
+		// by these recorded sizes must be a whole valid frame, so a torn
+		// tail can never be counted (if the truncate fails too, the
+		// recorded size still stops reads short of the tear).
 		s.file.Close()
 		s.file = nil
+		if terr := s.fs.Truncate(filepath.Join(s.opts.Dir, segName(s.active)), off); terr != nil {
+			s.stats.WriteErrors++
+		}
+		s.segments[s.active] = off
 		s.active++
 		s.noteIOFailureLocked()
 		return
@@ -1073,6 +1086,9 @@ func (s *Store) maybeCompactLocked() {
 	s.stats.LiveBytes = newOff
 	s.stats.DeadBytes = 0
 	s.stats.Compactions++
+	// Old segment bytes are about to disappear; invalidate every
+	// in-flight export view before the deletes land.
+	s.generation++
 	for _, seq := range oldSegs {
 		if err := s.fs.Remove(filepath.Join(s.opts.Dir, segName(seq))); err != nil {
 			s.stats.WriteErrors++

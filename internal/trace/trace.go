@@ -74,6 +74,10 @@ const (
 	KindFailed
 	// KindTimedOut marks a session reclaimed at its wall-clock deadline.
 	KindTimedOut
+	// KindCheckpoint marks a mid-refinement snapshot export forced by a
+	// drain: the session's partial plan state was persisted so a
+	// restarted (or bootstrapped) node can resume the refinement warm.
+	KindCheckpoint
 	// KindDrift records a statistics-drift resolution on the creation
 	// path: N is the drift class (core.DriftClass numeric value), Dur is
 	// the re-cost latency (0 when the entry was quarantined).
@@ -97,6 +101,7 @@ var kindNames = [...]string{
 	KindExpired:       "expired",
 	KindFailed:        "failed",
 	KindTimedOut:      "timed-out",
+	KindCheckpoint:    "checkpoint",
 	KindDrift:         "drift",
 }
 
