@@ -76,7 +76,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
 	"os"
@@ -90,6 +89,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/eventlog"
 	"repro/internal/harness"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -141,6 +141,22 @@ func main() {
 		fail(fmt.Errorf("-bootstrap-peer requires -cache-dir (nowhere to install the pulled store)"))
 	}
 
+	// The structured event log replaces ad-hoc log.Printf across the
+	// daemon: every subsystem emits leveled, rate-limited events into one
+	// bounded ring served at GET /debug/events, with a plain-text mirror
+	// on stderr so the operator view stays what it always was. The
+	// loadgen modes skip the mirror (their report goes to stdout; the
+	// drop counters are printed at the end instead).
+	node, _ := os.Hostname()
+	if node == "" {
+		node = "moqod"
+	}
+	evOpts := eventlog.Options{Node: node, Mirror: os.Stderr}
+	if *loadgen {
+		evOpts.Mirror = nil
+	}
+	events := eventlog.New(evOpts)
+
 	if *loadgen && *targetAddr != "" {
 		// HTTP loadgen needs no local service at all — it exercises a
 		// running node (or a draining/failing-over pair) from outside.
@@ -185,6 +201,7 @@ func main() {
 		StoreDir:          *cacheDir,
 		Stats:             stats,
 		DriftThreshold:    *driftThreshold,
+		Events:            events,
 	}
 	if *persistOnEvict {
 		cfg.StorePolicy = service.PersistOnEvict
@@ -193,8 +210,9 @@ func main() {
 		threshold := *slowSession
 		cfg.SlowSession = threshold
 		cfg.SlowSessionLog = func(total time.Duration, d trace.Data) {
-			log.Printf("moqod: slow session (%v >= %v): %s",
-				total.Round(time.Millisecond), threshold, d.Format())
+			events.EmitSession(eventlog.LevelWarn, "service", "slow session",
+				d.ID, "", "", eventlog.Fdur("total", total), eventlog.Fdur("threshold", threshold),
+				eventlog.F("provenance", d.Provenance), eventlog.F("trace", d.Format()))
 		}
 	}
 
@@ -212,12 +230,14 @@ func main() {
 			if err := runDriftLoadgen(svc, stats, cfg.Opt, *sessions, *sf); err != nil {
 				fail(err)
 			}
+			reportEventDrops(events)
 			return
 		}
 		mixOpt := workload.MixOptions{IsomorphRate: *isomorph, AliasCopies: *aliasCopies}
 		if err := runLoadgen(svc, *sessions, n, *sf, *seed, mixOpt); err != nil {
 			fail(err)
 		}
+		reportEventDrops(events)
 		return
 	}
 
@@ -231,6 +251,7 @@ func main() {
 		Pprof:      *pprofOn,
 		DrainGrace: *drainGrace,
 		Stats:      stats,
+		Events:     events,
 	})
 	// The explicit timeouts close the slowloris hole a bare http.Server
 	// leaves open: a client trickling header bytes (or never reading its
@@ -262,21 +283,31 @@ func main() {
 			Peer:    *bootstrapPeer,
 			Dir:     *cacheDir,
 			CfgEcho: echo,
-			Logf:    log.Printf,
+			Logf:    events.Printf("bootstrap"),
+			Events:  events,
 		})
 		boot.Segments, boot.Frames, boot.Bytes = res.Segments, res.Frames, res.Bytes
 		boot.Attempts, boot.Resumed, boot.Restarts = res.Attempts, res.Resumed, res.Restarts
 		switch {
 		case err == nil:
 			boot.Mode = "warm"
-			log.Printf("moqod: bootstrapped %d segments (%d frames, %d bytes) from peer %s",
-				res.Segments, res.Frames, res.Bytes, *bootstrapPeer)
+			// Entries replayed from the pulled store carry peer-inherited
+			// plan state; sessions warm-starting from them report it
+			// (provenance "exact-bootstrap" etc.).
+			cfg.ReplaySource = "bootstrap"
+			events.Emit(eventlog.LevelInfo, "bootstrap", "installed peer state",
+				eventlog.F("peer", *bootstrapPeer),
+				eventlog.Fint("segments", int64(res.Segments)),
+				eventlog.Fint("frames", int64(res.Frames)),
+				eventlog.Fint("bytes", res.Bytes))
 		case errors.Is(err, bootstrap.ErrLocalState):
 			boot.Mode = "local"
-			log.Printf("moqod: bootstrap skipped: %v (replaying local state)", err)
+			events.Emit(eventlog.LevelInfo, "bootstrap", "skipped: local state present",
+				eventlog.F("peer", *bootstrapPeer), eventlog.Ferr(err))
 		default:
 			boot.Error = err.Error()
-			log.Printf("moqod: bootstrap from %s failed, starting cold: %v", *bootstrapPeer, err)
+			events.Emit(eventlog.LevelWarn, "bootstrap", "pull failed, starting cold",
+				eventlog.F("peer", *bootstrapPeer), eventlog.Ferr(err))
 		}
 	}
 	a.SetBootstrap(boot)
@@ -294,12 +325,24 @@ func main() {
 	a.Ready(svc, blocks)
 
 	st := svc.Stats()
-	log.Printf("moqod: serving on %s (workers=%d shards=%d quantum=%d levels=%d αT=%g αS=%g cache=%d cache-dir=%q max-sessions=%d max-queue=%d)",
-		*addr, cfg.Workers, len(st.Shards), cfg.Quantum, *levels, *alphaT, *alphaS,
-		cfg.CacheCapacity, *cacheDir, cfg.MaxActiveSessions, cfg.MaxQueueDepth)
+	events.Emit(eventlog.LevelInfo, "moqod", "serving",
+		eventlog.F("addr", *addr),
+		eventlog.Fint("workers", int64(cfg.Workers)),
+		eventlog.Fint("shards", int64(len(st.Shards))),
+		eventlog.Fint("quantum", int64(cfg.Quantum)),
+		eventlog.Fint("levels", int64(*levels)),
+		eventlog.F("target", fmt.Sprintf("%g", *alphaT)),
+		eventlog.F("step", fmt.Sprintf("%g", *alphaS)),
+		eventlog.Fint("cache", int64(cfg.CacheCapacity)),
+		eventlog.F("cache_dir", *cacheDir),
+		eventlog.Fint("max_sessions", int64(cfg.MaxActiveSessions)),
+		eventlog.Fint("max_queue", int64(cfg.MaxQueueDepth)))
 	if *cacheDir != "" {
-		log.Printf("moqod: snapshot store replayed %d records (%d rejected, %d corrupted) into %d cache entries",
-			st.Store.Loaded, st.Store.Rejected, st.Store.Corrupted, st.Cache.Entries)
+		events.Emit(eventlog.LevelInfo, "moqod", "snapshot store replayed",
+			eventlog.Fint("loaded", int64(st.Store.Loaded)),
+			eventlog.Fint("rejected", int64(st.Store.Rejected)),
+			eventlog.Fint("corrupted", int64(st.Store.Corrupted)),
+			eventlog.Fint("cache_entries", int64(st.Cache.Entries)))
 	}
 
 	// SIGHUP re-reads -stats-file and installs it as a new statistics
@@ -311,20 +354,21 @@ func main() {
 	go func() {
 		for range hupCh {
 			if *statsFile == "" {
-				log.Printf("moqod: SIGHUP ignored (no -stats-file to reload)")
+				events.Emit(eventlog.LevelWarn, "moqod", "SIGHUP ignored (no -stats-file to reload)")
 				continue
 			}
 			u, err := loadStatsUpdate(*statsFile)
 			if err != nil {
-				log.Printf("moqod: SIGHUP stats reload: %v", err)
+				events.Emit(eventlog.LevelError, "moqod", "SIGHUP stats reload failed", eventlog.Ferr(err))
 				continue
 			}
 			ep, err := a.ApplyStats(u)
 			if err != nil {
-				log.Printf("moqod: SIGHUP stats reload: %v", err)
+				events.Emit(eventlog.LevelError, "moqod", "SIGHUP stats reload failed", eventlog.Ferr(err))
 				continue
 			}
-			log.Printf("moqod: stats reloaded from %s (epoch %d)", *statsFile, ep.Version)
+			events.Emit(eventlog.LevelInfo, "moqod", "stats reloaded",
+				eventlog.F("file", *statsFile), eventlog.Fint("epoch", int64(ep.Version)))
 		}
 	}()
 
@@ -341,15 +385,27 @@ func main() {
 	case err := <-errCh:
 		fail(err)
 	case sig := <-sigCh:
-		log.Printf("moqod: %v: draining sessions, then HTTP", sig)
+		events.Emit(eventlog.LevelInfo, "moqod", "signal: draining sessions, then HTTP",
+			eventlog.F("signal", sig.String()))
 		a.Drain()
 		dst := svc.Stats()
-		log.Printf("moqod: drained (%d converged, %d checkpointed)", dst.DrainConverged, dst.DrainCheckpointed)
+		events.Emit(eventlog.LevelInfo, "moqod", "drained",
+			eventlog.Fint("converged", int64(dst.DrainConverged)),
+			eventlog.Fint("checkpointed", int64(dst.DrainCheckpointed)),
+			eventlog.Fint("events_dropped", int64(events.DroppedTotal())))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("moqod: http shutdown: %v", err)
+			events.Emit(eventlog.LevelError, "moqod", "http shutdown failed", eventlog.Ferr(err))
 		}
+	}
+}
+
+// reportEventDrops summarizes rate-limited event loss at the end of a
+// loadgen run (the serving mode exposes the same counters as metrics).
+func reportEventDrops(ev *eventlog.Log) {
+	if d := ev.DroppedTotal(); d > 0 {
+		fmt.Printf("eventlog: %d events dropped by rate limiting (bounded ring kept the rest)\n", d)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/eventlog"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -91,6 +92,10 @@ type Config struct {
 	// Stats is the versioned statistics catalog (required for the
 	// /catalog/stats surface; may be nil in bare tests).
 	Stats *catalog.Versioned
+	// Events is the node's structured event ring: phase transitions are
+	// recorded here (subsystem "api") and GET /debug/events serves it.
+	// Nil disables both (every emission is nil-safe, the endpoint 404s).
+	Events *eventlog.Log
 }
 
 // API is one node's operations surface. Construct with New (phase
@@ -151,7 +156,13 @@ func (a *API) Phase() Phase { return Phase(a.phase.Load()) }
 func (a *API) advance(p Phase) {
 	for {
 		cur := a.phase.Load()
-		if cur >= int32(p) || a.phase.CompareAndSwap(cur, int32(p)) {
+		if cur >= int32(p) {
+			return
+		}
+		if a.phase.CompareAndSwap(cur, int32(p)) {
+			a.cfg.Events.Emit(eventlog.LevelInfo, "api", "phase advanced",
+				eventlog.F("from", Phase(cur).String()),
+				eventlog.F("to", p.String()))
 			return
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/eventlog"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -38,7 +39,9 @@ func (a *API) Mux() *http.ServeMux {
 	mux.HandleFunc("GET /admin/store/manifest", a.handleManifest)
 	mux.HandleFunc("GET /admin/store/segments/{seq}", a.handleSegment)
 	mux.HandleFunc("GET /debug/sessions/{id}/trace", a.handleTrace)
+	mux.HandleFunc("GET /debug/sessions/{id}/curve", a.handleCurve)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /debug/events", a.handleEvents)
 	if a.cfg.Pprof {
 		// Wired explicitly instead of importing for the DefaultServeMux
 		// side effect, so the profiles only exist behind the flag.
@@ -229,6 +232,12 @@ func (a *API) handlePoll(w http.ResponseWriter, r *http.Request) {
 		// "resumed" (large drift, refinement resumed from the cached plan
 		// set) or "quarantined" (incompatible, cold start).
 		body["drift"] = st.Drift
+	}
+	if st.Provenance != "" {
+		// Where the session's plan state came from: cold / exact / iso /
+		// recost / resume, with a -replay/-bootstrap suffix when the
+		// satisfying cache entry itself came off disk or from a peer.
+		body["provenance"] = st.Provenance
 	}
 	if st.Err != "" {
 		// A failed session's captured panic, so clients learn why their
@@ -450,6 +459,56 @@ func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, d)
+}
+
+// handleCurve serves a session's convergence curve — per-step samples
+// of the frontier's best scalarization with the ε-distance to the
+// regime's final value — from the live trace or the finished-session
+// archive.
+func (a *API) handleCurve(w http.ResponseWriter, r *http.Request) {
+	svc, ok := a.ensureService(w)
+	if !ok {
+		return
+	}
+	c, err := svc.ConvergenceCurve(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+// handleEvents serves the node's structured event ring, oldest first:
+// GET /debug/events?n=N&level=L (N caps the count, L filters to that
+// severity and above). 404 when the node runs without an event log.
+func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ev := a.cfg.Events
+	if ev == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no event log configured"))
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		n = p
+	}
+	minLevel := eventlog.LevelDebug
+	if v := r.URL.Query().Get("level"); v != "" {
+		lv, ok := eventlog.ParseLevel(v)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad level %q", v))
+			return
+		}
+		minLevel = lv
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":  ev.Snapshot(n, minLevel),
+		"dropped": ev.DroppedTotal(),
+	})
 }
 
 func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {

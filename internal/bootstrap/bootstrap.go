@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/eventlog"
 	"repro/internal/faultfs"
 	"repro/internal/store"
 )
@@ -92,8 +93,14 @@ type Options struct {
 	// Rand drives retry jitter; nil uses a fixed-seed source
 	// (de-synchronization only needs spread, not secrecy).
 	Rand *rand.Rand
-	// Logf, when set, receives progress lines (moqod wires log.Printf).
+	// Logf, when set, receives progress lines (legacy plain-text hook;
+	// moqod now routes these through the event log's Printf adapter).
 	Logf func(format string, args ...any)
+	// Events, when set, receives the same progress as structured events
+	// (subsystem "bootstrap"); nil disables. Logf and Events are
+	// independent — moqod sets both so the stderr mirror and the
+	// /debug/events ring each see the transfer.
+	Events *eventlog.Log
 }
 
 func (o *Options) defaults() error {
@@ -203,6 +210,9 @@ func Pull(opts Options) (Result, error) {
 			return p.res, fmt.Errorf("bootstrap: %w", err)
 		}
 		opts.Logf("bootstrap: donor compacted mid-transfer, restarting from a fresh manifest")
+		opts.Events.Emit(eventlog.LevelWarn, "bootstrap", "donor compacted mid-transfer, restarting",
+			eventlog.F("peer", opts.Peer),
+			eventlog.Fint("restart", int64(restart+1)))
 	}
 	if err != nil {
 		p.wipeTmp(tmp)
@@ -222,6 +232,13 @@ func Pull(opts Options) (Result, error) {
 	p.wipeTmp(tmp)
 	opts.Logf("bootstrap: pulled %d segments, %d frames, %d bytes from %s (gen %d, %d attempts)",
 		p.res.Segments, p.res.Frames, p.res.Bytes, opts.Peer, p.res.Generation, p.res.Attempts)
+	opts.Events.Emit(eventlog.LevelInfo, "bootstrap", "pull complete",
+		eventlog.F("peer", opts.Peer),
+		eventlog.Fint("segments", int64(p.res.Segments)),
+		eventlog.Fint("frames", int64(p.res.Frames)),
+		eventlog.Fint("bytes", p.res.Bytes),
+		eventlog.Fint("generation", int64(p.res.Generation)),
+		eventlog.Fint("attempts", int64(p.res.Attempts)))
 	return p.res, nil
 }
 
@@ -323,6 +340,12 @@ func (p *puller) pullSegment(tmp string, gen uint64, seg store.SegmentInfo) (fra
 		lastErr = ferr
 		p.opts.Logf("bootstrap: segment %d attempt %d: %v (verified %d/%d bytes)",
 			seg.Seq, attempt+1, ferr, off, seg.Size)
+		p.opts.Events.Emit(eventlog.LevelWarn, "bootstrap", "segment attempt failed",
+			eventlog.Fint("segment", seg.Seq),
+			eventlog.Fint("attempt", int64(attempt+1)),
+			eventlog.Ferr(ferr),
+			eventlog.Fint("verified_bytes", off),
+			eventlog.Fint("total_bytes", seg.Size))
 	}
 	return frames, fmt.Errorf("bootstrap: segment %d failed after %d attempts: %w", seg.Seq, p.opts.Retries, lastErr)
 }

@@ -1,0 +1,167 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingBounded pins the bounded-memory invariant: under many
+// concurrent writers the ring never retains more than its capacity and
+// a snapshot returns the most recent events in order.
+func TestRingBounded(t *testing.T) {
+	const cap = 32
+	l := New(Options{Capacity: cap, Burst: 1 << 20, PerSecond: 1 << 20})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Emit(LevelInfo, "test", "event", Fint("i", int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Len(); got != cap {
+		t.Fatalf("ring holds %d events, want exactly capacity %d", got, cap)
+	}
+	evs := l.Snapshot(0, LevelDebug)
+	if len(evs) != cap {
+		t.Fatalf("snapshot returned %d events, want %d", len(evs), cap)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot out of order: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	// The newest retained event must be the globally newest emission.
+	if evs[len(evs)-1].Seq != 8*500 {
+		t.Fatalf("newest seq = %d, want %d", evs[len(evs)-1].Seq, 8*500)
+	}
+}
+
+// TestRateLimiterDrops pins the drop counters: with a tiny bucket most
+// of a burst is dropped and counted per level, while errors bypass the
+// limiter entirely.
+func TestRateLimiterDrops(t *testing.T) {
+	l := New(Options{Capacity: 128, Burst: 4, PerSecond: 1})
+	for i := 0; i < 100; i++ {
+		l.Emit(LevelInfo, "test", "flood")
+	}
+	for i := 0; i < 10; i++ {
+		l.Emit(LevelWarn, "test", "warn-flood")
+	}
+	for i := 0; i < 10; i++ {
+		l.Emit(LevelError, "test", "boom")
+	}
+	if d := l.Dropped(LevelInfo); d < 90 {
+		t.Fatalf("info drops = %d, want ≥90 with burst 4", d)
+	}
+	if d := l.Dropped(LevelWarn); d != 10 {
+		t.Fatalf("warn drops = %d, want 10 (bucket exhausted)", d)
+	}
+	if d := l.Dropped(LevelError); d != 0 {
+		t.Fatalf("error drops = %d, want 0 (errors bypass the limiter)", d)
+	}
+	errs := 0
+	for _, ev := range l.Snapshot(0, LevelError) {
+		if ev.Level == "error" {
+			errs++
+		}
+	}
+	if errs != 10 {
+		t.Fatalf("ring holds %d error events, want all 10", errs)
+	}
+	if l.DroppedTotal() != l.Dropped(LevelInfo)+l.Dropped(LevelWarn) {
+		t.Fatalf("DroppedTotal mismatch")
+	}
+}
+
+// TestLevelFilter checks the admission level and Snapshot's minLevel.
+func TestLevelFilter(t *testing.T) {
+	l := New(Options{Capacity: 16, Level: LevelInfo})
+	l.Emit(LevelDebug, "test", "hidden")
+	l.Emit(LevelInfo, "test", "shown")
+	l.Emit(LevelWarn, "test", "warned")
+	if got := l.Len(); got != 2 {
+		t.Fatalf("ring holds %d events, want 2 (debug filtered)", got)
+	}
+	if got := len(l.Snapshot(0, LevelWarn)); got != 1 {
+		t.Fatalf("snapshot(warn) = %d events, want 1", got)
+	}
+}
+
+// TestMirrorAndJSON checks the stderr mirror format and that events
+// marshal to the documented JSON shape.
+func TestMirrorAndJSON(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	l := New(Options{Capacity: 16, Node: "n1", Mirror: w})
+	l.EmitSession(LevelWarn, "service", "slow session", "s-42", "fp-abc", "refining",
+		Fdur("first_frontier", 2*time.Second), Ferr(nil))
+
+	mu.Lock()
+	line := sb.String()
+	mu.Unlock()
+	for _, want := range []string{"warn service: slow session", "session=s-42", "fp=fp-abc", "phase=refining", "first_frontier=2s"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("mirror line %q missing %q", line, want)
+		}
+	}
+
+	evs := l.Snapshot(1, LevelDebug)
+	if len(evs) != 1 {
+		t.Fatalf("snapshot = %d events, want 1", len(evs))
+	}
+	raw, err := json.Marshal(evs[0])
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, k := range []string{"seq", "time_ns", "level", "sub", "msg", "node", "session", "fp", "phase", "fields"} {
+		if _, ok := back[k]; !ok {
+			t.Fatalf("JSON missing key %q: %s", k, raw)
+		}
+	}
+}
+
+// TestNilLogSafe pins that a nil *Log is a safe no-op receiver.
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Emit(LevelError, "test", "ignored")
+	l.EmitSession(LevelError, "test", "ignored", "s", "f", "p")
+	if l.Snapshot(10, LevelDebug) != nil {
+		t.Fatal("nil log snapshot should be nil")
+	}
+	if l.Len() != 0 || l.Dropped(LevelInfo) != 0 || l.DroppedTotal() != 0 {
+		t.Fatal("nil log counters should be zero")
+	}
+}
+
+// TestParseLevel covers the level name round-trip.
+func TestParseLevel(t *testing.T) {
+	for lv := LevelDebug; lv <= LevelError; lv++ {
+		got, ok := ParseLevel(lv.String())
+		if !ok || got != lv {
+			t.Fatalf("ParseLevel(%q) = %v, %v", lv.String(), got, ok)
+		}
+	}
+	if _, ok := ParseLevel("nope"); ok {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExemplarCapture pins the capture semantics: an observation tagged
+// with a session ID lands in its bucket's slot, a later observation in
+// the same bucket replaces it, and untagged observations never capture.
+func TestExemplarCapture(t *testing.T) {
+	h := NewValues(2, 10, 100, 1000)
+	h.EnableExemplars(0)
+	h.ObserveShard(0, 5) // untagged
+	if _, _, _, ok := h.Exemplar(0); ok {
+		t.Fatal("untagged observation captured an exemplar")
+	}
+	h.ObserveShardExemplar(0, 5, "s-1")
+	id, v, tns, ok := h.Exemplar(0)
+	if !ok || id != "s-1" || v != 5 || tns == 0 {
+		t.Fatalf("exemplar = (%q,%d,%d,%v), want s-1/5 captured", id, v, tns, ok)
+	}
+	h.ObserveShardExemplar(1, 7, "s-2") // same bucket, different stripe
+	if id, _, _, _ := h.Exemplar(0); id != "s-2" {
+		t.Fatalf("exemplar not replaced: %q", id)
+	}
+	h.ObserveShardExemplar(0, 5000, "s-inf") // +Inf bucket
+	if id, _, _, ok := h.Exemplar(3); !ok || id != "s-inf" {
+		t.Fatal("+Inf bucket did not capture")
+	}
+}
+
+// TestExemplarFloor pins the tail-only mode: buckets below the floor
+// never capture, buckets at or above it do.
+func TestExemplarFloor(t *testing.T) {
+	h := NewValues(1, 10, 100, 1000)
+	h.EnableExemplars(100) // capture only the le=100 bucket and up
+	h.ObserveShardExemplar(0, 5, "s-low")
+	if _, _, _, ok := h.Exemplar(0); ok {
+		t.Fatal("bucket below floor captured an exemplar")
+	}
+	h.ObserveShardExemplar(0, 50, "s-tail")
+	if id, _, _, ok := h.Exemplar(1); !ok || id != "s-tail" {
+		t.Fatal("bucket at floor did not capture")
+	}
+}
+
+// TestExemplarDisabledIsNoop: without EnableExemplars the tagged form
+// is just ObserveShard.
+func TestExemplarDisabledIsNoop(t *testing.T) {
+	h := NewValues(1, 10)
+	h.ObserveShardExemplar(0, 5, "s-1")
+	if h.Snapshot().Count != 1 {
+		t.Fatal("observation lost")
+	}
+	if _, _, _, ok := h.Exemplar(0); ok {
+		t.Fatal("disabled histogram captured an exemplar")
+	}
+}
+
+// TestExemplarObserveAllocFree extends the D13 pin to the tagged
+// observation: capturing an exemplar must not allocate.
+func TestExemplarObserveAllocFree(t *testing.T) {
+	h := NewDuration(4)
+	h.EnableExemplars(0)
+	id := "s-alloc"
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveShardExemplar(3, int64(time.Millisecond), id)
+	}); allocs != 0 {
+		t.Errorf("ObserveShardExemplar allocates %.2f per call, want 0", allocs)
+	}
+}
+
+// TestExemplarExposition renders a registry with exemplars and checks
+// both the OpenMetrics-style syntax and that CheckExposition accepts it.
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := NewDuration(2)
+	h.EnableExemplars(0)
+	r.Histogram("app_latency_seconds", "latency", "", h)
+	h.ObserveShardExemplar(0, int64(3*time.Millisecond), "s-42")
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	ValidateExposition(t, text)
+	// One bucket line must carry `# {session_id="s-42"} 0.003... ts`.
+	re := regexp.MustCompile(`app_latency_seconds_bucket\{le="[^"]+"\} \d+ # \{session_id="s-42"\} 0\.003\d* \d+\.\d+`)
+	if !re.MatchString(text) {
+		t.Fatalf("no exemplar rendered:\n%s", text)
+	}
+}
+
+// TestCheckExpositionRejectsMalformedExemplars gives the validator
+// teeth on the new syntax.
+func TestCheckExpositionRejectsMalformedExemplars(t *testing.T) {
+	head := "# HELP h a\n# TYPE h histogram\n"
+	cases := map[string]string{
+		"exemplar on _sum":      head + `h_bucket{le="+Inf"} 1` + "\n" + `h_sum 1 # {session_id="s"} 1 2` + "\n" + "h_count 1\n",
+		"exemplar on counter":   "# HELP c a\n# TYPE c counter\n" + `c{x="1"} 1 # {session_id="s"} 1` + "\n",
+		"missing braces":        head + `h_bucket{le="+Inf"} 1 # session_id="s" 1` + "\n" + "h_count 1\n",
+		"unquoted label value":  head + `h_bucket{le="+Inf"} 1 # {session_id=s} 1` + "\n" + "h_count 1\n",
+		"bad label name":        head + `h_bucket{le="+Inf"} 1 # {9id="s"} 1` + "\n" + "h_count 1\n",
+		"non-numeric value":     head + `h_bucket{le="+Inf"} 1 # {session_id="s"} nope` + "\n" + "h_count 1\n",
+		"too many fields":       head + `h_bucket{le="+Inf"} 1 # {session_id="s"} 1 2 3` + "\n" + "h_count 1\n",
+		"empty exemplar suffix": head + `h_bucket{le="+Inf"} 1 # ` + "\n" + "h_count 1\n",
+	}
+	for name, text := range cases {
+		if err := CheckExposition(text); err == nil {
+			t.Errorf("%s: validator accepted malformed exemplar:\n%s", name, text)
+		}
+	}
+	// A well-formed exemplar without a timestamp is legal.
+	ok := head + `h_bucket{le="+Inf"} 1 # {session_id="s-1"} 0.5` + "\n" + "h_count 1\n"
+	if err := CheckExposition(ok); err != nil {
+		t.Errorf("validator rejected legal exemplar: %v", err)
+	}
+}
+
+// TestExemplarConcurrentScrape hammers tagged observations against
+// scrapes; under -race this pins the TryLock write path vs the locked
+// scrape read path.
+func TestExemplarConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	h := NewDuration(4)
+	h.EnableExemplars(0)
+	r.Histogram("app_latency_seconds", "latency", "", h)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	ids := [4]string{"s-0", "s-1", "s-2", "s-3"}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.ObserveShardExemplar(shard, int64(time.Microsecond)<<uint(shard), ids[shard])
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckExposition(buf.String()); err != nil {
+			t.Fatalf("scrape %d malformed under load: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegisterRuntime scrapes the runtime bridge and checks the
+// families render well-formed (including the GC pause HistogramFunc).
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	ValidateExposition(t, text)
+	for _, want := range []string{
+		"moqod_go_heap_objects_bytes",
+		"moqod_go_goroutines",
+		"moqod_go_sched_latency_seconds_p99",
+		"moqod_go_gc_pause_seconds_bucket",
+		`moqod_go_gc_pause_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("runtime scrape missing %q:\n%s", want, text)
+		}
+	}
+}

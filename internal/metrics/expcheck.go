@@ -65,13 +65,21 @@ func CheckExposition(text string) error {
 		if strings.HasPrefix(line, "#") {
 			continue // other comments are legal
 		}
-		name, labels, value, ok := parseSampleLine(line)
+		name, labels, value, exemplar, ok := parseSampleLine(line)
 		if !ok {
 			return fmt.Errorf("line %d: unparseable sample: %q", ln+1, line)
 		}
 		fam := baseName(name)
 		if typeOf[fam] == "" {
 			return fmt.Errorf("line %d: sample %s before its TYPE", ln+1, name)
+		}
+		if exemplar != "" {
+			if typeOf[fam] != "histogram" || !strings.HasSuffix(name, "_bucket") {
+				return fmt.Errorf("line %d: exemplar on non-bucket sample %s", ln+1, name)
+			}
+			if err := checkExemplar(exemplar); err != nil {
+				return fmt.Errorf("line %d: %v: %q", ln+1, err, line)
+			}
 		}
 		if typeOf[fam] == "histogram" {
 			series := fam + "|" + stripLabel(labels, "le")
@@ -108,32 +116,79 @@ func CheckExposition(text string) error {
 	return nil
 }
 
-// parseSampleLine splits one `name[{labels}] value` sample line.
-func parseSampleLine(line string) (name, labels string, value float64, ok bool) {
+// parseSampleLine splits one `name[{labels}] value [# exemplar]`
+// sample line. The exemplar suffix (everything after " # ") is
+// returned raw for checkExemplar; it is empty when absent.
+func parseSampleLine(line string) (name, labels string, value float64, exemplar string, ok bool) {
 	rest := line
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
 		j := strings.IndexByte(rest, '}')
 		if j < i {
-			return "", "", 0, false
+			return "", "", 0, "", false
 		}
 		labels = rest[i+1 : j]
 		rest = strings.TrimSpace(rest[j+1:])
 	} else {
-		fields := strings.Fields(rest)
-		if len(fields) != 2 {
-			return "", "", 0, false
+		n, r, found := strings.Cut(strings.TrimSpace(rest), " ")
+		if !found {
+			return "", "", 0, "", false
 		}
-		name, rest = fields[0], fields[1]
+		name, rest = n, strings.TrimSpace(r)
+	}
+	if i := strings.Index(rest, " # "); i >= 0 {
+		exemplar = strings.TrimSpace(rest[i+3:])
+		rest = strings.TrimSpace(rest[:i])
+		if exemplar == "" {
+			return "", "", 0, "", false
+		}
+	}
+	if len(strings.Fields(rest)) != 1 {
+		return "", "", 0, "", false
 	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
 	if err != nil {
-		return "", "", 0, false
+		return "", "", 0, "", false
 	}
 	if name == "" {
-		return "", "", 0, false
+		return "", "", 0, "", false
 	}
-	return name, labels, v, true
+	return name, labels, v, exemplar, true
+}
+
+// checkExemplar validates an OpenMetrics exemplar body:
+// `{name="value",...} value [timestamp]`. Label values are quoted
+// strings without embedded quotes (all this writer ever emits).
+func checkExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("malformed exemplar: missing '{'")
+	}
+	j := strings.IndexByte(ex, '}')
+	if j < 0 {
+		return fmt.Errorf("malformed exemplar: missing '}'")
+	}
+	labels := ex[1:j]
+	if labels != "" {
+		for _, pair := range strings.Split(labels, ",") {
+			k, v, found := strings.Cut(pair, "=")
+			if !found || !validName(k) {
+				return fmt.Errorf("malformed exemplar label %q", pair)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return fmt.Errorf("malformed exemplar label value %q", pair)
+			}
+		}
+	}
+	fields := strings.Fields(ex[j+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed exemplar: want value [timestamp], got %d fields", len(fields))
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("malformed exemplar number %q", f)
+		}
+	}
+	return nil
 }
 
 // labelValue returns the (unquoted) value of key in a raw label-pair

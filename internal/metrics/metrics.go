@@ -80,6 +80,23 @@ type Histogram struct {
 	stride  int             // padded per-stripe slot count
 	counts  []atomic.Uint64 // stripes × stride, stripe-major
 	sums    []atomic.Int64  // per stripe, index i*8 (line-padded)
+
+	// Exemplar slots, one per bucket, in a separate allocation so a
+	// capture never dirties a cache line readers of counts/sums touch.
+	// nil unless EnableExemplars was called.
+	ex      []exemplar
+	exFloor int // first bucket index that captures exemplars
+}
+
+// exemplar is one bucket's most recent tagged observation. Writers use
+// TryLock so the step path never blocks (a contended capture is simply
+// skipped — the bucket already has a fresh exemplar); scrapes use Lock.
+type exemplar struct {
+	mu  sync.Mutex
+	id  string
+	v   int64 // base units
+	tns int64 // capture time, unix nanoseconds
+	set bool
 }
 
 // NewHistogram builds a histogram over the given ascending bounds in
@@ -170,6 +187,55 @@ func (h *Histogram) ObserveShard(shard int, v int64) {
 	h.sums[s*8].Add(v)
 }
 
+// EnableExemplars allocates one exemplar slot per bucket. Buckets at
+// or above floor (base units) capture; floor <= 0 enables every bucket.
+// Call once at construction time, before concurrent observation.
+func (h *Histogram) EnableExemplars(floor int64) *Histogram {
+	h.ex = make([]exemplar, len(h.bounds)+1)
+	h.exFloor = 0
+	if floor > 0 {
+		h.exFloor = h.bucketIndex(floor)
+	}
+	return h
+}
+
+// ObserveShardExemplar is ObserveShard plus a best-effort exemplar
+// capture tagging the observation with id (a session ID). The capture
+// is zero-allocation and never blocks: slots are guarded by TryLock,
+// and a contended slot simply keeps its previous exemplar. No-op
+// beyond the plain observation when exemplars are disabled, id is
+// empty, or the bucket is below the configured floor.
+func (h *Histogram) ObserveShardExemplar(shard int, v int64, id string) {
+	h.ObserveShard(shard, v)
+	if h.ex == nil || id == "" {
+		return
+	}
+	b := h.bucketIndex(v)
+	if b < h.exFloor {
+		return
+	}
+	e := &h.ex[b]
+	if !e.mu.TryLock() {
+		return
+	}
+	e.id, e.v, e.tns, e.set = id, v, time.Now().UnixNano(), true
+	e.mu.Unlock()
+}
+
+// Exemplar returns bucket b's captured exemplar (id, value in base
+// units, capture time in unix-nanos) and whether one is set. Exposed
+// for tests and the exposition writer.
+func (h *Histogram) Exemplar(b int) (id string, v int64, tns int64, ok bool) {
+	if h.ex == nil || b < 0 || b >= len(h.ex) {
+		return "", 0, 0, false
+	}
+	e := &h.ex[b]
+	e.mu.Lock()
+	id, v, tns, ok = e.id, e.v, e.tns, e.set
+	e.mu.Unlock()
+	return id, v, tns, ok
+}
+
 // Snapshot is a scrape-time copy of a histogram's state, summed across
 // stripes. Counts are per-bucket (not cumulative); Count is the total.
 type Snapshot struct {
@@ -246,7 +312,18 @@ const (
 	kindCounterFunc = iota
 	kindGaugeFunc
 	kindHistogram
+	kindHistogramFunc
 )
+
+// FloatSnapshot is a scrape-time histogram state with float bounds,
+// produced by HistogramFunc callbacks (the runtime/metrics bridge).
+// Bounds are ascending upper edges in exposition units; Counts has one
+// extra trailing +Inf bucket.
+type FloatSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1
+	Sum    float64
+}
 
 type sample struct {
 	labels    string // raw label pairs, e.g. `shard="0"`; may be empty
@@ -254,6 +331,7 @@ type sample struct {
 	counterFn func() uint64
 	gaugeFn   func() float64
 	hist      *Histogram
+	histFn    func() FloatSnapshot
 }
 
 // family is one metric name: a HELP/TYPE header plus its samples.
@@ -359,6 +437,15 @@ func (r *Registry) NewDurationHistogram(name, help string, stripes int) *Histogr
 	return h
 }
 
+// HistogramFunc registers a histogram rendered from a snapshot
+// callback at scrape time — the bridge for histograms that live
+// elsewhere (runtime/metrics GC pause distributions). The callback's
+// snapshot must keep Counts one longer than Bounds; WriteText renders
+// it cumulatively, +Inf-terminated, with _sum and _count.
+func (r *Registry) HistogramFunc(name, help, labels string, fn func() FloatSnapshot) {
+	r.register(name, help, "histogram", sample{labels: labels, kind: kindHistogramFunc, histFn: fn})
+}
+
 // WriteText renders every family in the Prometheus text exposition
 // format: one # HELP and # TYPE line per family, then its samples
 // (histograms expand to cumulative _bucket lines terminated by
@@ -390,6 +477,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 				buf = appendSample(buf, f.name, "", s.labels, "", s.gaugeFn())
 			case kindHistogram:
 				buf = appendHistogram(buf, f.name, s.labels, s.hist)
+			case kindHistogramFunc:
+				buf = appendFloatHistogram(buf, f.name, s.labels, s.histFn())
 			}
 		}
 	}
@@ -415,6 +504,12 @@ func appendEscapedHelp(buf []byte, help string) []byte {
 
 // appendSample renders one `name[suffix]{labels[,extra]} value` line.
 func appendSample(buf []byte, name, suffix, labels, extra string, v float64) []byte {
+	return append(appendSampleNoNL(buf, name, suffix, labels, extra, v), '\n')
+}
+
+// appendSampleNoNL is appendSample without the trailing newline, so
+// bucket lines can carry an exemplar suffix before the line break.
+func appendSampleNoNL(buf []byte, name, suffix, labels, extra string, v float64) []byte {
 	buf = append(buf, name...)
 	buf = append(buf, suffix...)
 	if labels != "" || extra != "" {
@@ -428,7 +523,7 @@ func appendSample(buf []byte, name, suffix, labels, extra string, v float64) []b
 	}
 	buf = append(buf, ' ')
 	buf = appendValue(buf, v)
-	return append(buf, '\n')
+	return buf
 }
 
 // appendValue renders a float sample value (integers without a point,
@@ -442,18 +537,59 @@ func appendValue(buf []byte, v float64) []byte {
 
 // appendHistogram renders one histogram sample: cumulative _bucket
 // lines (le in exposition units, ascending, +Inf-terminated), _sum and
-// _count.
+// _count. Buckets with a captured exemplar carry an OpenMetrics-style
+// `# {session_id="..."} value timestamp` suffix.
 func appendHistogram(buf []byte, name, labels string, h *Histogram) []byte {
 	snap := h.Snapshot()
 	cum := uint64(0)
 	for i, b := range snap.Bounds {
 		cum += snap.Counts[i]
 		le := `le="` + strconv.FormatFloat(float64(b)*h.scale, 'g', -1, 64) + `"`
-		buf = appendSample(buf, name, "_bucket", labels, le, float64(cum))
+		buf = appendSampleNoNL(buf, name, "_bucket", labels, le, float64(cum))
+		buf = h.appendExemplar(buf, i)
+		buf = append(buf, '\n')
 	}
 	cum += snap.Counts[len(snap.Bounds)]
-	buf = appendSample(buf, name, "_bucket", labels, `le="+Inf"`, float64(cum))
+	buf = appendSampleNoNL(buf, name, "_bucket", labels, `le="+Inf"`, float64(cum))
+	buf = h.appendExemplar(buf, len(snap.Bounds))
+	buf = append(buf, '\n')
 	buf = appendSample(buf, name, "_sum", labels, "", float64(snap.Sum)*h.scale)
+	buf = appendSample(buf, name, "_count", labels, "", float64(cum))
+	return buf
+}
+
+// appendExemplar appends bucket b's exemplar suffix, if one is set:
+// a space, '#', and `{session_id="..."} value unix-seconds`.
+func (h *Histogram) appendExemplar(buf []byte, b int) []byte {
+	id, v, tns, ok := h.Exemplar(b)
+	if !ok {
+		return buf
+	}
+	buf = append(buf, ` # {session_id="`...)
+	buf = append(buf, id...)
+	buf = append(buf, `"} `...)
+	buf = appendValue(buf, float64(v)*h.scale)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, float64(tns)/1e9, 'f', 3, 64)
+	return buf
+}
+
+// appendFloatHistogram renders a HistogramFunc snapshot the same way
+// appendHistogram renders a live histogram (no exemplars).
+func appendFloatHistogram(buf []byte, name, labels string, snap FloatSnapshot) []byte {
+	cum := uint64(0)
+	for i, b := range snap.Bounds {
+		if i < len(snap.Counts) {
+			cum += snap.Counts[i]
+		}
+		le := `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`
+		buf = appendSample(buf, name, "_bucket", labels, le, float64(cum))
+	}
+	if len(snap.Counts) > len(snap.Bounds) {
+		cum += snap.Counts[len(snap.Bounds)]
+	}
+	buf = appendSample(buf, name, "_bucket", labels, `le="+Inf"`, float64(cum))
+	buf = appendSample(buf, name, "_sum", labels, "", snap.Sum)
 	buf = appendSample(buf, name, "_count", labels, "", float64(cum))
 	return buf
 }

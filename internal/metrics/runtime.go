@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	rm "runtime/metrics"
+)
+
+// RegisterRuntime registers process self-metrics on r via the
+// runtime/metrics package, so a scrape sees the Go runtime next to the
+// service: heap bytes, live goroutines, scheduler latency p99, and the
+// GC pause distribution as a histogram. All values are read at scrape
+// time; nothing here touches any hot path.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("moqod_go_heap_objects_bytes",
+		"Bytes of live heap objects (runtime /memory/classes/heap/objects:bytes).", "",
+		func() float64 {
+			v := readSample("/memory/classes/heap/objects:bytes")
+			if v.Kind() == rm.KindUint64 {
+				return float64(v.Uint64())
+			}
+			return 0
+		})
+	r.GaugeFunc("moqod_go_goroutines",
+		"Live goroutines in the process.", "",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("moqod_go_sched_latency_seconds_p99",
+		"99th percentile goroutine scheduling latency since process start (upper bucket edge).", "",
+		func() float64 {
+			v := readSample("/sched/latencies:seconds")
+			if v.Kind() != rm.KindFloat64Histogram {
+				return 0
+			}
+			return runtimeQuantile(v.Float64Histogram(), 0.99)
+		})
+	r.HistogramFunc("moqod_go_gc_pause_seconds",
+		"Stop-the-world GC pause distribution since process start (sum approximated from bucket midpoints).", "",
+		func() FloatSnapshot {
+			v := readSample("/gc/pauses:seconds")
+			if v.Kind() != rm.KindFloat64Histogram {
+				return FloatSnapshot{Counts: make([]uint64, 1)}
+			}
+			return floatSnapshotFrom(v.Float64Histogram(), 32)
+		})
+}
+
+// readSample reads one runtime/metrics sample by name. Unknown names
+// report KindBad, which callers map to zero values.
+func readSample(name string) rm.Value {
+	s := []rm.Sample{{Name: name}}
+	rm.Read(s)
+	return s[0].Value
+}
+
+// floatSnapshotFrom converts a runtime Float64Histogram (Counts[i]
+// covers [Buckets[i], Buckets[i+1])) into a FloatSnapshot, merging
+// adjacent buckets down to at most maxBuckets finite bounds so the
+// runtime's very fine bucket layout does not bloat the exposition.
+// Sum is approximated from bucket midpoints, as documented in HELP.
+func floatSnapshotFrom(h *rm.Float64Histogram, maxBuckets int) FloatSnapshot {
+	n := len(h.Counts)
+	if n == 0 || len(h.Buckets) != n+1 {
+		return FloatSnapshot{Counts: make([]uint64, 1)}
+	}
+	edges := make([]float64, 0, n)
+	counts := make([]uint64, 0, n+1)
+	var inf uint64
+	var sum float64
+	for i := 0; i < n; i++ {
+		lo, hi, c := h.Buckets[i], h.Buckets[i+1], h.Counts[i]
+		if math.IsInf(hi, 1) {
+			inf += c
+			if c > 0 && !math.IsInf(lo, -1) {
+				sum += float64(c) * lo
+			}
+			continue
+		}
+		edges = append(edges, hi)
+		counts = append(counts, c)
+		if c > 0 {
+			mid := hi
+			if !math.IsInf(lo, -1) {
+				mid = (lo + hi) / 2
+			}
+			sum += float64(c) * mid
+		}
+	}
+	if maxBuckets > 0 && len(edges) > maxBuckets {
+		group := (len(edges) + maxBuckets - 1) / maxBuckets
+		me := make([]float64, 0, maxBuckets)
+		mc := make([]uint64, 0, maxBuckets+1)
+		for i := 0; i < len(edges); i += group {
+			j := i + group
+			if j > len(edges) {
+				j = len(edges)
+			}
+			var c uint64
+			for k := i; k < j; k++ {
+				c += counts[k]
+			}
+			me = append(me, edges[j-1])
+			mc = append(mc, c)
+		}
+		edges, counts = me, mc
+	}
+	counts = append(counts, inf)
+	return FloatSnapshot{Bounds: edges, Counts: counts, Sum: sum}
+}
+
+// runtimeQuantile estimates the q-th quantile of a runtime histogram,
+// reported as the covering bucket's upper edge (its lower edge for the
+// +Inf bucket).
+func runtimeQuantile(h *rm.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank && c > 0 {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				lo := h.Buckets[i]
+				if math.IsInf(lo, -1) {
+					return 0
+				}
+				return lo
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -75,6 +75,13 @@ type cacheItem struct {
 	// every restart cycle into store churn; any Put dirties the entry
 	// again.
 	clean bool
+
+	// origin labels how the entry got here when it did not come from a
+	// live session export: "replay" (local store replay at startup) or
+	// "bootstrap" (pulled from a peer's store). Sessions warm-starting
+	// from the entry append it to their provenance; a Put from a live
+	// export clears it.
+	origin string
 }
 
 // NewPlanCache creates a cache holding at most capacity snapshots;
@@ -200,6 +207,7 @@ func (c *PlanCache) Put(fp, canonFp, structFp string, perm []int, snap *core.Sna
 		item.structFp = structFp
 		item.perm = perm
 		item.clean = false
+		item.origin = ""
 		if canonFp != "" {
 			c.canon[canonFp] = el // latest convergence represents the class
 		}
@@ -258,6 +266,29 @@ func (c *PlanCache) MarkClean(fp string) {
 		el.Value.(*cacheItem).clean = true
 	}
 	c.mu.Unlock()
+}
+
+// SetOrigin labels fp's entry with a plan-state origin ("replay",
+// "bootstrap"). The service tags entries as it replays them so
+// sessions that later warm-start from one can report where their plan
+// state ultimately came from.
+func (c *PlanCache) SetOrigin(fp, origin string) {
+	c.mu.Lock()
+	if el, ok := c.items[fp]; ok {
+		el.Value.(*cacheItem).origin = origin
+	}
+	c.mu.Unlock()
+}
+
+// Origin returns fp's origin label ("" for entries produced by live
+// session exports or unknown fingerprints).
+func (c *PlanCache) Origin(fp string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		return el.Value.(*cacheItem).origin
+	}
+	return ""
 }
 
 // Each calls fn for every cached entry, most recently used first,

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestConvergenceCurveE2E drives a real session to its target
+// resolution and checks the served curve end to end: non-empty, ε
+// non-negative and monotone non-increasing within each regime, and
+// ending at ε = 0 (the final sample IS the regime's best). This pins
+// the acceptance criterion behind GET /debug/sessions/{id}/curve.
+func TestConvergenceCurveE2E(t *testing.T) {
+	svc, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	blocks := workload.MustTPCHBlocks(1)
+	blk, _ := workload.Find(blocks, "Q5")
+	id, err := svc.Create(blk.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := awaitState(t, svc, id, AtTarget)
+	if st.Provenance != "cold" {
+		t.Errorf("fresh session provenance = %q, want %q", st.Provenance, "cold")
+	}
+
+	c, err := svc.ConvergenceCurve(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != id {
+		t.Errorf("curve ID = %q, want %q", c.ID, id)
+	}
+	if c.Provenance != "cold" {
+		t.Errorf("curve provenance = %q, want %q", c.Provenance, "cold")
+	}
+	if len(c.Points) == 0 {
+		t.Fatal("converged session served an empty convergence curve")
+	}
+	lastEps := make(map[int]float64)
+	for i, p := range c.Points {
+		if p.Epsilon < 0 {
+			t.Errorf("point %d: epsilon %g < 0", i, p.Epsilon)
+		}
+		if p.Frontier <= 0 {
+			t.Errorf("point %d: frontier %d, want > 0", i, p.Frontier)
+		}
+		if prev, ok := lastEps[p.Regime]; ok && p.Epsilon > prev {
+			t.Errorf("point %d: epsilon %g > previous %g within regime %d",
+				i, p.Epsilon, prev, p.Regime)
+		}
+		lastEps[p.Regime] = p.Epsilon
+	}
+	final := c.Points[len(c.Points)-1]
+	if final.Epsilon != 0 {
+		t.Errorf("final point epsilon = %g, want 0", final.Epsilon)
+	}
+
+	if err := svc.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	// The curve must survive the session: it is rebuilt from the trace
+	// archive after close, same shape.
+	arch, err := svc.ConvergenceCurve(id)
+	if err != nil {
+		t.Fatalf("curve after close: %v", err)
+	}
+	if len(arch.Points) != len(c.Points) {
+		t.Errorf("archived curve has %d points, live had %d", len(arch.Points), len(c.Points))
+	}
+}
+
+// TestStepsToEpsilon pins the convergence-speed counter on synthetic
+// traces: it counts only the final regime's samples, stops at the
+// first dip under final·α, resets at bounds changes, and refuses to
+// answer (returns 0) when the ring wrapped past the regime start.
+func TestStepsToEpsilon(t *testing.T) {
+	created := time.Now()
+	mk := func() *trace.Trace { return trace.New("s-eps", created) }
+	curve := func(tr *trace.Trace, i int, best float64) {
+		tr.AppendAt(trace.KindCurve, time.Duration(i)*time.Millisecond,
+			trace.PackCurveScalar(best), trace.PackCurveN(1, 4))
+	}
+
+	t.Run("single regime", func(t *testing.T) {
+		tr := mk()
+		for i, v := range []float64{100, 60, 52, 51, 50.5, 50} {
+			curve(tr, i, v)
+		}
+		// final = 50, α = 1.05 → threshold 52.5; first sample ≤ 52.5 is
+		// the third (52).
+		if got := stepsToEpsilon(tr, 1.05); got != 3 {
+			t.Errorf("stepsToEpsilon = %d, want 3", got)
+		}
+	})
+
+	t.Run("bounds change resets the count", func(t *testing.T) {
+		tr := mk()
+		for i, v := range []float64{10, 5, 1} {
+			curve(tr, i, v)
+		}
+		tr.AppendAt(trace.KindBounds, 10*time.Millisecond, 0, 2)
+		for i, v := range []float64{200, 110, 104, 100} {
+			curve(tr, 20+i, v)
+		}
+		// Only the post-bounds regime counts: final = 100, threshold
+		// 105, first dip is the third sample (104).
+		if got := stepsToEpsilon(tr, 1.05); got != 3 {
+			t.Errorf("stepsToEpsilon = %d, want 3", got)
+		}
+	})
+
+	t.Run("no curve samples", func(t *testing.T) {
+		if got := stepsToEpsilon(mk(), 1.05); got != 0 {
+			t.Errorf("stepsToEpsilon on empty trace = %d, want 0", got)
+		}
+	})
+
+	t.Run("wrapped ring without a surviving bounds span", func(t *testing.T) {
+		tr := mk()
+		for i := 0; i < 200; i++ { // well past the ring capacity
+			curve(tr, i, float64(200-i))
+		}
+		if !tr.Wrapped() {
+			t.Fatal("trace did not wrap; test needs > ring capacity appends")
+		}
+		if got := stepsToEpsilon(tr, 1.05); got != 0 {
+			t.Errorf("stepsToEpsilon after wrap = %d, want 0 (count untrustworthy)", got)
+		}
+	})
+
+	t.Run("wrapped ring with a surviving bounds span", func(t *testing.T) {
+		tr := mk()
+		for i := 0; i < 200; i++ {
+			curve(tr, i, float64(400-i))
+		}
+		tr.AppendAt(trace.KindBounds, 300*time.Millisecond, 0, 2)
+		for i, v := range []float64{50, 20, 10} {
+			curve(tr, 300+i, v)
+		}
+		// The regime start (the bounds span) is inside the retained
+		// window, so the count is trustworthy again: final = 10,
+		// threshold 10.5, first dip is the third sample.
+		if got := stepsToEpsilon(tr, 1.05); got != 3 {
+			t.Errorf("stepsToEpsilon = %d, want 3", got)
+		}
+	})
+}
+
+// TestBuildCurve pins the running-minimum construction: Best never
+// rises, Epsilon is Best minus the regime's final Best, and regime
+// numbering follows bounds spans.
+func TestBuildCurve(t *testing.T) {
+	created := time.Now()
+	tr := trace.New("s-bc", created)
+	for i, v := range []float64{9, 7, 8, 6} { // 8 must not raise Best
+		tr.AppendAt(trace.KindCurve, time.Duration(i)*time.Millisecond,
+			trace.PackCurveScalar(v), trace.PackCurveN(0, 2+i))
+	}
+	tr.AppendAt(trace.KindBounds, 10*time.Millisecond, 0, 2)
+	for i, v := range []float64{20, 12} {
+		tr.AppendAt(trace.KindCurve, time.Duration(20+i)*time.Millisecond,
+			trace.PackCurveScalar(v), trace.PackCurveN(1, 5))
+	}
+	var d trace.Data
+	tr.CopyInto(&d)
+	c := BuildCurve(d)
+	if len(c.Points) != 6 {
+		t.Fatalf("BuildCurve returned %d points, want 6", len(c.Points))
+	}
+	wantBest := []float64{9, 7, 7, 6, 20, 12}
+	wantRegime := []int{0, 0, 0, 0, 1, 1}
+	wantEps := []float64{3, 1, 1, 0, 8, 0}
+	for i, p := range c.Points {
+		if p.Best != wantBest[i] {
+			t.Errorf("point %d: Best = %g, want %g", i, p.Best, wantBest[i])
+		}
+		if p.Regime != wantRegime[i] {
+			t.Errorf("point %d: Regime = %d, want %d", i, p.Regime, wantRegime[i])
+		}
+		if p.Epsilon != wantEps[i] {
+			t.Errorf("point %d: Epsilon = %g, want %g", i, p.Epsilon, wantEps[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/eventlog"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -57,6 +58,9 @@ func (s *Service) Drain(grace time.Duration) (converged, checkpointed int) {
 	// that begins after this store sees ErrDraining, so the sweep below
 	// observes a set of sessions that can only shrink.
 	s.draining.Store(true)
+	drainStart := time.Now()
+	s.cfg.Events.Emit(eventlog.LevelInfo, "service", "drain started",
+		eventlog.Fdur("grace", grace))
 
 	// Grace window: let the scheduler finish what it can. Sessions that
 	// converge here need no checkpoint — their convergence export
@@ -85,6 +89,10 @@ func (s *Service) Drain(grace time.Duration) (converged, checkpointed int) {
 	}
 	s.drainConverged.Store(uint64(converged))
 	s.drainCheckpointed.Store(uint64(checkpointed))
+	s.cfg.Events.Emit(eventlog.LevelInfo, "service", "drain finished",
+		eventlog.Fint("converged", int64(converged)),
+		eventlog.Fint("checkpointed", int64(checkpointed)),
+		eventlog.Fdur("took", time.Since(drainStart)))
 	return converged, checkpointed
 }
 

@@ -90,6 +90,7 @@ type managed struct {
 	srcFP       string // cache entry the warm start restored from ("" when cold)
 	srcCanon    string // canonical digest of that entry (its cache shard key)
 	drift       string // drift resolution: "recosted"/"resumed"/"quarantined"/""
+	provenance  string // plan-state origin: "cold"/"exact"/"iso"/"recost"/"resume", with "-replay"/"-bootstrap" suffix when the cache entry came off disk
 	statsEpoch  uint64 // statistics-epoch label at creation (stamps exports)
 	steps       int    // scheduler steps executed
 	snapshotted bool   // plan state already exported to the cache

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/eventlog"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -47,6 +48,17 @@ type Observability struct {
 	// change observed at stale-tier hits, in permille (a drift of 1.0 —
 	// a statistic doubling or vanishing — records as 1000).
 	DriftMagnitude *metrics.Histogram
+	// StepsToEpsilon is the convergence-speed distribution: per
+	// converged regime, how many frontier-producing steps it took until
+	// the running-best scalarization came within the target precision
+	// factor of the regime's final value (computed from the session's
+	// curve spans at convergence; see curve.go).
+	StepsToEpsilon *metrics.Histogram
+	// QualityAtDeadline is the resolution-ladder progress, in permille,
+	// of every session at its terminal transition: 1000 means the last
+	// regime converged, lower values mean the session ended (selected,
+	// expired, timed out...) partway up the precision ladder.
+	QualityAtDeadline *metrics.Histogram
 
 	archive *trace.Archive
 }
@@ -60,7 +72,7 @@ const archiveCap = 256
 // stripe per scheduler shard so concurrent workers never contend on a
 // bucket cache line.
 func newObservability(shards int) *Observability {
-	return &Observability{
+	o := &Observability{
 		Registry:      metrics.NewRegistry(),
 		FirstFrontier: metrics.NewDuration(1),
 		StepGap:       metrics.NewDuration(shards),
@@ -71,8 +83,20 @@ func newObservability(shards int) *Observability {
 		Recost:        metrics.NewDuration(1),
 		DriftMagnitude: metrics.NewValues(1,
 			10, 25, 50, 100, 250, 500, 1000, 2500, 5000),
+		StepsToEpsilon: metrics.NewValues(1,
+			1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+		QualityAtDeadline: metrics.NewValues(1,
+			100, 250, 500, 750, 900, 950, 990, 1000),
 		archive: trace.NewArchive(archiveCap),
 	}
+	// Exemplars link a slow bucket to the session that filled it
+	// (GET /debug/sessions/{id}/trace). FirstFrontier captures in every
+	// bucket — it is observed once per session, so any bucket's exemplar
+	// is representative; StepGap only bothers the tail (a sub-millisecond
+	// gap is healthy scheduling, not worth a slot update per step).
+	o.FirstFrontier.EnableExemplars(0)
+	o.StepGap.EnableExemplars(int64(time.Millisecond))
+	return o
 }
 
 // Observability returns the service's metric instruments, registry and
@@ -118,6 +142,15 @@ func (s *Service) observeEnd(m *managed, k trace.Kind) time.Duration {
 	m.mu.Lock()
 	gap := m.maxStepGap
 	total := now.Sub(m.created)
+	steps := m.steps
+	// Quality at deadline: how far up the precision ladder the session
+	// got before ending, in permille of the full ladder. 1000 means the
+	// last regime converged; a cold kill before the first step scores 0.
+	quality := int64(-1)
+	if m.sess != nil {
+		maxRes := m.sess.Optimizer().Config().MaxResolution()
+		quality = int64(1000*(m.sess.Resolution()+1)) / int64(maxRes+1)
+	}
 	slow := s.cfg.SlowSession > 0 && s.cfg.SlowSessionLog != nil &&
 		total >= s.cfg.SlowSession && m.trace != nil
 	var data trace.Data
@@ -140,6 +173,21 @@ func (s *Service) observeEnd(m *managed, k trace.Kind) time.Duration {
 	m.mu.Unlock()
 	trace.Put(tr)
 	s.obs.EndToEnd.ObserveDuration(total)
+	if quality >= 0 {
+		s.obs.QualityAtDeadline.Observe(quality)
+	}
+	if ev := s.cfg.Events; ev != nil {
+		lv := eventlog.LevelInfo
+		fields := [3]eventlog.Field{
+			eventlog.Fdur("total", total),
+			eventlog.Fint("steps", int64(steps)),
+			eventlog.Fint("quality_permille", quality),
+		}
+		if k == trace.KindFailed {
+			lv = eventlog.LevelWarn
+		}
+		ev.EmitSession(lv, "service", "session finished", m.id, m.fp, k.String(), fields[:]...)
+	}
 	if slow {
 		s.cfg.SlowSessionLog(total, data)
 	}
@@ -193,6 +241,18 @@ func (s *Service) registerMetrics() {
 	r.Histogram("moqod_remap_seconds", "Isomorphic snapshot rewrite latency at session creation.", "", s.obs.Remap)
 	r.Histogram("moqod_recost_seconds", "Statistics-drift re-cost latency at session creation.", "", s.obs.Recost)
 	r.Histogram("moqod_drift_magnitude_permille", "Maximum relative statistic change at stale-tier hits (permille).", "", s.obs.DriftMagnitude)
+	r.Histogram("moqod_steps_to_epsilon", "Frontier-producing steps until the running-best scalarization reached the target precision factor of the regime's final value.", "", s.obs.StepsToEpsilon)
+	r.Histogram("moqod_quality_at_deadline_permille", "Resolution-ladder progress at the terminal transition (1000 = last regime converged).", "", s.obs.QualityAtDeadline)
+
+	metrics.RegisterRuntime(r)
+
+	if ev := s.cfg.Events; ev != nil {
+		for _, lv := range []eventlog.Level{eventlog.LevelDebug, eventlog.LevelInfo, eventlog.LevelWarn, eventlog.LevelError} {
+			lv := lv
+			r.CounterFunc("moqod_events_dropped_total", "Structured events shed by the event-log rate limiter.",
+				fmt.Sprintf(`level="%s"`, lv), func() uint64 { return ev.Dropped(lv) })
+		}
+	}
 
 	for i, sh := range s.shards {
 		lbl := fmt.Sprintf(`shard="%d"`, i)

@@ -123,6 +123,8 @@ func TestTraceLifecycle(t *testing.T) {
 // every session (compare TestPruneAllocsSteadyState in core).
 func TestObserveStepPathAllocFree(t *testing.T) {
 	obs := newObservability(2)
+	obs.StepGap.EnableExemplars(int64(time.Millisecond))
+	obs.FirstFrontier.EnableExemplars(0)
 	m := &managed{id: "alloc-probe", created: time.Now()}
 	m.trace = trace.New(m.id, m.created)
 	m.enqueuedNS.Store(time.Now().UnixNano())
@@ -137,11 +139,16 @@ func TestObserveStepPathAllocFree(t *testing.T) {
 			}
 		}
 		if gap := m.noteStep(now); gap > 0 {
-			obs.StepGap.ObserveShard(1, int64(gap))
+			obs.StepGap.ObserveShardExemplar(1, int64(gap), m.id)
 		}
 		start := now.Sub(m.created)
 		obs.QuantumSteps.ObserveShard(1, 1)
 		m.trace.AppendAt(trace.KindSteps, start, 0, 1)
+		// Convergence-curve sample: the frontier scalarization and packed
+		// resolution|size ride the same 32-byte span as every other kind.
+		m.trace.AppendAt(trace.KindCurve, start,
+			trace.PackCurveScalar(42.5), trace.PackCurveN(3, 17))
+		obs.FirstFrontier.ObserveShardExemplar(1, int64(time.Millisecond), m.id)
 		m.mu.Unlock()
 	}); allocs != 0 {
 		t.Errorf("step-path observation allocates %.2f per step, want 0", allocs)

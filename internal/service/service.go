@@ -46,6 +46,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/eventlog"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/session"
@@ -179,6 +180,20 @@ type Config struct {
 	// isolation tests use to make a chosen session's step panic. Nil in
 	// production; the step path pays one nil check for it (D13).
 	FaultHook func(id string, step int)
+
+	// Events, when set, receives the service's structured lifecycle
+	// events (session created/finished, drain progress) — never emitted
+	// from the refinement step path (DESIGN.md D17). Nil disables
+	// emission; the eventlog methods are nil-safe so call sites carry no
+	// checks.
+	Events *eventlog.Log
+
+	// ReplaySource labels the provenance of cache entries replayed from
+	// the store at New: "replay" (the default) for a node restarting on
+	// its own directory, "bootstrap" when the segments were pulled from
+	// a peer. Sessions warm-starting from such an entry report the label
+	// in their provenance (e.g. "exact-bootstrap").
+	ReplaySource string
 }
 
 // ShardStats are one shard's gauges and counters.
@@ -337,6 +352,11 @@ type Status struct {
 	// (incompatible drift or failed re-cost; the session cold-started),
 	// or "" when no drift was involved.
 	Drift string
+	// Provenance names where the session's plan state came from:
+	// "cold", "exact", "iso", "recost" or "resume", with a
+	// "-replay"/"-bootstrap" suffix when the satisfying cache entry was
+	// itself replayed from the local store or pulled from a peer.
+	Provenance string
 	// Resolution is the last step's resolution (-1 before any step).
 	Resolution int
 	// Steps is the number of refinement steps executed so far.
@@ -501,6 +521,9 @@ func New(cfg Config) (*Service, error) {
 		so := cfg.StoreOptions
 		so.Dir = cfg.StoreDir
 		so.CfgEcho = echo
+		if so.Events == nil {
+			so.Events = cfg.Events
+		}
 		st, err := store.Open(so)
 		if err != nil {
 			return nil, err
@@ -514,6 +537,10 @@ func New(cfg Config) (*Service, error) {
 		// startup). The eviction hook is installed only afterwards:
 		// replay evicting past capacity must not re-persist records
 		// that are already on disk.
+		replaySource := cfg.ReplaySource
+		if replaySource == "" {
+			replaySource = "replay"
+		}
 		_ = st.Replay(func(r store.Record) bool {
 			if c := s.cacheFor(r.CanonFP); c != nil {
 				c.Put(r.FP, r.CanonFP, r.StructFP, r.Perm, r.Snap)
@@ -521,6 +548,7 @@ func New(cfg Config) (*Service, error) {
 				// them clean keeps eviction and the shutdown sweep
 				// from writing them straight back.
 				c.MarkClean(r.FP)
+				c.SetOrigin(r.FP, replaySource)
 			}
 			return true
 		})
@@ -943,6 +971,30 @@ func (s *Service) Create(q *query.Query) (string, error) {
 	}
 	now := time.Now()
 	id := fmt.Sprintf("s-%d", s.nextID.Add(1))
+	// Provenance names where this session's plan state came from. The
+	// base label mirrors the cache-tier outcome; when the satisfying
+	// entry itself came off disk, its origin ("replay"/"bootstrap")
+	// rides along as a suffix so a poll or trace distinguishes state
+	// minted this process from state inherited across a restart or
+	// pulled from a peer.
+	prov := "cold"
+	switch {
+	case warmExact:
+		prov = "exact"
+	case warm && drift == "recosted":
+		prov = "recost"
+	case warm && drift == "resumed":
+		prov = "resume"
+	case warm:
+		prov = "iso"
+	}
+	if warm && warmSrcFP != "" {
+		if c := s.cacheFor(warmSrcCanon); c != nil {
+			if origin := c.Origin(warmSrcFP); origin != "" {
+				prov += "-" + origin
+			}
+		}
+	}
 	m := &managed{
 		id:         id,
 		fp:         fp,
@@ -958,6 +1010,7 @@ func (s *Service) Create(q *query.Query) (string, error) {
 		srcFP:      warmSrcFP,
 		srcCanon:   warmSrcCanon,
 		drift:      drift,
+		provenance: prov,
 		statsEpoch: s.statsEpoch(),
 		// An exact warm restore re-converging under the default bounds
 		// ends in the very state the cached snapshot holds, so
@@ -994,11 +1047,14 @@ func (s *Service) Create(q *query.Query) (string, error) {
 			tr.AppendAt(trace.KindDrift, 0, recostDur, int64(driftClass))
 		}
 	}
+	tr.SetProvenance(prov)
 	m.trace = tr
 	sh := s.shards[m.shard]
 	sh.mgr.add(m)
 	s.created.Add(1)
 	sh.sched.enqueue(m, true)
+	s.cfg.Events.EmitSession(eventlog.LevelInfo, "service", "session created", id, fp, Refining.String(),
+		eventlog.F("provenance", prov), eventlog.Fint("shard", int64(m.shard)))
 	return m.id, nil
 }
 
@@ -1052,7 +1108,7 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 			}
 		}
 		if gap := m.noteStep(now); gap > 0 {
-			s.obs.StepGap.ObserveShard(sc.id, int64(gap))
+			s.obs.StepGap.ObserveShardExemplar(sc.id, int64(gap), m.id)
 		}
 		start := now.Sub(m.created)
 		if ran == 0 {
@@ -1070,16 +1126,33 @@ func (s *Service) runSteps(sc *scheduler, m *managed, hot bool) {
 		sc.stepsDone.Add(1)
 		if m.firstFrontier == 0 && len(frontier) > 0 {
 			m.firstFrontier = time.Since(m.created)
-			s.obs.FirstFrontier.ObserveDuration(m.firstFrontier)
+			s.obs.FirstFrontier.ObserveShardExemplar(0, int64(m.firstFrontier), m.id)
 			if m.trace != nil {
 				m.trace.AppendAt(trace.KindFirstFrontier, m.firstFrontier, m.firstFrontier, 0)
 			}
+		}
+		if m.trace != nil && len(frontier) > 0 {
+			// Convergence-curve sample: the regime's resolution, frontier
+			// size and best scalarization, packed into one 32-byte span.
+			// Only non-empty frontiers sample, so the scalarization is
+			// always finite. Rides the step's existing clock reads and the
+			// lock already held — no allocation (D13, pinned by
+			// TestObserveStepPathAllocFree).
+			m.trace.AppendAt(trace.KindCurve, start,
+				trace.PackCurveScalar(bestScalar(frontier)),
+				trace.PackCurveN(m.sess.Resolution(), len(frontier)))
 		}
 		if m.sess.AtMaxResolution() {
 			m.setState(AtTarget)
 			s.endBatch(sc, m, batchStart, lastStart, ran)
 			if m.trace != nil {
 				m.trace.AppendAt(trace.KindConverged, lastStart, 0, int64(m.steps))
+				// Convergence speed: how many curve samples it took to get
+				// within the target-precision factor of the regime's final
+				// scalarization. Once per regime, off the step path.
+				if n := stepsToEpsilon(m.trace, s.cfg.Opt.TargetPrecision); n > 0 {
+					s.obs.StepsToEpsilon.Observe(int64(n))
+				}
 			}
 			if cache := s.cacheFor(m.canonFp); cache != nil && !m.snapshotted {
 				// The export also makes this session the representative
@@ -1211,6 +1284,7 @@ func (m *managed) statusLocked() Status {
 		State:         m.state,
 		WarmStarted:   m.warm,
 		Drift:         m.drift,
+		Provenance:    m.provenance,
 		Resolution:    m.sess.Resolution(),
 		Steps:         m.steps,
 		Bounds:        m.sess.Bounds(),

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/eventlog"
 	"repro/internal/faultfs"
 	"repro/internal/metrics"
 	"repro/internal/snapcodec"
@@ -105,6 +106,11 @@ type Options struct {
 	// jitter) up to ProbeMaxInterval. Defaults to 1s and 30s.
 	ProbeInterval    time.Duration
 	ProbeMaxInterval time.Duration
+
+	// Events receives structured lifecycle events (open, replay,
+	// degraded-mode transitions); nil disables (every emission is
+	// nil-safe).
+	Events *eventlog.Log
 }
 
 func (o *Options) defaults() error {
@@ -339,6 +345,12 @@ func Open(opts Options) (*Store, error) {
 	if err := s.scan(); err != nil {
 		return nil, err
 	}
+	opts.Events.Emit(eventlog.LevelInfo, "store", "opened",
+		eventlog.F("dir", opts.Dir),
+		eventlog.Fint("segments", int64(len(s.segments))),
+		eventlog.Fint("live_records", int64(len(s.index))),
+		eventlog.Fint("corrupted", int64(s.stats.Corrupted)),
+		eventlog.Fint("tombstones", int64(s.stats.Tombstones)))
 	go s.writer()
 	return s, nil
 }
@@ -926,6 +938,9 @@ func (s *Store) noteIOFailureLocked() {
 		s.stats.Degraded = true
 		s.stats.DegradedEnters++
 		s.probeBackoff = s.opts.ProbeInterval
+		s.opts.Events.Emit(eventlog.LevelError, "store", "entered degraded mode",
+			eventlog.Fint("consecutive_failures", int64(s.consecFails)),
+			eventlog.Fdur("probe_in", s.probeBackoff))
 	} else {
 		s.probeBackoff *= 2
 		if s.probeBackoff > s.opts.ProbeMaxInterval {
@@ -942,6 +957,8 @@ func (s *Store) noteIOSuccessLocked() {
 	if s.degraded {
 		s.degraded = false
 		s.stats.Degraded = false
+		s.opts.Events.Emit(eventlog.LevelInfo, "store", "exited degraded mode",
+			eventlog.Fint("records_dropped", int64(s.stats.DegradedDrops)))
 	}
 }
 

@@ -20,6 +20,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -82,6 +83,12 @@ const (
 	// path: N is the drift class (core.DriftClass numeric value), Dur is
 	// the re-cost latency (0 when the entry was quarantined).
 	KindDrift
+	// KindCurve is one convergence-telemetry sample taken at a step
+	// boundary: N packs the resolution and frontier size (PackCurveN)
+	// and Dur carries the frontier's best cost scalarization as raw
+	// float64 bits (PackCurveScalar) — the Span stays a 32-byte POD
+	// and the step path stays allocation-free.
+	KindCurve
 )
 
 var kindNames = [...]string{
@@ -103,6 +110,7 @@ var kindNames = [...]string{
 	KindTimedOut:      "timed-out",
 	KindCheckpoint:    "checkpoint",
 	KindDrift:         "drift",
+	KindCurve:         "curve",
 }
 
 // String returns the span kind's wire name.
@@ -122,6 +130,36 @@ type Span struct {
 	N    int64
 }
 
+// PackCurveN packs a curve sample's resolution and frontier size into
+// a Span's N field (resolution in the low 16 bits, clamped).
+func PackCurveN(resolution, frontier int) int64 {
+	if resolution < 0 {
+		resolution = 0
+	}
+	if resolution > 0xffff {
+		resolution = 0xffff
+	}
+	if frontier < 0 {
+		frontier = 0
+	}
+	return int64(frontier)<<16 | int64(resolution)
+}
+
+// UnpackCurveN reverses PackCurveN.
+func UnpackCurveN(n int64) (resolution, frontier int) {
+	return int(n & 0xffff), int(n >> 16)
+}
+
+// PackCurveScalar reinterprets a float64 scalarization as a Span Dur.
+func PackCurveScalar(v float64) time.Duration {
+	return time.Duration(math.Float64bits(v))
+}
+
+// UnpackCurveScalar reverses PackCurveScalar.
+func UnpackCurveScalar(d time.Duration) float64 {
+	return math.Float64frombits(uint64(d))
+}
+
 // ringCap bounds a trace's memory: the most recent ringCap spans are
 // kept, older ones are dropped (counted, not silently). 64 spans cover
 // a typical session's full lifecycle several times over — a session
@@ -137,7 +175,8 @@ const ringCap = 64
 type Trace struct {
 	id    string
 	start time.Time
-	n     int // total appended; ring occupancy = min(n, ringCap)
+	prov  string // plan provenance: cold / exact / iso / recost / resume / bootstrap
+	n     int    // total appended; ring occupancy = min(n, ringCap)
 	spans [ringCap]Span
 }
 
@@ -158,7 +197,7 @@ var pool = sync.Pool{New: func() any { return new(Trace) }}
 // previous owner are not zeroed — n bounds every read.
 func Get(id string, start time.Time) *Trace {
 	t := pool.Get().(*Trace)
-	t.id, t.start, t.n = id, start, 0
+	t.id, t.start, t.n, t.prov = id, start, 0, ""
 	return t
 }
 
@@ -175,12 +214,24 @@ func Put(t *Trace) {
 // ID returns the owning session's ID.
 func (t *Trace) ID() string { return t.id }
 
+// SetProvenance records where the session's initial plan state came
+// from (cold / exact / iso / recost / resume / bootstrap). Set once on
+// the creation path; the caller serializes like Append.
+func (t *Trace) SetProvenance(p string) { t.prov = p }
+
+// Provenance returns the recorded plan provenance ("" if unset).
+func (t *Trace) Provenance() string { return t.prov }
+
 // Start returns the trace epoch (session creation time).
 func (t *Trace) Start() time.Time { return t.start }
 
 // Len returns the total number of spans appended (including any that
 // have been overwritten by ring wrap-around).
 func (t *Trace) Len() int { return t.n }
+
+// Wrapped reports whether wrap-around has dropped spans — readers that
+// need a complete prefix (the steps-to-epsilon scan) check this.
+func (t *Trace) Wrapped() bool { return t.n > ringCap }
 
 // Append records a span at wall-clock time at. Zero allocations; the
 // caller serializes (see Trace).
@@ -198,18 +249,24 @@ func (t *Trace) AppendAt(k Kind, at, dur time.Duration, n int64) {
 }
 
 // SpanData is one span rendered for JSON (and the slow-session log).
+// Curve spans are decoded on the way out: the packed N / bit-cast Dur
+// become Res, Frontier and Scalar instead of raw integers.
 type SpanData struct {
-	Kind  string `json:"kind"`
-	AtNS  int64  `json:"at_ns"`
-	DurNS int64  `json:"dur_ns,omitempty"`
-	N     int64  `json:"n,omitempty"`
+	Kind     string  `json:"kind"`
+	AtNS     int64   `json:"at_ns"`
+	DurNS    int64   `json:"dur_ns,omitempty"`
+	N        int64   `json:"n,omitempty"`
+	Res      int     `json:"res,omitempty"`
+	Frontier int     `json:"frontier,omitempty"`
+	Scalar   float64 `json:"scalar,omitempty"`
 }
 
 // Data is a detached copy of a trace, safe to hold after the session
 // is gone and JSON-ready for the trace endpoint.
 type Data struct {
-	ID    string    `json:"id"`
-	Start time.Time `json:"start"`
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	Provenance string    `json:"provenance,omitempty"`
 	// Dropped counts spans lost to ring wrap-around (the Spans slice
 	// holds the most recent ringCap of Dropped+len(Spans) total).
 	Dropped int        `json:"dropped_spans,omitempty"`
@@ -222,6 +279,7 @@ type Data struct {
 func (t *Trace) CopyInto(d *Data) {
 	d.ID = t.id
 	d.Start = t.start
+	d.Provenance = t.prov
 	occ := t.n
 	first := 0
 	if occ > ringCap {
@@ -232,12 +290,35 @@ func (t *Trace) CopyInto(d *Data) {
 	d.Spans = d.Spans[:0]
 	for i := 0; i < occ; i++ {
 		s := t.spans[(first+i)%ringCap]
-		d.Spans = append(d.Spans, SpanData{
+		sd := SpanData{
 			Kind:  s.Kind.String(),
 			AtNS:  int64(s.At),
 			DurNS: int64(s.Dur),
 			N:     s.N,
-		})
+		}
+		if s.Kind == KindCurve {
+			sd.DurNS, sd.N = 0, 0
+			sd.Res, sd.Frontier = UnpackCurveN(s.N)
+			sd.Scalar = UnpackCurveScalar(s.Dur)
+		}
+		d.Spans = append(d.Spans, sd)
+	}
+}
+
+// Scan calls f on each retained span, oldest first, stopping early if
+// f returns false. Zero-allocation (f permitting); the caller
+// serializes with appends like every other read.
+func (t *Trace) Scan(f func(Span) bool) {
+	occ := t.n
+	first := 0
+	if occ > ringCap {
+		occ = ringCap
+		first = t.n % ringCap
+	}
+	for i := 0; i < occ; i++ {
+		if !f(t.spans[(first+i)%ringCap]) {
+			return
+		}
 	}
 }
 

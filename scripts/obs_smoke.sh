@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # Observability smoke: boot moqod, drive one session over HTTP, and
 # fail unless /metrics serves well-formed non-empty lifecycle
-# histograms and the session's trace is retrievable. CI runs this
-# (see .github/workflows/ci.yml); it only needs curl + jq.
+# histograms (with exemplars), the session's trace and convergence
+# curve are retrievable, and /debug/events shows structured events
+# from at least three subsystems. CI runs this (see
+# .github/workflows/ci.yml); it only needs curl + jq.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:18080}"
 BIN="${BIN:-/tmp/moqod-smoke}"
+CACHE_DIR="$(mktemp -d)"
 
 go build -o "$BIN" ./cmd/moqod
 
-"$BIN" -addr "$ADDR" -workers 2 -shards 2 -levels 3 -pprof -slow-session 1ns &
+# -cache-dir brings the snapshot store up so its events (subsystem
+# "store") appear alongside service and api events.
+"$BIN" -addr "$ADDR" -workers 2 -shards 2 -levels 3 -pprof -slow-session 1ns \
+    -cache-dir "$CACHE_DIR" &
 MOQOD=$!
-trap 'kill "$MOQOD" 2>/dev/null || true' EXIT
+trap 'kill "$MOQOD" 2>/dev/null || true; rm -rf "$CACHE_DIR"' EXIT
 
 # Wait for the listener.
 for _ in $(seq 1 100); do
@@ -52,6 +58,24 @@ done
 printf '%s\n' "$metrics" | grep -q '^moqod_sessions_selected_total 1$' ||
     { echo "obs_smoke: selected counter wrong" >&2; exit 1; }
 
+# After driven load the first-frontier histogram must carry at least
+# one exemplar linking a bucket to the session that landed in it.
+if ! printf '%s\n' "$metrics" |
+        grep -Eq 'moqod_first_frontier_seconds_bucket\{le="[^"]+"\} [0-9]+ # \{session_id="s-[0-9]+"\} [0-9.eE+-]+ [0-9]+\.[0-9]+'; then
+    echo "obs_smoke: no exemplar on moqod_first_frontier_seconds buckets" >&2
+    printf '%s\n' "$metrics" | grep 'moqod_first_frontier_seconds_bucket' >&2 || true
+    exit 1
+fi
+echo "obs_smoke: first-frontier exemplar present"
+
+# The runtime self-metrics bridge must serve the Go runtime families.
+for fam in moqod_go_gc_pause_seconds_count moqod_go_heap_objects_bytes \
+           moqod_go_goroutines moqod_go_sched_latency_seconds_p99; do
+    printf '%s\n' "$metrics" | grep -q "^${fam}" ||
+        { echo "obs_smoke: runtime metric $fam missing" >&2; exit 1; }
+done
+echo "obs_smoke: runtime self-metrics present"
+
 # The finished session's trace must survive in the archive with spans.
 spans=$(curl -fsS "http://$ADDR/debug/sessions/$id/trace" | jq -re '.spans | length')
 if [ "$spans" -lt 3 ]; then
@@ -59,6 +83,43 @@ if [ "$spans" -lt 3 ]; then
     exit 1
 fi
 echo "obs_smoke: trace has $spans spans"
+
+# The convergence curve must be non-empty with ε monotone
+# non-increasing within each regime, ending at 0.
+curve=$(curl -fsS "http://$ADDR/debug/sessions/$id/curve")
+points=$(printf '%s\n' "$curve" | jq -re '.points | length')
+if [ "$points" -lt 1 ]; then
+    echo "obs_smoke: convergence curve empty" >&2
+    exit 1
+fi
+printf '%s\n' "$curve" | jq -e '
+    (.provenance | length > 0) and
+    ([.points[].epsilon] | all(. >= 0)) and
+    (.points[-1].epsilon == 0) and
+    ([.points | group_by(.regime)[] | [.[].epsilon] |
+        . as $e | all(range(1; length); $e[.] <= $e[. - 1])] | all)
+' >/dev/null || { echo "obs_smoke: curve not monotone: $curve" >&2; exit 1; }
+echo "obs_smoke: convergence curve has $points monotone points"
+
+# The structured event log must carry events from at least three
+# subsystems (service, store, api at minimum on this boot path).
+events=$(curl -fsS "http://$ADDR/debug/events?n=256")
+nevents=$(printf '%s\n' "$events" | jq -re '.events | length')
+if [ "$nevents" -lt 1 ]; then
+    echo "obs_smoke: /debug/events empty" >&2
+    exit 1
+fi
+subs=$(printf '%s\n' "$events" | jq -re '[.events[].sub] | unique | length')
+if [ "$subs" -lt 3 ]; then
+    echo "obs_smoke: events from only $subs subsystems, want >= 3" >&2
+    printf '%s\n' "$events" | jq -re '[.events[].sub] | unique' >&2
+    exit 1
+fi
+for sub in service store api; do
+    printf '%s\n' "$events" | jq -e --arg s "$sub" '.events | map(.sub) | index($s)' >/dev/null ||
+        { echo "obs_smoke: no events from subsystem '$sub'" >&2; exit 1; }
+done
+echo "obs_smoke: $nevents events from $subs subsystems"
 
 curl -fsS "http://$ADDR/debug/traces?n=4" | jq -e 'length == 1' >/dev/null
 curl -fsS "http://$ADDR/debug/pprof/" >/dev/null
