@@ -279,11 +279,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Events alone feeds both sinks: the log mirrors every admitted
+		// event to stderr and retains it in the /debug/events ring.
+		// Wiring Logf too would emit every milestone twice.
 		res, err := bootstrap.Pull(bootstrap.Options{
 			Peer:    *bootstrapPeer,
 			Dir:     *cacheDir,
 			CfgEcho: echo,
-			Logf:    events.Printf("bootstrap"),
 			Events:  events,
 		})
 		boot.Segments, boot.Frames, boot.Bytes = res.Segments, res.Frames, res.Bytes

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
@@ -330,15 +331,39 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statzBody{Stats: svc.Stats(), Lifecycle: a.Lifecycle()})
 }
 
-func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	svc, ok := a.ensureService(w)
 	if !ok {
 		return
 	}
+	// Exemplars are only legal in OpenMetrics; the classic 0.0.4
+	// parser reads the `# {...}` suffix as a malformed timestamp and
+	// fails the whole scrape. So the format is negotiated: a client
+	// offering application/openmetrics-text gets exemplars and the
+	// `# EOF` terminator, everyone else gets plain 0.0.4 without them.
+	// Either writer renders into one buffer and writes once; a failed
+	// write means the client went away, which a scrape can ignore.
+	if acceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = svc.Registry().WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	// WriteText renders into one buffer and writes once; a failed write
-	// means the client went away, which a scrape endpoint can ignore.
 	_ = svc.Registry().WriteText(w)
+}
+
+// acceptsOpenMetrics reports whether an Accept header lists
+// application/openmetrics-text. Media-type parameters (version, q)
+// are ignored: Prometheus offers the type at all only when its parser
+// can take it, which is the one bit the writer needs.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP. It is

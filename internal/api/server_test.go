@@ -166,6 +166,68 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsFormatNegotiation pins the exposition-format contract:
+// exemplars are only legal in OpenMetrics, so a client negotiating
+// application/openmetrics-text gets them plus the `# EOF` terminator,
+// while the default classic 0.0.4 scrape must never carry an exemplar
+// suffix (a 0.0.4 parser fails the whole scrape on one).
+func TestMetricsFormatNegotiation(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	driveOne(t, ts, "Q4")
+
+	get := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// The Prometheus-style Accept line, parameters and all.
+	om, ct := get("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics content type = %q", ct)
+	}
+	if err := metrics.CheckExposition(om); err != nil {
+		t.Fatalf("malformed OpenMetrics exposition: %v", err)
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("OpenMetrics exposition not # EOF-terminated")
+	}
+	if !strings.Contains(om, `# {session_id="`) {
+		t.Errorf("OpenMetrics exposition has no exemplar:\n%s",
+			grepFam(om, "moqod_first_frontier_seconds_bucket"))
+	}
+
+	for _, accept := range []string{"", "text/plain; version=0.0.4"} {
+		classic, ct := get(accept)
+		if !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("Accept %q: content type = %q", accept, ct)
+		}
+		if err := metrics.CheckExposition(classic); err != nil {
+			t.Fatalf("Accept %q: malformed exposition: %v", accept, err)
+		}
+		if strings.Contains(classic, " # {") {
+			t.Errorf("Accept %q: classic exposition leaked an exemplar", accept)
+		}
+		if strings.Contains(classic, "# EOF") {
+			t.Errorf("Accept %q: classic exposition carries # EOF", accept)
+		}
+	}
+}
+
 // grepFam extracts one family's lines for a focused failure message.
 func grepFam(text, fam string) string {
 	var b bytes.Buffer

@@ -93,13 +93,13 @@ type Options struct {
 	// Rand drives retry jitter; nil uses a fixed-seed source
 	// (de-synchronization only needs spread, not secrecy).
 	Rand *rand.Rand
-	// Logf, when set, receives progress lines (legacy plain-text hook;
-	// moqod now routes these through the event log's Printf adapter).
+	// Logf, when set, receives progress lines — the plain-text hook for
+	// callers without an event log. Callers with one set Events alone:
+	// its stderr mirror already carries every milestone, so wiring both
+	// reports each milestone twice.
 	Logf func(format string, args ...any)
-	// Events, when set, receives the same progress as structured events
-	// (subsystem "bootstrap"); nil disables. Logf and Events are
-	// independent — moqod sets both so the stderr mirror and the
-	// /debug/events ring each see the transfer.
+	// Events, when set, receives the progress as structured events
+	// (subsystem "bootstrap"); nil disables.
 	Events *eventlog.Log
 }
 

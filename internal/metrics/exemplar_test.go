@@ -75,8 +75,11 @@ func TestExemplarObserveAllocFree(t *testing.T) {
 	}
 }
 
-// TestExemplarExposition renders a registry with exemplars and checks
-// both the OpenMetrics-style syntax and that CheckExposition accepts it.
+// TestExemplarExposition renders a registry with captured exemplars in
+// both formats: the OpenMetrics output carries the exemplar suffix and
+// the `# EOF` terminator, while the classic 0.0.4 output strips
+// exemplars entirely (its parser reads the `# {...}` suffix as a
+// malformed timestamp and fails the whole scrape).
 func TestExemplarExposition(t *testing.T) {
 	r := NewRegistry()
 	h := NewDuration(2)
@@ -84,16 +87,80 @@ func TestExemplarExposition(t *testing.T) {
 	r.Histogram("app_latency_seconds", "latency", "", h)
 	h.ObserveShardExemplar(0, int64(3*time.Millisecond), "s-42")
 
-	var buf bytes.Buffer
-	if err := r.WriteText(&buf); err != nil {
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
 		t.Fatal(err)
 	}
-	text := buf.String()
+	text := om.String()
 	ValidateExposition(t, text)
 	// One bucket line must carry `# {session_id="s-42"} 0.003... ts`.
 	re := regexp.MustCompile(`app_latency_seconds_bucket\{le="[^"]+"\} \d+ # \{session_id="s-42"\} 0\.003\d* \d+\.\d+`)
 	if !re.MatchString(text) {
 		t.Fatalf("no exemplar rendered:\n%s", text)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("OpenMetrics output not # EOF-terminated:\n%s", text)
+	}
+
+	var classic bytes.Buffer
+	if err := r.WriteText(&classic); err != nil {
+		t.Fatal(err)
+	}
+	ValidateExposition(t, classic.String())
+	if strings.Contains(classic.String(), " # {") {
+		t.Fatalf("classic 0.0.4 exposition leaked an exemplar:\n%s", classic.String())
+	}
+}
+
+// TestExemplarIDEscaped: ObserveShardExemplar is a generic API, so an
+// ID carrying quote/backslash/newline bytes must render escaped
+// instead of corrupting the exposition.
+func TestExemplarIDEscaped(t *testing.T) {
+	r := NewRegistry()
+	h := NewDuration(1)
+	h.EnableExemplars(0)
+	r.Histogram("app_latency_seconds", "latency", "", h)
+	h.ObserveShardExemplar(0, int64(3*time.Millisecond), "s-\"q\\b\nnl")
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	ValidateExposition(t, text)
+	if !strings.Contains(text, `session_id="s-\"q\\b\nnl"`) {
+		t.Fatalf("exemplar ID not escaped:\n%s", text)
+	}
+}
+
+// TestOpenMetricsCounterFamilies: OpenMetrics names a counter family
+// without the _total suffix its samples carry; the classic format
+// keeps the full name in both places.
+func TestOpenMetricsCounterFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "requests served").Add(7)
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	text := om.String()
+	ValidateExposition(t, text)
+	for _, want := range []string{
+		"# TYPE app_requests counter\n",
+		"app_requests_total 7\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("OpenMetrics output missing %q:\n%s", want, text)
+		}
+	}
+
+	var classic bytes.Buffer
+	if err := r.WriteText(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(classic.String(), "# TYPE app_requests_total counter\n") {
+		t.Fatalf("classic output renamed the family:\n%s", classic.String())
 	}
 }
 
@@ -110,6 +177,7 @@ func TestCheckExpositionRejectsMalformedExemplars(t *testing.T) {
 		"non-numeric value":     head + `h_bucket{le="+Inf"} 1 # {session_id="s"} nope` + "\n" + "h_count 1\n",
 		"too many fields":       head + `h_bucket{le="+Inf"} 1 # {session_id="s"} 1 2 3` + "\n" + "h_count 1\n",
 		"empty exemplar suffix": head + `h_bucket{le="+Inf"} 1 # ` + "\n" + "h_count 1\n",
+		"content after EOF":     head + `h_bucket{le="+Inf"} 1` + "\n" + "h_count 1\n# EOF\nh_sum 1\n",
 	}
 	for name, text := range cases {
 		if err := CheckExposition(text); err == nil {
@@ -124,8 +192,8 @@ func TestCheckExpositionRejectsMalformedExemplars(t *testing.T) {
 }
 
 // TestExemplarConcurrentScrape hammers tagged observations against
-// scrapes; under -race this pins the TryLock write path vs the locked
-// scrape read path.
+// OpenMetrics scrapes (the format that renders exemplars); under -race
+// this pins the TryLock write path vs the locked scrape read path.
 func TestExemplarConcurrentScrape(t *testing.T) {
 	r := NewRegistry()
 	h := NewDuration(4)
@@ -150,7 +218,7 @@ func TestExemplarConcurrentScrape(t *testing.T) {
 	}
 	for i := 0; i < 50; i++ {
 		var buf bytes.Buffer
-		if err := r.WriteText(&buf); err != nil {
+		if err := r.WriteOpenMetrics(&buf); err != nil {
 			t.Fatal(err)
 		}
 		if err := CheckExposition(buf.String()); err != nil {

@@ -10,9 +10,13 @@ import (
 // the format's structural rules: every line parses, each family's HELP
 // precedes its TYPE and both precede its samples, histogram buckets are
 // cumulative and terminated by an le="+Inf" bucket that matches the
-// series' _count. It returns the first violation found (nil for
-// well-formed text). Tests — this package's and moqod's scrape test —
-// use it to pin WriteText's grammar without a real Prometheus parser
+// series' _count. It accepts both the classic 0.0.4 grammar
+// (WriteText) and the OpenMetrics extensions WriteOpenMetrics emits —
+// bucket exemplars, counter families advertised without the _total
+// suffix their samples carry, and a `# EOF` terminator with nothing
+// after it. It returns the first violation found (nil for well-formed
+// text). Tests — this package's and the API's scrape tests — use it
+// to pin the writers' grammar without a real Prometheus parser
 // dependency.
 func CheckExposition(text string) error {
 	type hist struct {
@@ -32,10 +36,23 @@ func CheckExposition(text string) error {
 				}
 			}
 		}
+		// OpenMetrics advertises counter families without the _total
+		// suffix their samples keep.
+		if b, ok := strings.CutSuffix(name, "_total"); ok && typeOf[b] == "counter" {
+			return b
+		}
 		return name
 	}
+	eofSeen := false
 	for ln, line := range strings.Split(text, "\n") {
 		if line == "" {
+			continue
+		}
+		if eofSeen {
+			return fmt.Errorf("line %d: content after # EOF: %q", ln+1, line)
+		}
+		if line == "# EOF" {
+			eofSeen = true
 			continue
 		}
 		if strings.HasPrefix(line, "# HELP ") {

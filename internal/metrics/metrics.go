@@ -28,6 +28,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -446,12 +447,29 @@ func (r *Registry) HistogramFunc(name, help, labels string, fn func() FloatSnaps
 	r.register(name, help, "histogram", sample{labels: labels, kind: kindHistogramFunc, histFn: fn})
 }
 
-// WriteText renders every family in the Prometheus text exposition
-// format: one # HELP and # TYPE line per family, then its samples
-// (histograms expand to cumulative _bucket lines terminated by
-// le="+Inf", plus _sum and _count). Families appear in registration
-// order; a scrape allocates only here, never in recorders.
+// WriteText renders every family in the classic Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per
+// family, then its samples (histograms expand to cumulative _bucket
+// lines terminated by le="+Inf", plus _sum and _count). Families
+// appear in registration order; a scrape allocates only here, never
+// in recorders. Exemplars are NOT rendered: the `# {...}` suffix is
+// only legal in OpenMetrics, and a 0.0.4 parser fails the entire
+// scrape on it — clients that want exemplars negotiate
+// WriteOpenMetrics instead.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the same families in the OpenMetrics
+// exposition format: histogram buckets carry their captured
+// exemplars, counter families are advertised without the `_total`
+// suffix their samples keep (the OpenMetrics naming rule), and the
+// output ends with the mandatory `# EOF` terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, om bool) error {
 	r.mu.Lock()
 	fams := make([]*family, len(r.families))
 	copy(fams, r.families)
@@ -459,13 +477,21 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 	buf := make([]byte, 0, 4096)
 	for _, f := range fams {
+		famName := f.name
+		if om && f.typ == "counter" {
+			// OpenMetrics: the family is named without _total, the
+			// samples with it.
+			if b, ok := strings.CutSuffix(famName, "_total"); ok && b != "" {
+				famName = b
+			}
+		}
 		buf = append(buf, "# HELP "...)
-		buf = append(buf, f.name...)
+		buf = append(buf, famName...)
 		buf = append(buf, ' ')
 		buf = appendEscapedHelp(buf, f.help)
 		buf = append(buf, '\n')
 		buf = append(buf, "# TYPE "...)
-		buf = append(buf, f.name...)
+		buf = append(buf, famName...)
 		buf = append(buf, ' ')
 		buf = append(buf, f.typ...)
 		buf = append(buf, '\n')
@@ -476,11 +502,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 			case kindGaugeFunc:
 				buf = appendSample(buf, f.name, "", s.labels, "", s.gaugeFn())
 			case kindHistogram:
-				buf = appendHistogram(buf, f.name, s.labels, s.hist)
+				buf = appendHistogram(buf, f.name, s.labels, s.hist, om)
 			case kindHistogramFunc:
 				buf = appendFloatHistogram(buf, f.name, s.labels, s.histFn())
 			}
 		}
+	}
+	if om {
+		buf = append(buf, "# EOF\n"...)
 	}
 	_, err := w.Write(buf)
 	return err
@@ -537,21 +566,26 @@ func appendValue(buf []byte, v float64) []byte {
 
 // appendHistogram renders one histogram sample: cumulative _bucket
 // lines (le in exposition units, ascending, +Inf-terminated), _sum and
-// _count. Buckets with a captured exemplar carry an OpenMetrics-style
-// `# {session_id="..."} value timestamp` suffix.
-func appendHistogram(buf []byte, name, labels string, h *Histogram) []byte {
+// _count. In OpenMetrics mode, buckets with a captured exemplar carry
+// a `# {session_id="..."} value timestamp` suffix; classic 0.0.4
+// output never does (its parser rejects the syntax).
+func appendHistogram(buf []byte, name, labels string, h *Histogram, om bool) []byte {
 	snap := h.Snapshot()
 	cum := uint64(0)
 	for i, b := range snap.Bounds {
 		cum += snap.Counts[i]
 		le := `le="` + strconv.FormatFloat(float64(b)*h.scale, 'g', -1, 64) + `"`
 		buf = appendSampleNoNL(buf, name, "_bucket", labels, le, float64(cum))
-		buf = h.appendExemplar(buf, i)
+		if om {
+			buf = h.appendExemplar(buf, i)
+		}
 		buf = append(buf, '\n')
 	}
 	cum += snap.Counts[len(snap.Bounds)]
 	buf = appendSampleNoNL(buf, name, "_bucket", labels, `le="+Inf"`, float64(cum))
-	buf = h.appendExemplar(buf, len(snap.Bounds))
+	if om {
+		buf = h.appendExemplar(buf, len(snap.Bounds))
+	}
 	buf = append(buf, '\n')
 	buf = appendSample(buf, name, "_sum", labels, "", float64(snap.Sum)*h.scale)
 	buf = appendSample(buf, name, "_count", labels, "", float64(cum))
@@ -566,11 +600,31 @@ func (h *Histogram) appendExemplar(buf []byte, b int) []byte {
 		return buf
 	}
 	buf = append(buf, ` # {session_id="`...)
-	buf = append(buf, id...)
+	buf = appendEscapedLabelValue(buf, id)
 	buf = append(buf, `"} `...)
 	buf = appendValue(buf, float64(v)*h.scale)
 	buf = append(buf, ' ')
 	buf = strconv.AppendFloat(buf, float64(tns)/1e9, 'f', 3, 64)
+	return buf
+}
+
+// appendEscapedLabelValue escapes a label value per the exposition
+// rules (backslash, double quote, newline). Session IDs are safe
+// today, but ObserveShardExemplar accepts any string and one bad ID
+// must not corrupt the whole scrape.
+func appendEscapedLabelValue(buf []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '"':
+			buf = append(buf, `\"`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, c)
+		}
+	}
 	return buf
 }
 

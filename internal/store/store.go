@@ -867,6 +867,15 @@ func (s *Store) append(rec Record, tomb bool) {
 		s.mu.Unlock()
 		return
 	}
+	// Registered before the unlock defer so it runs after it: degraded-
+	// mode transition events write the console mirror, which must stay
+	// outside the lock.
+	var emit func()
+	defer func() {
+		if emit != nil {
+			emit()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.degraded && time.Now().Before(s.probeAt) {
@@ -882,7 +891,7 @@ func (s *Store) append(rec Record, tomb bool) {
 	}
 	if err := s.ensureActiveLocked(int64(len(frame))); err != nil {
 		s.stats.WriteErrors++
-		s.noteIOFailureLocked()
+		emit = s.noteIOFailureLocked()
 		return
 	}
 	off := s.segments[s.active]
@@ -904,10 +913,10 @@ func (s *Store) append(rec Record, tomb bool) {
 		}
 		s.segments[s.active] = off
 		s.active++
-		s.noteIOFailureLocked()
+		emit = s.noteIOFailureLocked()
 		return
 	}
-	s.noteIOSuccessLocked()
+	emit = s.noteIOSuccessLocked()
 	s.segments[s.active] = off + int64(len(frame))
 	loc := location{seg: s.active, off: off, size: int64(len(frame))}
 	if !tomb {
@@ -928,19 +937,26 @@ func (s *Store) append(rec Record, tomb bool) {
 // noteIOFailureLocked records one write-path failure: it enters
 // degraded mode at the configured threshold and, once degraded, backs
 // the next probe off exponentially with ±50% jitter. Callers hold mu.
-func (s *Store) noteIOFailureLocked() {
+// On the enter-degraded transition it returns a non-nil emit func the
+// caller must invoke after releasing mu: Emit writes the stderr
+// mirror synchronously, and console I/O must not run under the store
+// lock exactly when the disk is already struggling.
+func (s *Store) noteIOFailureLocked() (emit func()) {
 	s.consecFails++
 	if !s.degraded {
 		if s.consecFails < s.opts.FailThreshold {
-			return
+			return nil
 		}
 		s.degraded = true
 		s.stats.Degraded = true
 		s.stats.DegradedEnters++
 		s.probeBackoff = s.opts.ProbeInterval
-		s.opts.Events.Emit(eventlog.LevelError, "store", "entered degraded mode",
-			eventlog.Fint("consecutive_failures", int64(s.consecFails)),
-			eventlog.Fdur("probe_in", s.probeBackoff))
+		fails, probeIn := int64(s.consecFails), s.probeBackoff
+		emit = func() {
+			s.opts.Events.Emit(eventlog.LevelError, "store", "entered degraded mode",
+				eventlog.Fint("consecutive_failures", fails),
+				eventlog.Fdur("probe_in", probeIn))
+		}
 	} else {
 		s.probeBackoff *= 2
 		if s.probeBackoff > s.opts.ProbeMaxInterval {
@@ -948,18 +964,25 @@ func (s *Store) noteIOFailureLocked() {
 		}
 	}
 	s.probeAt = time.Now().Add(s.jitterLocked(s.probeBackoff))
+	return emit
 }
 
 // noteIOSuccessLocked resets the failure streak; a successful probe
-// exits degraded mode and re-enables persistence.
-func (s *Store) noteIOSuccessLocked() {
+// exits degraded mode and re-enables persistence. Like
+// noteIOFailureLocked it returns the transition's emit func (non-nil
+// only on exit-degraded) for the caller to run after unlocking.
+func (s *Store) noteIOSuccessLocked() (emit func()) {
 	s.consecFails = 0
 	if s.degraded {
 		s.degraded = false
 		s.stats.Degraded = false
-		s.opts.Events.Emit(eventlog.LevelInfo, "store", "exited degraded mode",
-			eventlog.Fint("records_dropped", int64(s.stats.DegradedDrops)))
+		dropped := int64(s.stats.DegradedDrops)
+		emit = func() {
+			s.opts.Events.Emit(eventlog.LevelInfo, "store", "exited degraded mode",
+				eventlog.Fint("records_dropped", dropped))
+		}
 	}
+	return emit
 }
 
 // jitterLocked spreads d into [d/2, 3d/2) so fleet-wide probes do not
@@ -1001,6 +1024,13 @@ func (s *Store) ensureActiveLocked(next int64) error {
 }
 
 func (s *Store) sync() error {
+	// As in append: transition events run after the unlock defer.
+	var emit func()
+	defer func() {
+		if emit != nil {
+			emit()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Flushes++
@@ -1010,9 +1040,9 @@ func (s *Store) sync() error {
 	err := s.syncFileLocked()
 	if err != nil {
 		s.stats.WriteErrors++
-		s.noteIOFailureLocked()
+		emit = s.noteIOFailureLocked()
 	} else {
-		s.noteIOSuccessLocked()
+		emit = s.noteIOSuccessLocked()
 	}
 	return err
 }

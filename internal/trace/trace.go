@@ -299,7 +299,12 @@ func (t *Trace) CopyInto(d *Data) {
 		if s.Kind == KindCurve {
 			sd.DurNS, sd.N = 0, 0
 			sd.Res, sd.Frontier = UnpackCurveN(s.N)
-			sd.Scalar = UnpackCurveScalar(s.Dur)
+			// Same defensive guard as BuildCurve: a non-finite
+			// scalarization in the ring must not reach json.Encode,
+			// which errors on ±Inf/NaN mid-response.
+			if sc := UnpackCurveScalar(s.Dur); !math.IsInf(sc, 0) && !math.IsNaN(sc) {
+				sd.Scalar = sc
+			}
 		}
 		d.Spans = append(d.Spans, sd)
 	}

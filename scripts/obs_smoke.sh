@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Observability smoke: boot moqod, drive one session over HTTP, and
 # fail unless /metrics serves well-formed non-empty lifecycle
-# histograms (with exemplars), the session's trace and convergence
+# histograms (exemplars on the negotiated OpenMetrics exposition
+# only), the session's trace and convergence
 # curve are retrievable, and /debug/events shows structured events
 # from at least three subsystems. CI runs this (see
 # .github/workflows/ci.yml); it only needs curl + jq.
@@ -58,15 +59,27 @@ done
 printf '%s\n' "$metrics" | grep -q '^moqod_sessions_selected_total 1$' ||
     { echo "obs_smoke: selected counter wrong" >&2; exit 1; }
 
-# After driven load the first-frontier histogram must carry at least
-# one exemplar linking a bucket to the session that landed in it.
-if ! printf '%s\n' "$metrics" |
-        grep -Eq 'moqod_first_frontier_seconds_bucket\{le="[^"]+"\} [0-9]+ # \{session_id="s-[0-9]+"\} [0-9.eE+-]+ [0-9]+\.[0-9]+'; then
-    echo "obs_smoke: no exemplar on moqod_first_frontier_seconds buckets" >&2
-    printf '%s\n' "$metrics" | grep 'moqod_first_frontier_seconds_bucket' >&2 || true
+# Exemplars are OpenMetrics-only: the default 0.0.4 scrape must never
+# carry one (a classic Prometheus parser fails the whole scrape on the
+# suffix), while a scrape negotiating application/openmetrics-text
+# must show at least one on the first-frontier buckets, and end with
+# the mandatory "# EOF" terminator.
+if printf '%s\n' "$metrics" | grep -q ' # {'; then
+    echo "obs_smoke: classic 0.0.4 scrape leaked an exemplar" >&2
+    printf '%s\n' "$metrics" | grep ' # {' >&2
     exit 1
 fi
-echo "obs_smoke: first-frontier exemplar present"
+om=$(curl -fsS -H 'Accept: application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5' \
+    "http://$ADDR/metrics")
+if ! printf '%s\n' "$om" |
+        grep -Eq 'moqod_first_frontier_seconds_bucket\{le="[^"]+"\} [0-9]+ # \{session_id="s-[0-9]+"\} [0-9.eE+-]+ [0-9]+\.[0-9]+'; then
+    echo "obs_smoke: no exemplar on moqod_first_frontier_seconds buckets" >&2
+    printf '%s\n' "$om" | grep 'moqod_first_frontier_seconds_bucket' >&2 || true
+    exit 1
+fi
+[ "$(printf '%s\n' "$om" | tail -n 1)" = "# EOF" ] ||
+    { echo "obs_smoke: OpenMetrics exposition not # EOF-terminated" >&2; exit 1; }
+echo "obs_smoke: first-frontier exemplar present (OpenMetrics only)"
 
 # The runtime self-metrics bridge must serve the Go runtime families.
 for fam in moqod_go_gc_pause_seconds_count moqod_go_heap_objects_bytes \
